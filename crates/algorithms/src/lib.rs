@@ -1,0 +1,39 @@
+//! # stapl-algorithms — the pAlgorithms library
+//!
+//! Parallel algorithms written against container interfaces and pViews,
+//! reproducing the paper's algorithm suite:
+//!
+//! * [`map_func`] — STL counterparts (`p_generate`, `p_for_each`,
+//!   `p_accumulate`, `p_count_if`, `p_find_if`, `p_min_element`,
+//!   `p_copy`, `p_transform`, ...), container-native and view-based;
+//! * [`numeric`] — parallel prefix sums (`p_partial_sum`);
+//! * [`sorting`] — sample sort (`p_sort`);
+//! * [`list_ranking`] — Wyllie pointer jumping;
+//! * [`euler`] — the Euler-tour technique and its applications
+//!   (rooting, depth, subtree size);
+//! * [`graph_algos`] — find-sources, BFS, connected components, PageRank;
+//! * [`mapreduce`] — MapReduce with owner-side combining + word count.
+
+pub mod euler;
+pub mod graph_algos;
+pub mod list_ranking;
+pub mod map_func;
+pub mod mapreduce;
+pub mod numeric;
+pub mod sorting;
+
+pub mod prelude {
+    pub use crate::euler::{euler_applications, euler_tour, EulerApps, EulerTour};
+    pub use crate::graph_algos::{
+        bfs, bfs_level, connected_components, find_sources, page_rank, rank_of, AlgoGraph, VProps,
+    };
+    pub use crate::list_ranking::{list_positions, list_rank_after, NIL};
+    pub use crate::map_func::{
+        p_accumulate, p_adjacent_difference, p_copy, p_count_if, p_equal, p_fill, p_find_if,
+        p_for_each, p_for_each_view, p_generate, p_generate_view, p_inner_product, p_max_element,
+        p_min_element, p_reduce, p_reduce_view, p_replace_if, p_sum, p_transform,
+    };
+    pub use crate::mapreduce::{map_reduce, synthetic_corpus, word_count};
+    pub use crate::numeric::{p_partial_sum, p_prefix_sum_i64, p_prefix_sum_u64};
+    pub use crate::sorting::{p_is_sorted, p_sort};
+}

@@ -1,0 +1,459 @@
+//! The STL-like pAlgorithms (the `p_generate` / `p_for_each` /
+//! `p_accumulate` family evaluated in Figs. 33, 40 and 60).
+//!
+//! Two flavors are provided, mirroring the paper:
+//!
+//! * **Container-native** algorithms take any container implementing
+//!   [`LocalIteration`] and process each location's elements in place —
+//!   the native-view fast path (no communication except the final fence /
+//!   reduction). This works uniformly for pArray, pVector, pList and
+//!   pMatrix, which is exactly the genericity Fig. 40 and Fig. 60
+//!   measure.
+//! * **View-based** algorithms (suffix `_view`) take any
+//!   [`ViewRead`]/[`ViewWrite`] and process the view's `local_chunks`,
+//!   paying element-access routing where the view is not aligned.
+//!
+//! All algorithms are **collective**.
+
+use stapl_core::gid::Gid;
+use stapl_core::interfaces::{ElementWrite, LocalIteration};
+use stapl_views::view::{ViewRead, ViewWrite};
+
+/// `p_generate`: assigns `gen(gid)` to every element.
+pub fn p_generate<C, G, F>(c: &C, gen: F)
+where
+    G: Gid,
+    C: LocalIteration<G> + ElementWrite<G>,
+    F: Fn(G) -> C::Value,
+{
+    c.for_each_local_mut(|g, v| *v = gen(g));
+    c.location().rmi_fence();
+}
+
+/// `p_for_each`: applies `f` to every element in place.
+pub fn p_for_each<C, G, F>(c: &C, f: F)
+where
+    G: Gid,
+    C: LocalIteration<G>,
+    F: Fn(&mut C::Value),
+{
+    c.for_each_local_mut(|_, v| f(v));
+    c.location().rmi_fence();
+}
+
+/// `p_accumulate`: folds every element with `op` starting from `init`
+/// (which must be `op`'s identity); `op` must be associative. Returns the
+/// global fold on every location.
+pub fn p_accumulate<C, G, F>(c: &C, init: C::Value, op: F) -> C::Value
+where
+    G: Gid,
+    C: LocalIteration<G>,
+    C::Value: Send + Clone + 'static,
+    F: Fn(C::Value, &C::Value) -> C::Value,
+{
+    let mut acc = init.clone();
+    c.for_each_local(|_, v| acc = op(acc.clone(), v));
+    let partials = c.location().allgather(acc);
+    partials.into_iter().fold(init, |a, b| op(a, &b))
+}
+
+/// `p_reduce`: the general reduction — `map` extracts a summary from each
+/// element, `combine` merges summaries (associative). Returns the global
+/// reduction on every location; `None` for an empty container.
+pub fn p_reduce<C, G, A, M, R>(c: &C, map: M, combine: R) -> Option<A>
+where
+    G: Gid,
+    C: LocalIteration<G>,
+    A: Send + Clone + 'static,
+    M: Fn(G, &C::Value) -> A,
+    R: Fn(A, A) -> A + Copy,
+{
+    let mut acc: Option<A> = None;
+    c.for_each_local(|g, v| {
+        let x = map(g, v);
+        acc = Some(match acc.take() {
+            None => x,
+            Some(a) => combine(a, x),
+        });
+    });
+    let partials = c.location().allgather(acc);
+    partials.into_iter().flatten().reduce(combine)
+}
+
+/// `p_accumulate` for numeric sums — the shape the paper benchmarks.
+pub fn p_sum<C, G>(c: &C) -> u64
+where
+    G: Gid,
+    C: LocalIteration<G, Value = u64>,
+{
+    p_reduce(c, |_, v| *v, |a, b| a.wrapping_add(b)).unwrap_or(0)
+}
+
+/// `p_count_if`: number of elements satisfying `pred`.
+pub fn p_count_if<C, G, P>(c: &C, pred: P) -> usize
+where
+    G: Gid,
+    C: LocalIteration<G>,
+    P: Fn(&C::Value) -> bool,
+{
+    let mut n = 0u64;
+    c.for_each_local(|_, v| {
+        if pred(v) {
+            n += 1;
+        }
+    });
+    c.location().allreduce_sum(n) as usize
+}
+
+/// `p_find_if`: some GID whose element satisfies `pred`, or `None`.
+/// (Any match may be returned; the paper's find returns the first in
+/// linearization order only for sequential containers.)
+pub fn p_find_if<C, G, P>(c: &C, pred: P) -> Option<G>
+where
+    G: Gid,
+    C: LocalIteration<G>,
+    P: Fn(&C::Value) -> bool,
+{
+    let mut found: Option<G> = None;
+    c.for_each_local(|g, v| {
+        if found.is_none() && pred(v) {
+            found = Some(g);
+        }
+    });
+    c.location().allreduce(found, |a, b| a.or(b))
+}
+
+/// `p_min_element`: (GID, value) of a minimum element.
+pub fn p_min_element<C, G>(c: &C) -> Option<(G, C::Value)>
+where
+    G: Gid,
+    C: LocalIteration<G>,
+    C::Value: Ord + Send + Clone,
+{
+    p_reduce(
+        c,
+        |g, v| (g, v.clone()),
+        |a, b| if b.1 < a.1 { b } else { a },
+    )
+}
+
+/// `p_max_element`.
+pub fn p_max_element<C, G>(c: &C) -> Option<(G, C::Value)>
+where
+    G: Gid,
+    C: LocalIteration<G>,
+    C::Value: Ord + Send + Clone,
+{
+    p_reduce(
+        c,
+        |g, v| (g, v.clone()),
+        |a, b| if b.1 > a.1 { b } else { a },
+    )
+}
+
+/// `p_fill`: sets every element to `v`.
+pub fn p_fill<C, G>(c: &C, v: C::Value)
+where
+    G: Gid,
+    C: LocalIteration<G>,
+    C::Value: Clone,
+{
+    c.for_each_local_mut(|_, slot| *slot = v.clone());
+    c.location().rmi_fence();
+}
+
+/// `p_replace_if`.
+pub fn p_replace_if<C, G, P>(c: &C, pred: P, with: C::Value)
+where
+    G: Gid,
+    C: LocalIteration<G>,
+    C::Value: Clone,
+    P: Fn(&C::Value) -> bool,
+{
+    c.for_each_local_mut(|_, v| {
+        if pred(v) {
+            *v = with.clone();
+        }
+    });
+    c.location().rmi_fence();
+}
+
+/// `p_copy`: copies `src` into `dst` element-wise by GID. When the two
+/// containers share a distribution every transfer is local.
+pub fn p_copy<S, D, G>(src: &S, dst: &D)
+where
+    G: Gid,
+    S: LocalIteration<G>,
+    D: ElementWrite<G, Value = S::Value>,
+{
+    src.for_each_local(|g, v| dst.set_element(g, v.clone()));
+    src.location().rmi_fence();
+}
+
+/// `p_transform`: `dst[g] = f(src[g])`.
+pub fn p_transform<S, D, G, F, W>(src: &S, dst: &D, f: F)
+where
+    G: Gid,
+    S: LocalIteration<G>,
+    D: ElementWrite<G, Value = W>,
+    W: Send + Clone + 'static,
+    F: Fn(&S::Value) -> W,
+{
+    src.for_each_local(|g, v| dst.set_element(g, f(v)));
+    src.location().rmi_fence();
+}
+
+/// `p_equal`: true when both containers hold equal elements at every GID
+/// of `a`'s local iteration.
+pub fn p_equal<A, B, G>(a: &A, b: &B) -> bool
+where
+    G: Gid,
+    A: LocalIteration<G>,
+    B: ElementWrite<G, Value = A::Value>,
+    A::Value: PartialEq,
+{
+    let mut ok = true;
+    a.for_each_local(|g, v| {
+        if ok && b.get_element(g) != *v {
+            ok = false;
+        }
+    });
+    a.location().allreduce(ok, |x, y| x && y)
+}
+
+/// `p_inner_product` over two u64 containers sharing GIDs.
+pub fn p_inner_product<A, B, G>(a: &A, b: &B) -> u64
+where
+    G: Gid,
+    A: LocalIteration<G, Value = u64>,
+    B: ElementWrite<G, Value = u64>,
+{
+    let mut acc = 0u64;
+    a.for_each_local(|g, v| acc = acc.wrapping_add(v.wrapping_mul(b.get_element(g))));
+    a.location().allreduce_sum(acc)
+}
+
+// ---------------------------------------------------------------------
+// View-based variants
+// ---------------------------------------------------------------------
+
+/// `p_for_each` over a view: applies `f` at the owner of every element of
+/// this location's chunks.
+pub fn p_for_each_view<V, F>(v: &V, f: F)
+where
+    V: ViewWrite,
+    F: Fn(&mut V::Value) + Clone + Send + 'static,
+{
+    for ch in v.local_chunks() {
+        for k in ch.iter() {
+            v.apply(k, f.clone());
+        }
+    }
+    v.location().rmi_fence();
+}
+
+/// `p_generate` over a view.
+pub fn p_generate_view<V, F>(v: &V, gen: F)
+where
+    V: ViewWrite,
+    F: Fn(usize) -> V::Value,
+{
+    for ch in v.local_chunks() {
+        for k in ch.iter() {
+            v.set(k, gen(k));
+        }
+    }
+    v.location().rmi_fence();
+}
+
+/// Reduction over a view.
+pub fn p_reduce_view<V, A, M, R>(v: &V, map: M, combine: R) -> Option<A>
+where
+    V: ViewRead,
+    A: Send + Clone + 'static,
+    M: Fn(usize, V::Value) -> A,
+    R: Fn(A, A) -> A + Copy,
+{
+    let mut acc: Option<A> = None;
+    for ch in v.local_chunks() {
+        for k in ch.iter() {
+            let x = map(k, v.get(k));
+            acc = Some(match acc.take() {
+                None => x,
+                Some(a) => combine(a, x),
+            });
+        }
+    }
+    let partials = v.location().allgather(acc);
+    partials.into_iter().flatten().reduce(combine)
+}
+
+/// `p_adjacent_difference` expressed with the overlap view (Fig. 2's
+/// motivating algorithm): `dst[i] = src[i+1] - src[i]`.
+pub fn p_adjacent_difference<C, D>(src: &stapl_views::array_view::OverlapView<C>, dst: &D)
+where
+    C: ViewRead<Value = i64>,
+    D: ElementWrite<usize, Value = i64>,
+{
+    for wr in src.local_windows() {
+        for i in wr.iter() {
+            let w = src.window(i);
+            dst.set_element(i, w[1] - w[0]);
+        }
+    }
+    src.location().rmi_fence();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stapl_containers::array::PArray;
+    use stapl_containers::list::PList;
+    use stapl_containers::matrix::PMatrix;
+    use stapl_core::interfaces::{ElementRead, PContainer};
+    use stapl_core::partition::MatrixLayout;
+    use stapl_views::array_view::{ArrayView, BalancedView, OverlapView};
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn generate_for_each_accumulate_on_array() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let a = PArray::new(loc, 30, 0u64);
+            p_generate(&a, |g| g as u64);
+            p_for_each(&a, |v| *v += 1);
+            let sum = p_sum(&a);
+            assert_eq!(sum, (1..=30).sum::<u64>());
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn same_algorithms_work_on_plist() {
+        // The genericity Fig. 40 measures: identical algorithm calls on
+        // pArray and pList.
+        execute(RtsConfig::default(), 2, |loc| {
+            let l: PList<u64> = PList::new(loc);
+            for i in 0..10 {
+                l.push_anywhere(i + loc.id() as u64 * 100);
+            }
+            l.commit();
+            p_for_each(&l, |v| *v *= 2);
+            let sum = p_reduce(&l, |_, v| *v, |a, b| a + b).unwrap();
+            let expect: u64 = (0..10).map(|i| (i + 0) * 2).sum::<u64>()
+                + (0..10).map(|i| (i + 100) * 2).sum::<u64>();
+            assert_eq!(sum, expect);
+        });
+    }
+
+    #[test]
+    fn same_algorithms_work_on_pmatrix() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m = PMatrix::from_fn(loc, 4, 4, MatrixLayout::RowBlocked, |r, c| (r * 4 + c) as u64);
+            let max = p_max_element(&m).unwrap();
+            assert_eq!(max.1, 15);
+            assert_eq!(max.0, (3, 3));
+            let n = p_count_if(&m, |v| *v % 2 == 0);
+            assert_eq!(n, 8);
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn count_find_min_max() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let a = PArray::from_fn(loc, 40, |i| (i as i64 - 20).abs() as u64);
+            assert_eq!(p_count_if(&a, |v| *v == 0), 1);
+            let f = p_find_if(&a, |v| *v == 0);
+            assert_eq!(f, Some(20));
+            assert_eq!(p_find_if(&a, |v| *v == 999), None);
+            let (g, v) = p_min_element(&a).unwrap();
+            assert_eq!((g, v), (20, 0));
+            let (_, vmax) = p_max_element(&a).unwrap();
+            assert_eq!(vmax, 20);
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn fill_replace_copy_transform_equal() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 12, |i| i as u64);
+            let b = PArray::new(loc, 12, 0u64);
+            p_copy(&a, &b);
+            assert!(p_equal(&a, &b));
+            p_replace_if(&b, |v| *v < 6, 0);
+            assert!(!p_equal(&a, &b));
+            let c = PArray::new(loc, 12, 0u64);
+            p_transform(&a, &c, |v| v * v);
+            assert_eq!(c.get_element(5), 25);
+            // Phase separation: without it one location's p_fill could
+            // overwrite c[5] before the other's remote read arrives.
+            loc.barrier();
+            p_fill(&c, 7);
+            assert_eq!(p_count_if(&c, |v| *v == 7), 12);
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn inner_product() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 10, |i| i as u64);
+            let b = PArray::from_fn(loc, 10, |_| 2u64);
+            assert_eq!(p_inner_product(&a, &b), 2 * (0..10).sum::<u64>());
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn view_based_for_each_balanced() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let a = PArray::from_fn(loc, 20, |i| i as u64);
+            let v = BalancedView::new(ArrayView::new(a.clone()));
+            p_for_each_view(&v, |x| *x += 100);
+            assert_eq!(a.get_element(0), 100);
+            assert_eq!(a.get_element(19), 119);
+            let sum = p_reduce_view(&v, |_, x| x, |p, q| p + q).unwrap();
+            assert_eq!(sum, (100..120).sum::<u64>());
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn generate_view_writes_all() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::new(loc, 9, 0i64);
+            let v = ArrayView::new(a.clone());
+            p_generate_view(&v, |k| k as i64 * -1);
+            assert_eq!(a.get_element(8), -8);
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn adjacent_difference_via_overlap_view() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let src = PArray::from_fn(loc, 10, |i| (i * i) as i64);
+            let dst = PArray::new(loc, 9, 0i64);
+            let ov = OverlapView::new(ArrayView::new(src), 1, 0, 1);
+            assert_eq!(ov.num_windows(), 9);
+            p_adjacent_difference(&ov, &dst);
+            for i in 0..9 {
+                // (i+1)^2 - i^2 = 2i + 1
+                assert_eq!(dst.get_element(i), (2 * i + 1) as i64);
+            }
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn reduce_on_empty_container() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let l: PList<u64> = PList::new(loc);
+            l.commit();
+            assert_eq!(p_reduce(&l, |_, v| *v, |a, b| a + b), None);
+            assert_eq!(p_sum(&l), 0);
+            let _ = loc;
+        });
+    }
+}

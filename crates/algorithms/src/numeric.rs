@@ -1,0 +1,201 @@
+//! Numeric pAlgorithms: parallel prefix sums (`p_partial_sum`, the
+//! "important parallel algorithmic technique" of Chapter III) and scans.
+
+use stapl_core::interfaces::IndexedContainer;
+
+/// `p_partial_sum`: in-place inclusive prefix sum over an indexed
+/// container. Three phases: local scan per sub-domain, exclusive scan of
+/// the sub-domain totals (collective), local offset add.
+///
+/// **Collective.** `op` must be associative with identity `identity`.
+pub fn p_partial_sum<C, F>(c: &C, identity: C::Value, op: F)
+where
+    C: IndexedContainer,
+    C::Value: Send + Clone + 'static,
+    F: Fn(&C::Value, &C::Value) -> C::Value,
+{
+    let loc = c.location().clone();
+    // Phase 1: local inclusive scan within each sub-domain; record each
+    // sub-domain's (bcid, total).
+    let mut totals: Vec<(usize, C::Value)> = Vec::new();
+    {
+        let mut current_bcid = usize::MAX;
+        let mut acc = identity.clone();
+        // Sub-domain boundaries come from the container's partition;
+        // for_each_local iterates bcid-ordered, gid-ordered.
+        let bounds: Vec<(usize, usize, usize)> = c
+            .local_subdomains()
+            .iter()
+            .flat_map(|(b, sd)| {
+                let mut v = Vec::new();
+                let mut iter = sd.iter().peekable();
+                if let Some(&first) = iter.peek() {
+                    let mut last = first;
+                    for g in iter {
+                        last = g;
+                    }
+                    v.push((*b, first, last));
+                }
+                v
+            })
+            .collect();
+        let _ = &bounds;
+        c.for_each_local_mut(|g, v| {
+            // Detect sub-domain change by bcid of gid.
+            let b = bounds
+                .iter()
+                .find(|(_, lo, hi)| g >= *lo && g <= *hi)
+                .map(|(b, _, _)| *b)
+                .expect("gid outside local sub-domains");
+            if b != current_bcid {
+                if current_bcid != usize::MAX {
+                    totals.push((current_bcid, acc.clone()));
+                }
+                current_bcid = b;
+                acc = identity.clone();
+            }
+            acc = op(&acc, v);
+            *v = acc.clone();
+        });
+        if current_bcid != usize::MAX {
+            totals.push((current_bcid, acc.clone()));
+        }
+    }
+    // Phase 2: exclusive scan of sub-domain totals in bcid order.
+    let all = loc.allgather(totals);
+    let mut flat: Vec<(usize, C::Value)> = all.into_iter().flatten().collect();
+    flat.sort_by_key(|(b, _)| *b);
+    let my_bcids: Vec<usize> = c.local_subdomains().iter().map(|(b, _)| *b).collect();
+    let mut offsets: std::collections::HashMap<usize, C::Value> = std::collections::HashMap::new();
+    {
+        let mut acc = identity.clone();
+        for (b, t) in &flat {
+            if my_bcids.contains(b) {
+                offsets.insert(*b, acc.clone());
+            }
+            acc = op(&acc, t);
+        }
+    }
+    // Phase 3: add the sub-domain offset to every local element.
+    {
+        let bounds: Vec<(usize, usize, usize)> = c
+            .local_subdomains()
+            .iter()
+            .filter_map(|(b, sd)| {
+                let mut iter = sd.iter();
+                let first = iter.next()?;
+                let last = iter.last().unwrap_or(first);
+                Some((*b, first, last))
+            })
+            .collect();
+        c.for_each_local_mut(|g, v| {
+            let b = bounds
+                .iter()
+                .find(|(_, lo, hi)| g >= *lo && g <= *hi)
+                .map(|(b, _, _)| *b)
+                .expect("gid outside local sub-domains");
+            if let Some(off) = offsets.get(&b) {
+                *v = op(off, v);
+            }
+        });
+    }
+    loc.barrier();
+}
+
+/// Convenience: integer inclusive prefix sum.
+pub fn p_prefix_sum_u64<C>(c: &C)
+where
+    C: IndexedContainer<Value = u64>,
+{
+    p_partial_sum(c, 0u64, |a, b| a + b);
+}
+
+/// Convenience: i64 inclusive prefix sum (used by the Euler-tour depth
+/// computation where weights are ±1).
+pub fn p_prefix_sum_i64<C>(c: &C)
+where
+    C: IndexedContainer<Value = i64>,
+{
+    p_partial_sum(c, 0i64, |a, b| a + b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stapl_containers::array::PArray;
+    use stapl_core::interfaces::ElementRead;
+    use stapl_core::mapper::CyclicMapper;
+    use stapl_core::partition::BlockedPartition;
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn prefix_sum_matches_sequential() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let a = PArray::from_fn(loc, 25, |i| (i % 5 + 1) as u64);
+            p_prefix_sum_u64(&a);
+            let mut expect = 0u64;
+            for i in 0..25 {
+                expect += (i % 5 + 1) as u64;
+                assert_eq!(a.get_element(i), expect, "prefix mismatch at {i}");
+            }
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn prefix_sum_with_multiple_bcontainers_per_location() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::with_partition(
+                loc,
+                Box::new(BlockedPartition::new(20, 3)), // 7 sub-domains over 2 locs
+                Box::new(CyclicMapper::new(loc.nlocs())),
+                0u64,
+            );
+            crate::map_func::p_generate(&a, |g| g as u64);
+            p_prefix_sum_u64(&a);
+            let mut expect = 0u64;
+            for i in 0..20 {
+                expect += i as u64;
+                assert_eq!(a.get_element(i), expect);
+            }
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn signed_prefix_sum() {
+        execute(RtsConfig::default(), 2, |loc| {
+            // +1/-1 weights: prefix is the tree-walk depth pattern.
+            let a = PArray::from_fn(loc, 8, |i| if i % 2 == 0 { 1i64 } else { -1 });
+            p_prefix_sum_i64(&a);
+            let expect = [1, 0, 1, 0, 1, 0, 1, 0];
+            for (i, e) in expect.iter().enumerate() {
+                assert_eq!(a.get_element(i), *e);
+            }
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn prefix_sum_single_location() {
+        execute(RtsConfig::default(), 1, |loc| {
+            let a = PArray::from_fn(loc, 5, |_| 2u64);
+            p_prefix_sum_u64(&a);
+            assert_eq!(a.get_element(4), 10);
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn generic_op_max_scan() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 10, |i| [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3][i]);
+            p_partial_sum(&a, 0u64, |x, y| *x.max(y));
+            let expect = [3u64, 3, 4, 4, 5, 9, 9, 9, 9, 9];
+            for (i, e) in expect.iter().enumerate() {
+                assert_eq!(a.get_element(i), *e);
+            }
+            let _ = loc;
+        });
+    }
+}

@@ -1,0 +1,160 @@
+//! `p_sort`: parallel sample sort — the algorithm the paper uses to
+//! motivate commutative-task thread safety (Chapter VI's bucket-insert
+//! example).
+
+use stapl_core::interfaces::{ElementRead, ElementWrite, LocalIteration, PContainer};
+use stapl_core::pobject::PObject;
+use stapl_containers::array::PArray;
+
+/// **Collective.** Sorts the pArray in place (ascending) with sample
+/// sort: sample → splitters → bucket exchange → local sort → write-back
+/// at globally scanned offsets.
+pub fn p_sort<T>(a: &PArray<T>)
+where
+    T: Ord + Send + Clone + 'static,
+{
+    let loc = a.location().clone();
+    let nlocs = loc.nlocs();
+    // 1. Local data and samples (regular quantiles of the sorted local
+    //    block give robust splitters).
+    let mut local: Vec<T> = Vec::with_capacity(a.local_size());
+    a.for_each_local(|_, v| local.push(v.clone()));
+    let mut sample_src = local.clone();
+    sample_src.sort();
+    let oversample = 4;
+    let samples: Vec<T> = (0..nlocs * oversample)
+        .filter_map(|k| {
+            if sample_src.is_empty() {
+                None
+            } else {
+                Some(sample_src[(k * sample_src.len()) / (nlocs * oversample)].clone())
+            }
+        })
+        .collect();
+    let mut all_samples: Vec<T> = loc
+        .allgather(samples)
+        .into_iter()
+        .flatten()
+        .collect();
+    all_samples.sort();
+    let splitters: Vec<T> = (1..nlocs)
+        .filter_map(|k| all_samples.get(k * all_samples.len() / nlocs).cloned())
+        .collect();
+    // 2. Bucket exchange: one bucket per location; concurrent inserts
+    //    from all locations (the commutative-task pattern of Ch. VI —
+    //    owner-side execution makes each append atomic).
+    let buckets = PObject::register(&loc, Vec::<T>::new());
+    loc.barrier();
+    for v in local {
+        let dest = splitters.partition_point(|s| s <= &v).min(nlocs - 1);
+        buckets.invoke_at(dest, move |cell, _| cell.borrow_mut().push(v));
+    }
+    loc.rmi_fence();
+    // 3. Local sort.
+    let mut mine = std::mem::take(&mut *buckets.local_mut());
+    mine.sort();
+    // 4. Write back at scanned global offsets.
+    let (start, total) = loc.exclusive_scan(mine.len(), 0, |x, y| x + y);
+    debug_assert_eq!(total, a.global_size());
+    for (k, v) in mine.into_iter().enumerate() {
+        a.set_element(start + k, v);
+    }
+    loc.rmi_fence();
+}
+
+/// **Collective.** True when the array is globally non-decreasing.
+pub fn p_is_sorted<T>(a: &PArray<T>) -> bool
+where
+    T: Ord + Send + Clone + 'static,
+{
+    let loc = a.location();
+    let n = a.global_size();
+    let mut ok = true;
+    let mut prev: Option<(usize, T)> = None;
+    a.for_each_local(|g, v| {
+        if let Some((pg, pv)) = &prev {
+            if *pg + 1 == g && pv > v {
+                ok = false;
+            }
+        }
+        prev = Some((g, v.clone()));
+    });
+    // Check the seams between locations' blocks.
+    let mut seams_ok = true;
+    a.for_each_local(|g, v| {
+        if g + 1 < n && !a.is_local(g + 1) {
+            let next = a.get_element(g + 1);
+            if *v > next {
+                seams_ok = false;
+            }
+        }
+    });
+    loc.allreduce(ok && seams_ok, |x, y| x && y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn sorts_random_input() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let a = PArray::new(loc, 120, 0u64);
+            // Each location fills its stripe with seeded random values.
+            let mut rng = StdRng::seed_from_u64(9 + loc.id() as u64);
+            a.for_each_local_mut(|_, v| *v = rng.random_range(0..1000));
+            loc.barrier();
+            assert!(!p_is_sorted(&a) || a.global_size() < 2);
+            p_sort(&a);
+            assert!(p_is_sorted(&a));
+            // Multiset preserved.
+            let sum = crate::map_func::p_sum(&a);
+            let check = loc.allreduce_sum(sum) / loc.nlocs() as u64;
+            assert_eq!(sum, check);
+        });
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reverse() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 50, |i| i as u64);
+            p_sort(&a);
+            assert!(p_is_sorted(&a));
+            for i in 0..50 {
+                assert_eq!(a.get_element(i), i as u64);
+            }
+            let b = PArray::from_fn(loc, 50, |i| (49 - i) as u64);
+            p_sort(&b);
+            for i in 0..50 {
+                assert_eq!(b.get_element(i), i as u64);
+            }
+        });
+    }
+
+    #[test]
+    fn sorts_with_duplicates_and_single_location() {
+        execute(RtsConfig::default(), 1, |loc| {
+            let a = PArray::from_fn(loc, 20, |i| (i % 3) as u64);
+            p_sort(&a);
+            assert!(p_is_sorted(&a));
+            assert_eq!(crate::map_func::p_count_if(&a, |v| *v == 0), 7);
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn sorts_skewed_distribution() {
+        // All the mass in one location's range stresses the splitters.
+        execute(RtsConfig::default(), 4, |loc| {
+            let a = PArray::from_fn(loc, 64, |i| if i < 60 { 5u64 } else { i as u64 });
+            p_sort(&a);
+            assert!(p_is_sorted(&a));
+            assert_eq!(a.get_element(0), 5);
+            assert_eq!(a.get_element(63), 63);
+            let _ = loc;
+        });
+    }
+}

@@ -1,0 +1,134 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! RMI aggregation factor, thread-safety manager overhead on the method
+//! fast path, and directory resolution (forwarding vs two-phase).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stapl_containers::array::{ArrayStorage, PArray};
+use stapl_core::directory::{dir_insert, dir_route_ret, DirectoryShard, HasDirectory, Resolution};
+use stapl_core::interfaces::ElementWrite;
+use stapl_core::mapper::CyclicMapper;
+use stapl_core::partition::BalancedPartition;
+use stapl_core::pobject::PObject;
+use stapl_core::thread_safety::*;
+use stapl_rts::{execute, RtsConfig};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+        .without_plots()
+}
+
+/// Aggregation factor sweep: remote async writes per message batch.
+fn aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_aggregation");
+    for a in [1usize, 16, 256] {
+        g.bench_with_input(BenchmarkId::new("remote_asyncs", a), &a, |b, &a| {
+            b.iter(|| {
+                execute(RtsConfig::with_aggregation(a), 2, |loc| {
+                    let arr = PArray::new(loc, 20_000, 0u64);
+                    let peer = (loc.id() + 1) % 2 * 10_000;
+                    for k in 0..10_000 {
+                        arr.set_element(peer + k % 10_000, k as u64);
+                    }
+                    loc.rmi_fence();
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Thread-safety manager overhead on the owner-side fast path.
+fn thread_safety(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_thread_safety");
+    let cases: Vec<(&str, fn() -> std::sync::Arc<dyn ThreadSafetyManager>)> = vec![
+        ("nolock", || std::sync::Arc::new(NoLockManager)),
+        ("global_mutex", || std::sync::Arc::new(GlobalMutexManager::default())),
+        ("hashed_64", || std::sync::Arc::new(HashedLockManager::new(64))),
+        ("rwlock", || std::sync::Arc::new(RwLockManager::default())),
+    ];
+    for (name, make) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                execute(RtsConfig::default(), 2, |loc| {
+                    let ths =
+                        ThreadSafety::new(LockingPolicyTable::dynamic_default(), make());
+                    let arr = PArray::with_options(
+                        loc,
+                        Box::new(BalancedPartition::new(40_000, loc.nlocs())),
+                        Box::new(CyclicMapper::new(loc.nlocs())),
+                        0u64,
+                        ArrayStorage::Contiguous,
+                        ths,
+                    );
+                    let lo = loc.id() * 20_000;
+                    for k in 0..20_000 {
+                        arr.set_element(lo + k, k as u64);
+                    }
+                    loc.rmi_fence();
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+struct DirRep {
+    dir: DirectoryShard<u64>,
+    value: u64,
+}
+
+impl HasDirectory<u64> for DirRep {
+    fn directory(&self) -> &DirectoryShard<u64> {
+        &self.dir
+    }
+
+    fn directory_mut(&mut self) -> &mut DirectoryShard<u64> {
+        &mut self.dir
+    }
+}
+
+/// Directory resolution: method forwarding vs two-phase lookup (the
+/// micro-benchmark behind Fig. 51's macro effect).
+fn resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_resolution");
+    for (name, policy) in [("forwarding", Resolution::Forwarding), ("two_phase", Resolution::TwoPhase)] {
+        g.bench_with_input(BenchmarkId::new("routed_reads", name), &policy, |b, &policy| {
+            b.iter(|| {
+                execute(RtsConfig::default(), 2, move |loc| {
+                    let obj = PObject::register(
+                        loc,
+                        DirRep { dir: DirectoryShard::new(), value: loc.id() as u64 },
+                    );
+                    loc.rmi_fence();
+                    for gid in 0..64u64 {
+                        if gid as usize % loc.nlocs() == loc.id() {
+                            dir_insert(&obj, gid, loc.id(), loc.id());
+                        }
+                    }
+                    loc.rmi_fence();
+                    for gid in 0..512u64 {
+                        std::hint::black_box(
+                            dir_route_ret(&obj, policy, gid % 64, |cell, _, _| {
+                                cell.borrow().value
+                            })
+                            .get(),
+                        );
+                    }
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = aggregation, thread_safety, resolution
+}
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Criterion benches for the associative-container and composition
+//! evaluation: Fig. 59 (MapReduce word count), Fig. 60 (generic
+//! algorithms over associative containers), Fig. 62 (composed containers
+//! vs pMatrix on row-min).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stapl_algorithms::prelude::*;
+use stapl_containers::array::PArray;
+use stapl_containers::associative::PHashMap;
+use stapl_containers::composed::LocalArray;
+use stapl_containers::list::PList;
+use stapl_containers::matrix::PMatrix;
+use stapl_core::interfaces::*;
+use stapl_core::partition::MatrixLayout;
+use stapl_rts::{execute, RtsConfig};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+        .without_plots()
+}
+
+/// Fig. 59: MapReduce word count, weak scaling over P.
+fn fig59_mapreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig59_mapreduce");
+    for p in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("word_count_20k_per_loc", p), &p, |b, &p| {
+            b.iter(|| {
+                execute(RtsConfig::default(), p, |loc| {
+                    let text = synthetic_corpus(loc, 20_000, 5_000, 11);
+                    std::hint::black_box(word_count(loc, &text));
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 60: generic algorithms over the pHashMap.
+fn fig60_assoc_algos(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig60_assoc_algos");
+    g.bench_function("insert_async_50k", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let m: PHashMap<u64, u64> = PHashMap::new(loc);
+                let base = (loc.id() as u64) << 32;
+                for k in 0..25_000u64 {
+                    m.insert_async(base | k, k);
+                }
+                m.commit();
+            })
+        });
+    });
+    g.bench_function("count_even_values", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let m: PHashMap<u64, u64> = PHashMap::new(loc);
+                let base = (loc.id() as u64) << 32;
+                for k in 0..10_000u64 {
+                    m.insert_async(base | k, k);
+                }
+                m.commit();
+                let mut n = 0u64;
+                m.for_each_local(|_, v| {
+                    if *v % 2 == 0 {
+                        n += 1;
+                    }
+                });
+                std::hint::black_box(loc.allreduce_sum(n));
+            })
+        });
+    });
+    g.finish();
+}
+
+/// Fig. 62: composed pArray<pArray> / pList<pArray> / pMatrix row-min.
+fn fig62_composition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig62_composition");
+    const ROWS: usize = 256;
+    const COLS: usize = 128;
+    g.bench_function("parray_of_arrays", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let pa: PArray<LocalArray<i64>> = PArray::from_fn(loc, ROWS, |r| {
+                    LocalArray::from_fn(COLS, move |c| ((r * 13 + c) % 97) as i64)
+                });
+                let mut best = i64::MAX;
+                pa.for_each_local(|_, row| best = best.min(*row.iter().min().unwrap()));
+                std::hint::black_box(loc.allreduce(best, i64::min));
+            })
+        });
+    });
+    g.bench_function("plist_of_arrays", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let pl: PList<LocalArray<i64>> = PList::new(loc);
+                for r in 0..ROWS {
+                    if r % loc.nlocs() == loc.id() {
+                        pl.push_anywhere(LocalArray::from_fn(COLS, move |c| {
+                            ((r * 13 + c) % 97) as i64
+                        }));
+                    }
+                }
+                pl.commit();
+                let mut best = i64::MAX;
+                pl.for_each_local(|_, row| best = best.min(*row.iter().min().unwrap()));
+                std::hint::black_box(loc.allreduce(best, i64::min));
+            })
+        });
+    });
+    g.bench_function("pmatrix_rows", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let m = PMatrix::from_fn(loc, ROWS, COLS, MatrixLayout::RowBlocked, |r, c| {
+                    ((r * 13 + c) % 97) as i64
+                });
+                let rows = stapl_views::matrix_view::RowsView::new(m);
+                let mut best = i64::MAX;
+                for rr in rows.local_rows() {
+                    for r in rr.iter() {
+                        best = best.min(rows.read_row(r).into_iter().min().unwrap());
+                    }
+                }
+                std::hint::black_box(loc.allreduce(best, i64::min));
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = fig59_mapreduce, fig60_assoc_algos, fig62_composition
+}
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! Criterion benches for the pArray evaluation: Figs. 27–34
+//! (constructor, local/remote methods, method flavors, remote mix,
+//! generic algorithms, memory/storage ablation).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stapl_algorithms::prelude::*;
+use stapl_containers::array::{ArrayStorage, PArray};
+use stapl_core::interfaces::*;
+use stapl_core::mapper::CyclicMapper;
+use stapl_core::partition::BalancedPartition;
+use stapl_core::thread_safety::ThreadSafety;
+use stapl_rts::{execute, RtsConfig};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+        .without_plots()
+}
+
+/// Fig. 27: constructor across sizes and location counts.
+fn fig27_ctor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig27_parray_ctor");
+    for p in [1usize, 2, 4] {
+        for n in [50_000usize, 200_000] {
+            g.bench_with_input(BenchmarkId::new(format!("P{p}"), n), &n, |b, &n| {
+                b.iter(|| {
+                    execute(RtsConfig::default(), p, |loc| {
+                        std::hint::black_box(PArray::new(loc, n, 0u64));
+                    })
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Fig. 28: local method invocations.
+fn fig28_local_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig28_parray_local");
+    for n in [10_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("set_local", n), &n, |b, &n| {
+            b.iter(|| {
+                execute(RtsConfig::default(), 2, |loc| {
+                    let a = PArray::new(loc, n, 0u64);
+                    let half = n / loc.nlocs();
+                    let lo = loc.id() * half;
+                    for k in 0..10_000 {
+                        a.set_element(lo + k % half, k as u64);
+                    }
+                    loc.rmi_fence();
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 29/30: sync vs async vs split-phase on remote elements.
+fn fig30_method_flavors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig30_parray_flavors");
+    let ops = 4_000usize;
+    g.bench_function("set_async_remote", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let a = PArray::new(loc, 20_000, 0u64);
+                let peer = (loc.id() + 1) % 2 * 10_000;
+                for k in 0..ops {
+                    a.set_element(peer + k % 1_000, k as u64);
+                }
+                loc.rmi_fence();
+            })
+        });
+    });
+    g.bench_function("get_sync_remote", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let a = PArray::new(loc, 20_000, 0u64);
+                let peer = (loc.id() + 1) % 2 * 10_000;
+                for k in 0..ops / 4 {
+                    std::hint::black_box(a.get_element(peer + k % 1_000));
+                }
+            })
+        });
+    });
+    g.bench_function("get_split_phase_remote", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let a = PArray::new(loc, 20_000, 0u64);
+                let peer = (loc.id() + 1) % 2 * 10_000;
+                let mut futs = Vec::with_capacity(64);
+                for k in 0..ops / 4 {
+                    futs.push(a.split_get_element(peer + k % 1_000));
+                    if futs.len() == 64 {
+                        for f in futs.drain(..) {
+                            std::hint::black_box(f.get());
+                        }
+                    }
+                }
+                for f in futs {
+                    std::hint::black_box(f.get());
+                }
+            })
+        });
+    });
+    g.finish();
+}
+
+/// Fig. 31: percentage of remote invocations.
+fn fig31_remote_mix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig31_parray_remote_mix");
+    for pct in [0usize, 50, 100] {
+        g.bench_with_input(BenchmarkId::new("pct_remote", pct), &pct, |b, &pct| {
+            b.iter(|| {
+                execute(RtsConfig::default(), 2, |loc| {
+                    let n = 20_000;
+                    let a = PArray::new(loc, n, 0u64);
+                    let half = n / 2;
+                    let my = loc.id() * half;
+                    let peer = (loc.id() + 1) % 2 * half;
+                    for k in 0..8_000 {
+                        let base = if k % 100 < pct { peer } else { my };
+                        a.set_element(base + k % half, k as u64);
+                    }
+                    loc.rmi_fence();
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 32: local vs remote across container sizes.
+fn fig32_local_remote(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig32_parray_local_remote");
+    for (name, remote) in [("local", false), ("remote", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                execute(RtsConfig::default(), 2, |loc| {
+                    let n = 100_000;
+                    let a = PArray::new(loc, n, 0u64);
+                    let half = n / 2;
+                    let base = if remote { (loc.id() + 1) % 2 * half } else { loc.id() * half };
+                    for k in 0..8_000 {
+                        a.set_element(base + k % half, k as u64);
+                    }
+                    loc.rmi_fence();
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 33: generic algorithms (weak scaling over P).
+fn fig33_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig33_parray_algos");
+    for p in [1usize, 2, 4] {
+        let n = 100_000 * p;
+        g.bench_with_input(BenchmarkId::new("p_for_each", p), &p, |b, &p| {
+            b.iter(|| {
+                execute(RtsConfig::default(), p, |loc| {
+                    let a = PArray::new(loc, n, 1u64);
+                    p_for_each(&a, |v| *v += 1);
+                })
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("p_accumulate", p), &p, |b, &p| {
+            b.iter(|| {
+                execute(RtsConfig::default(), p, |loc| {
+                    let a = PArray::new(loc, n, 1u64);
+                    std::hint::black_box(p_sum(&a));
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 34: contiguous vs per-element allocation (the malloc study).
+fn fig34_storage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig34_parray_memory");
+    for (name, storage) in [("contiguous", ArrayStorage::Contiguous), ("boxed", ArrayStorage::Boxed)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                execute(RtsConfig::default(), 2, move |loc| {
+                    let a = PArray::with_options(
+                        loc,
+                        Box::new(BalancedPartition::new(100_000, loc.nlocs())),
+                        Box::new(CyclicMapper::new(loc.nlocs())),
+                        7u64,
+                        storage,
+                        ThreadSafety::unlocked(),
+                    );
+                    std::hint::black_box(a.memory_size());
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = fig27_ctor, fig28_local_methods, fig30_method_flavors,
+              fig31_remote_mix, fig32_local_remote, fig33_algorithms,
+              fig34_storage
+}
+criterion_main!(benches);

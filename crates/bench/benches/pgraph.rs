@@ -1,0 +1,167 @@
+//! Criterion benches for the pGraph evaluation: Figs. 49–56 (methods
+//! with the SSCA2 workload, partition comparison with and without
+//! forwarding, algorithm suite, PageRank meshes).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stapl_algorithms::prelude::*;
+use stapl_containers::generators::*;
+use stapl_containers::graph::{Directedness, GraphPartitionKind, PGraph};
+use stapl_core::interfaces::PContainer;
+use stapl_rts::{execute, RtsConfig};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200))
+        .without_plots()
+}
+
+fn algo_static(loc: &stapl_rts::Location, n: usize) -> AlgoGraph {
+    PGraph::new_static(loc, n, Directedness::Directed, VProps::default())
+}
+
+fn algo_dynamic(loc: &stapl_rts::Location, n: usize, kind: GraphPartitionKind) -> AlgoGraph {
+    let g: AlgoGraph = PGraph::new_dynamic(loc, Directedness::Directed, kind);
+    let per = n.div_ceil(loc.nlocs());
+    for vd in loc.id() * per..((loc.id() + 1) * per).min(n) {
+        g.add_vertex_with_descriptor(vd, VProps::default());
+    }
+    g.commit();
+    g
+}
+
+/// Figs. 49/50: SSCA2 bulk edge insertion, static vs dynamic partitions.
+fn fig49_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig49_pgraph_methods");
+    let n = 2_000usize;
+    let params = Ssca2Params { n, max_clique_size: 8, inter_clique_prob: 0.05, seed: 42 };
+    for (name, kind) in [
+        ("static", None),
+        ("dyn_fwd", Some(GraphPartitionKind::DynamicFwd)),
+        ("dyn_twophase", Some(GraphPartitionKind::DynamicTwoPhase)),
+    ] {
+        g.bench_function(BenchmarkId::new("ssca2_build", name), |b| {
+            b.iter(|| {
+                execute(RtsConfig::default(), 2, |loc| {
+                    let gr = match kind {
+                        None => algo_static(loc, n),
+                        Some(k) => algo_dynamic(loc, n, k),
+                    };
+                    fill_ssca2(loc, &gr, &params, ());
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 51: find-sources across resolution strategies.
+fn fig51_find_sources(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig51_find_sources");
+    let n = 2_000usize;
+    for (name, kind) in [
+        ("static", None),
+        ("dyn_fwd", Some(GraphPartitionKind::DynamicFwd)),
+        ("dyn_twophase", Some(GraphPartitionKind::DynamicTwoPhase)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                execute(RtsConfig::default(), 2, |loc| {
+                    let gr = match kind {
+                        None => algo_static(loc, n),
+                        Some(k) => algo_dynamic(loc, n, k),
+                    };
+                    fill_dag_with_sources(loc, &gr, 4, 0.2, 9, ());
+                    std::hint::black_box(find_sources(&gr));
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 52: partitions compared on a traversal.
+fn fig52_partitions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig52_pgraph_partitions");
+    for (name, kind) in [
+        ("static", None),
+        ("dyn_fwd", Some(GraphPartitionKind::DynamicFwd)),
+    ] {
+        g.bench_function(BenchmarkId::new("bfs_mesh", name), |b| {
+            b.iter(|| {
+                execute(RtsConfig::default(), 2, |loc| {
+                    let gr = match kind {
+                        None => algo_static(loc, 2_000),
+                        Some(k) => algo_dynamic(loc, 2_000, k),
+                    };
+                    fill_mesh(loc, &gr, 20, 100, ());
+                    std::hint::black_box(bfs(&gr, 0));
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 53–55: the algorithm suite on SSCA2 inputs.
+fn fig53_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig53_pgraph_algos");
+    let n = 2_000usize;
+    let params = Ssca2Params { n, max_clique_size: 6, inter_clique_prob: 0.1, seed: 5 };
+    g.bench_function("bfs", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let gr = algo_static(loc, n);
+                fill_ssca2(loc, &gr, &params, ());
+                std::hint::black_box(bfs(&gr, 0));
+            })
+        });
+    });
+    g.bench_function("connected_components", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let gr = algo_static(loc, n);
+                fill_ssca2(loc, &gr, &params, ());
+                std::hint::black_box(connected_components(&gr));
+            })
+        });
+    });
+    g.bench_function("pagerank_5iters", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let gr = algo_static(loc, n);
+                fill_ssca2(loc, &gr, &params, ());
+                std::hint::black_box(page_rank(&gr, 5, 0.85));
+            })
+        });
+    });
+    g.finish();
+}
+
+/// Fig. 56: PageRank, square vs skinny mesh.
+fn fig56_pagerank_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig56_pagerank_mesh");
+    for (name, rows, cols) in [("square_50x50", 50usize, 50usize), ("skinny_5x500", 5, 500)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                execute(RtsConfig::default(), 2, move |loc| {
+                    let gr = algo_static(loc, rows * cols);
+                    fill_mesh(loc, &gr, rows, cols, ());
+                    std::hint::black_box(page_rank(&gr, 5, 0.85));
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = fig49_methods, fig51_find_sources, fig52_partitions,
+              fig53_algorithms, fig56_pagerank_mesh
+}
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! Criterion benches for the pList evaluation: Figs. 39–44 (methods,
+//! generic algorithms vs pArray, node placement, pList vs pVector,
+//! Euler tour).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stapl_algorithms::prelude::*;
+use stapl_containers::array::PArray;
+use stapl_containers::generators::fill_binary_tree;
+use stapl_containers::graph::{Directedness, PGraph};
+use stapl_containers::list::PList;
+use stapl_containers::vector::PVector;
+use stapl_core::interfaces::*;
+use stapl_rts::{execute, RtsConfig};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+        .without_plots()
+}
+
+/// Fig. 39: pList method costs.
+fn fig39_list_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig39_plist_methods");
+    g.bench_function("push_anywhere", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let l: PList<u64> = PList::new(loc);
+                for k in 0..10_000 {
+                    l.push_anywhere(k);
+                }
+                loc.rmi_fence();
+            })
+        });
+    });
+    g.bench_function("push_back_global_end", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let l: PList<u64> = PList::new(loc);
+                for k in 0..2_000 {
+                    PList::push_back(&l, k);
+                }
+                loc.rmi_fence();
+            })
+        });
+    });
+    g.bench_function("insert_before_async", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let l: PList<u64> = PList::new(loc);
+                let anchor = l.push_anywhere(0);
+                loc.rmi_fence();
+                for k in 0..5_000 {
+                    SequenceContainer::insert_before_async(&l, anchor, k);
+                }
+                loc.rmi_fence();
+            })
+        });
+    });
+    g.finish();
+}
+
+/// Fig. 40: generic algorithms on pArray vs pList.
+fn fig40_array_vs_list(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig40_plist_algos");
+    let per = 50_000usize;
+    g.bench_function("p_for_each_parray", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let a = PArray::new(loc, per * loc.nlocs(), 0u64);
+                p_for_each(&a, |v| *v += 1);
+            })
+        });
+    });
+    g.bench_function("p_for_each_plist", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let l: PList<u64> = PList::new(loc);
+                for k in 0..per as u64 {
+                    l.push_anywhere(k);
+                }
+                l.commit();
+                p_for_each(&l, |v| *v += 1);
+            })
+        });
+    });
+    g.finish();
+}
+
+/// Fig. 41: same-node vs cross-node placement (node model).
+fn fig41_node_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig41_node_placement");
+    for (name, cfg) in [
+        ("same_node", RtsConfig::default()),
+        ("cross_node", RtsConfig::clustered(1, 30_000, 300)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("p_for_each", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                execute(cfg.clone(), 4, |loc| {
+                    let a = PArray::new(loc, 50_000 * loc.nlocs(), 0u64);
+                    p_for_each(&a, |v| *v += 1);
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 42: pList vs pVector under a mixed dynamic load.
+fn fig42_list_vs_vector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig42_list_vs_vector");
+    let ops = 8_000usize;
+    g.bench_function("plist_mixed", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let l: PList<u64> = PList::new(loc);
+                let gids: Vec<_> = (0..1_000).map(|k| l.push_anywhere(k as u64)).collect();
+                loc.rmi_fence();
+                for k in 0..ops {
+                    let gid = gids[k % gids.len()];
+                    match k % 4 {
+                        0 => l.set_element(gid, k as u64),
+                        1 => {
+                            std::hint::black_box(l.try_get(gid));
+                        }
+                        2 => {
+                            l.push_anywhere(k as u64);
+                        }
+                        _ => SequenceContainer::insert_before_async(&l, gid, k as u64),
+                    }
+                }
+                loc.rmi_fence();
+            })
+        });
+    });
+    g.bench_function("pvector_mixed", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let v: PVector<u64> = PVector::new(loc, 2_000, 0);
+                for k in 0..ops {
+                    let i = (k * 37) % 2_000;
+                    match k % 4 {
+                        0 => v.set_element(i, k as u64),
+                        1 => {
+                            std::hint::black_box(v.get_element(i));
+                        }
+                        2 => v.push_back(k as u64),
+                        _ => v.insert_async(i, k as u64),
+                    }
+                }
+                v.commit();
+            })
+        });
+    });
+    g.finish();
+}
+
+/// Fig. 43: Euler tour weak scaling.
+fn fig43_euler_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig43_euler_scaling");
+    g.sample_size(10);
+    for p in [1usize, 2] {
+        let n = 2_000 * p;
+        g.bench_with_input(BenchmarkId::new("euler_tour", p), &p, |b, &p| {
+            b.iter(|| {
+                execute(RtsConfig::default(), p, |loc| {
+                    let t: PGraph<(), ()> =
+                        PGraph::new_static(loc, n, Directedness::Undirected, ());
+                    fill_binary_tree(loc, &t, ());
+                    std::hint::black_box(euler_tour(&t, 0));
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 44: tour + applications.
+fn fig44_euler_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig44_euler_apps");
+    g.bench_function("applications_n4000", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let t: PGraph<(), ()> =
+                    PGraph::new_static(loc, 4_000, Directedness::Undirected, ());
+                fill_binary_tree(loc, &t, ());
+                std::hint::black_box(euler_applications(&t, 0));
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = fig39_list_methods, fig40_array_vs_list, fig41_node_placement,
+              fig42_list_vs_vector, fig43_euler_scaling, fig44_euler_apps
+}
+criterion_main!(benches);

@@ -1,0 +1,778 @@
+//! pArray (Chapter IX): the parallel equivalent of `std::valarray` — a
+//! fixed-size, globally addressable, distributed array with index GIDs.
+//!
+//! Assembled exactly as Section V.E describes: a balanced (or blocked,
+//! block-cyclic, explicit) [`IndexPartition`] splits the domain `[0, n)`
+//! into sub-domains, a [`PartitionMapper`] places one base container per
+//! sub-domain, and the replicated [`IndexDistribution`] gives every
+//! location closed-form address resolution — no directory traffic, the
+//! static-container optimization of Section V.C.
+
+use stapl_core::bcontainer::{BaseContainer, MemSize};
+use stapl_core::distribution::IndexDistribution;
+use stapl_core::gid::Bcid;
+use stapl_core::interfaces::{
+    ElementRead, ElementWrite, IndexedContainer, LocalIteration, PContainer,
+};
+use stapl_core::location_manager::LocationManager;
+use stapl_core::mapper::{CyclicMapper, PartitionMapper};
+use stapl_core::partition::{BalancedPartition, IndexPartition, IndexSubDomain};
+use stapl_core::pobject::PObject;
+use stapl_core::thread_safety::{methods, ThreadSafety};
+use stapl_rts::{Location, RmiFuture};
+
+/// Storage strategy of the pArray base containers — the knob behind the
+/// paper's memory-consumption study (Fig. 34): one contiguous allocation
+/// per base container versus one allocation per element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ArrayStorage {
+    /// `Vec<T>` — the paper's valarray-backed default.
+    #[default]
+    Contiguous,
+    /// `Vec<Box<T>>` — models per-element allocation overhead.
+    Boxed,
+}
+
+enum Store<T> {
+    Contiguous(Vec<T>),
+    Boxed(Vec<Box<T>>),
+}
+
+/// Base container of a pArray: the values of one sub-domain, addressed by
+/// the sub-domain's linearization offset.
+pub struct ArrayBc<T> {
+    sd: IndexSubDomain,
+    store: Store<T>,
+}
+
+impl<T: Clone> ArrayBc<T> {
+    fn new(sd: IndexSubDomain, init: &T, storage: ArrayStorage) -> Self {
+        let n = sd.len();
+        let store = match storage {
+            ArrayStorage::Contiguous => Store::Contiguous(vec![init.clone(); n]),
+            ArrayStorage::Boxed => {
+                Store::Boxed((0..n).map(|_| Box::new(init.clone())).collect())
+            }
+        };
+        ArrayBc { sd, store }
+    }
+
+    fn get(&self, gid: usize) -> &T {
+        let off = self.sd.offset(gid);
+        match &self.store {
+            Store::Contiguous(v) => &v[off],
+            Store::Boxed(v) => &v[off],
+        }
+    }
+
+    fn get_mut(&mut self, gid: usize) -> &mut T {
+        let off = self.sd.offset(gid);
+        match &mut self.store {
+            Store::Contiguous(v) => &mut v[off],
+            Store::Boxed(v) => &mut v[off],
+        }
+    }
+
+    /// In-order (gid, value) iteration of the sub-domain.
+    fn for_each<F: FnMut(usize, &T)>(&self, mut f: F) {
+        match &self.store {
+            Store::Contiguous(v) => {
+                for (k, g) in self.sd.iter().enumerate() {
+                    f(g, &v[k]);
+                }
+            }
+            Store::Boxed(v) => {
+                for (k, g) in self.sd.iter().enumerate() {
+                    f(g, &v[k]);
+                }
+            }
+        }
+    }
+
+    fn for_each_mut<F: FnMut(usize, &mut T)>(&mut self, mut f: F) {
+        match &mut self.store {
+            Store::Contiguous(v) => {
+                for (k, g) in self.sd.iter().enumerate() {
+                    f(g, &mut v[k]);
+                }
+            }
+            Store::Boxed(v) => {
+                for (k, g) in self.sd.iter().enumerate() {
+                    f(g, &mut v[k]);
+                }
+            }
+        }
+    }
+}
+
+impl<T: 'static> BaseContainer for ArrayBc<T> {
+    type Value = T;
+
+    fn len(&self) -> usize {
+        match &self.store {
+            Store::Contiguous(v) => v.len(),
+            Store::Boxed(v) => v.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match &mut self.store {
+            Store::Contiguous(v) => v.clear(),
+            Store::Boxed(v) => v.clear(),
+        }
+    }
+
+    fn memory_size(&self) -> MemSize {
+        let meta = std::mem::size_of::<IndexSubDomain>() + std::mem::size_of::<Store<T>>();
+        let data = match &self.store {
+            Store::Contiguous(v) => v.capacity() * std::mem::size_of::<T>(),
+            // Boxed storage pays pointer + heap block per element; count the
+            // allocator's typical 16-byte header/rounding the way the
+            // paper's study counts malloc overhead.
+            Store::Boxed(v) => v.capacity() * std::mem::size_of::<usize>()
+                + v.len() * (std::mem::size_of::<T>().next_multiple_of(16)),
+        };
+        MemSize::new(meta, data)
+    }
+}
+
+/// Per-location representative of a pArray.
+pub struct ArrayRep<T> {
+    lm: LocationManager<ArrayBc<T>>,
+    dist: IndexDistribution,
+    ths: ThreadSafety,
+    storage: ArrayStorage,
+    /// Staging area used during redistribution.
+    staging: Option<(LocationManager<ArrayBc<T>>, IndexDistribution)>,
+}
+
+impl<T: Send + Clone + 'static> ArrayRep<T> {
+    fn set_local(&mut self, bcid: Bcid, gid: usize, v: T) {
+        let this = &mut *self;
+        let _g = this.ths.guard(methods::SET, gid as u64, bcid);
+        *this.lm.get_mut(bcid).expect("set: bcid not on this location").get_mut(gid) = v;
+    }
+
+    fn get_local(&self, bcid: Bcid, gid: usize) -> T {
+        let _g = self.ths.guard(methods::GET, gid as u64, bcid);
+        self.lm.get(bcid).expect("get: bcid not on this location").get(gid).clone()
+    }
+
+    fn apply_local<R>(&mut self, bcid: Bcid, gid: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let this = &mut *self;
+        let _g = this.ths.guard(methods::APPLY, gid as u64, bcid);
+        f(this.lm.get_mut(bcid).expect("apply: bcid not on this location").get_mut(gid))
+    }
+}
+
+/// The STAPL pArray: static, indexed, globally addressable.
+///
+/// ```
+/// use stapl_rts::{execute, RtsConfig};
+/// use stapl_containers::array::PArray;
+/// use stapl_core::interfaces::{ElementRead, ElementWrite, PContainer};
+///
+/// execute(RtsConfig::default(), 2, |loc| {
+///     let a = PArray::new(loc, 100, 0i64);
+///     // Every location writes its own stripe through the global API.
+///     for i in 0..100 {
+///         if i % loc.nlocs() == loc.id() {
+///             a.set_element(i, i as i64 * 2);
+///         }
+///     }
+///     loc.rmi_fence();
+///     assert_eq!(a.get_element(99), 198);
+///     assert_eq!(a.global_size(), 100);
+/// });
+/// ```
+pub struct PArray<T: Send + Clone + 'static> {
+    obj: PObject<ArrayRep<T>>,
+}
+
+impl<T: Send + Clone + 'static> Clone for PArray<T> {
+    fn clone(&self) -> Self {
+        PArray { obj: self.obj.clone() }
+    }
+}
+
+impl<T: Send + Clone + 'static> PArray<T> {
+    /// **Collective.** A pArray of `n` copies of `init` with the default
+    /// balanced partition (one sub-domain per location) and cyclic mapper.
+    pub fn new(loc: &Location, n: usize, init: T) -> Self {
+        Self::with_partition(
+            loc,
+            Box::new(BalancedPartition::new(n, loc.nlocs())),
+            Box::new(CyclicMapper::new(loc.nlocs())),
+            init,
+        )
+    }
+
+    /// **Collective.** A pArray with an explicit partition and mapper —
+    /// the instance-specific customization path of Section V.H.
+    pub fn with_partition(
+        loc: &Location,
+        partition: Box<dyn IndexPartition>,
+        mapper: Box<dyn PartitionMapper>,
+        init: T,
+    ) -> Self {
+        Self::with_options(loc, partition, mapper, init, ArrayStorage::Contiguous, ThreadSafety::unlocked())
+    }
+
+    /// **Collective.** Full customization: partition, mapper, storage kind
+    /// and thread-safety policy (the paper's traits template arguments).
+    pub fn with_options(
+        loc: &Location,
+        partition: Box<dyn IndexPartition>,
+        mapper: Box<dyn PartitionMapper>,
+        init: T,
+        storage: ArrayStorage,
+        ths: ThreadSafety,
+    ) -> Self {
+        let dist = IndexDistribution::new(partition, mapper);
+        let mut lm = LocationManager::new();
+        for (bcid, sd) in dist.local_subdomains(loc.id()) {
+            lm.add_bcontainer(bcid, ArrayBc::new(sd, &init, storage));
+        }
+        let obj = PObject::register(loc, ArrayRep { lm, dist, ths, storage, staging: None });
+        // Handles must be in sync before any peer can address us.
+        loc.barrier();
+        PArray { obj }
+    }
+
+    /// **Collective.** Builds the array with `f(i)` at every index, filled
+    /// locally (no communication).
+    pub fn from_fn(loc: &Location, n: usize, f: impl Fn(usize) -> T) -> Self
+    where
+        T: Default,
+    {
+        let a = Self::new(loc, n, T::default());
+        {
+            let mut rep = a.obj.local_mut();
+            for (_, bc) in rep.lm.iter_mut() {
+                bc.for_each_mut(|g, slot| *slot = f(g));
+            }
+        }
+        loc.barrier();
+        a
+    }
+
+    fn locate(&self, gid: usize) -> (Bcid, usize) {
+        let rep = self.obj.local();
+        assert!(
+            gid < rep.dist.global_size(),
+            "pArray index {gid} out of bounds (size {})",
+            rep.dist.global_size()
+        );
+        rep.dist.locate(gid)
+    }
+
+    /// The distribution's (bcid, location) for `gid` — exposed for tests
+    /// and benchmarks that reason about placement.
+    pub fn locate_element(&self, gid: usize) -> (Bcid, usize) {
+        self.locate(gid)
+    }
+
+    /// **Collective.** Re-partitions and re-maps the data (Section V.G):
+    /// every element moves to its position under the new distribution.
+    pub fn redistribute(
+        &self,
+        new_partition: Box<dyn IndexPartition>,
+        new_mapper: Box<dyn PartitionMapper>,
+    ) {
+        let loc = self.obj.location().clone();
+        assert_eq!(
+            new_partition.global_size(),
+            self.global_size(),
+            "redistribution must preserve the domain"
+        );
+        // Phase 1 (collective): build empty staging bContainers for the new
+        // distribution. The staging init value is cloned from any local
+        // element or deferred: we lazily fill staging with moved values, so
+        // we need a placeholder — reuse the first local element or fall
+        // back to filling on arrival.
+        let new_dist = IndexDistribution::new(new_partition, new_mapper);
+        {
+            let mut rep = self.obj.local_mut();
+            let placeholder = rep
+                .lm
+                .iter()
+                .flat_map(|(_, bc)| {
+                    let mut first = None;
+                    bc.for_each(|_, v| {
+                        if first.is_none() {
+                            first = Some(v.clone());
+                        }
+                    });
+                    first
+                })
+                .next();
+            let mut staging = LocationManager::new();
+            for (bcid, sd) in new_dist.local_subdomains(loc.id()) {
+                // Empty sub-domains need no placeholder.
+                if sd.is_empty() {
+                    continue;
+                }
+                let init = placeholder
+                    .clone()
+                    .or_else(|| {
+                        // This location had no data under the old
+                        // distribution; values will arrive via RMI and
+                        // overwrite, but Vec construction needs *some* T.
+                        None
+                    })
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "redistribute: location {} gained elements but holds none to clone; \
+                             use redistribute_with_default",
+                            loc.id()
+                        )
+                    });
+                staging.add_bcontainer(bcid, ArrayBc::new(sd, &init, rep.storage));
+            }
+            rep.staging = Some((staging, new_dist.clone()));
+        }
+        loc.barrier();
+        // Phase 2: move every local element to its new home.
+        {
+            let rep = self.obj.local();
+            let mut moves: Vec<(usize, usize, Bcid, T)> = Vec::new(); // (dest, gid, bcid, v)
+            for (_, bc) in rep.lm.iter() {
+                bc.for_each(|gid, v| {
+                    let nb = new_dist.partition().find(gid);
+                    let nl = new_dist.mapper().map(nb);
+                    moves.push((nl, gid, nb, v.clone()));
+                });
+            }
+            drop(rep);
+            for (dest, gid, nb, v) in moves {
+                self.obj.invoke_at(dest, move |cell, _| {
+                    let mut rep = cell.borrow_mut();
+                    let staging =
+                        &mut rep.staging.as_mut().expect("staging missing during redistribution").0;
+                    *staging.get_mut(nb).expect("staging bcid").get_mut(gid) = v;
+                });
+            }
+        }
+        loc.rmi_fence();
+        // Phase 3 (collective): swap staging in.
+        {
+            let mut rep = self.obj.local_mut();
+            let (staging, new_dist) = rep.staging.take().expect("staging vanished");
+            rep.lm = staging;
+            rep.dist = new_dist;
+        }
+        loc.barrier();
+    }
+
+    /// **Collective.** Redistributes onto the default balanced partition.
+    pub fn rebalance(&self) {
+        let loc = self.obj.location();
+        self.redistribute(
+            Box::new(BalancedPartition::new(self.global_size(), loc.nlocs())),
+            Box::new(CyclicMapper::new(loc.nlocs())),
+        );
+    }
+
+    /// **Collective.** The paper's `rotate` redistribution: keeps the
+    /// partition but cyclically shifts each sub-domain's location by
+    /// `shift` (element data migrates accordingly).
+    pub fn rotate(&self, shift: usize) {
+        let loc = self.obj.location();
+        let nlocs = loc.nlocs();
+        let (partition, assignment) = {
+            let rep = self.obj.local();
+            let p = rep.dist.partition().clone_box();
+            let assignment: Vec<usize> = (0..p.num_subdomains())
+                .map(|b| (rep.dist.mapper().map(b) + shift) % nlocs)
+                .collect();
+            (p, assignment)
+        };
+        self.redistribute(
+            partition,
+            Box::new(stapl_core::mapper::GeneralMapper::new(nlocs, assignment)),
+        );
+    }
+
+    /// Runtime statistics pass-through for benches.
+    pub fn location_handle(&self) -> &Location {
+        self.obj.location()
+    }
+}
+
+impl<T: Send + Clone + 'static> PContainer for PArray<T> {
+    fn location(&self) -> &Location {
+        self.obj.location()
+    }
+
+    fn global_size(&self) -> usize {
+        self.obj.local().dist.global_size()
+    }
+
+    fn local_size(&self) -> usize {
+        self.obj.local().lm.local_len()
+    }
+
+    fn memory_size(&self) -> MemSize {
+        let local = {
+            let rep = self.obj.local();
+            let mut m = rep.lm.memory_size();
+            m.metadata += rep.dist.memory_size();
+            m
+        };
+        self.obj
+            .location()
+            .allreduce(local, |a, b| a + b)
+    }
+}
+
+impl<T: Send + Clone + 'static> ElementRead<usize> for PArray<T> {
+    type Value = T;
+
+    fn get_element(&self, gid: usize) -> T {
+        let (bcid, owner) = self.locate(gid);
+        if owner == self.obj.location().id() {
+            self.obj.local().get_local(bcid, gid)
+        } else {
+            self.obj.invoke_ret_at(owner, move |cell, _| cell.borrow().get_local(bcid, gid))
+        }
+    }
+
+    fn split_get_element(&self, gid: usize) -> RmiFuture<T> {
+        let (bcid, owner) = self.locate(gid);
+        self.obj.invoke_split_at(owner, move |cell, _| cell.borrow().get_local(bcid, gid))
+    }
+
+    fn is_local(&self, gid: usize) -> bool {
+        let (_, owner) = self.locate(gid);
+        owner == self.obj.location().id()
+    }
+}
+
+impl<T: Send + Clone + 'static> ElementWrite<usize> for PArray<T> {
+    fn set_element(&self, gid: usize, v: T) {
+        let (bcid, owner) = self.locate(gid);
+        if owner == self.obj.location().id() {
+            self.obj.local_mut().set_local(bcid, gid, v);
+        } else {
+            self.obj.invoke_at(owner, move |cell, _| cell.borrow_mut().set_local(bcid, gid, v));
+        }
+    }
+
+    fn apply_set<F>(&self, gid: usize, f: F)
+    where
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        let (bcid, owner) = self.locate(gid);
+        if owner == self.obj.location().id() {
+            self.obj.local_mut().apply_local(bcid, gid, f);
+        } else {
+            self.obj.invoke_at(owner, move |cell, _| {
+                cell.borrow_mut().apply_local(bcid, gid, f);
+            });
+        }
+    }
+
+    fn apply_get<R, F>(&self, gid: usize, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        let (bcid, owner) = self.locate(gid);
+        if owner == self.obj.location().id() {
+            self.obj.local_mut().apply_local(bcid, gid, f)
+        } else {
+            self.obj
+                .invoke_ret_at(owner, move |cell, _| cell.borrow_mut().apply_local(bcid, gid, f))
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> LocalIteration<usize> for PArray<T> {
+    fn for_each_local(&self, mut f: impl FnMut(usize, &T)) {
+        let rep = self.obj.local();
+        for (_, bc) in rep.lm.iter() {
+            bc.for_each(&mut f);
+        }
+    }
+
+    fn for_each_local_mut(&self, mut f: impl FnMut(usize, &mut T)) {
+        let mut rep = self.obj.local_mut();
+        for (_, bc) in rep.lm.iter_mut() {
+            bc.for_each_mut(&mut f);
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> IndexedContainer for PArray<T> {
+    fn local_subdomains(&self) -> Vec<(Bcid, IndexSubDomain)> {
+        let rep = self.obj.local();
+        rep.dist.local_subdomains(self.obj.location().id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stapl_core::partition::{BlockCyclicPartition, BlockedPartition, ExplicitPartition};
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn construct_and_read_initial_values() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let a = PArray::new(loc, 10, 7i32);
+            assert_eq!(a.global_size(), 10);
+            for i in 0..10 {
+                assert_eq!(a.get_element(i), 7);
+            }
+            let total = loc.allreduce_sum(a.local_size() as u64);
+            assert_eq!(total, 10);
+        });
+    }
+
+    #[test]
+    fn set_then_get_round_trip_all_pairs() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let a = PArray::new(loc, 16, 0usize);
+            // Location i writes element i*4 .. i*4+4 (striped arbitrarily
+            // relative to ownership).
+            for i in 0..4 {
+                a.set_element(loc.id() * 4 + i, loc.id() * 100 + i);
+            }
+            loc.rmi_fence();
+            for who in 0..4 {
+                for i in 0..4 {
+                    assert_eq!(a.get_element(who * 4 + i), who * 100 + i);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn split_phase_get() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 8, |i| i as i64 * 3);
+            let futs: Vec<_> = (0..8).map(|i| a.split_get_element(i)).collect();
+            for (i, f) in futs.into_iter().enumerate() {
+                assert_eq!(f.get(), i as i64 * 3);
+            }
+        });
+    }
+
+    #[test]
+    fn apply_set_and_apply_get() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let a = PArray::new(loc, 9, 10u64);
+            if loc.id() == 0 {
+                for i in 0..9 {
+                    a.apply_set(i, move |v| *v += i as u64);
+                }
+            }
+            loc.rmi_fence();
+            if loc.id() == 1 {
+                for i in 0..9 {
+                    let doubled = a.apply_get(i, |v| {
+                        *v *= 2;
+                        *v
+                    });
+                    assert_eq!(doubled, (10 + i as u64) * 2);
+                }
+            }
+            loc.rmi_fence();
+            assert_eq!(a.get_element(4), 28);
+        });
+    }
+
+    #[test]
+    fn from_fn_fills_without_communication() {
+        execute(RtsConfig::unbuffered(), 2, |loc| {
+            let before = loc.stats().remote_requests;
+            let a = PArray::from_fn(loc, 100, |i| i * i);
+            let after = loc.stats().remote_requests;
+            assert_eq!(before, after, "from_fn must be communication-free");
+            assert_eq!(a.get_element(9), 81);
+        });
+    }
+
+    #[test]
+    fn is_local_matches_partition() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::new(loc, 10, 0u8);
+            // Balanced over 2 locations: [0,5) on loc0, [5,10) on loc1.
+            for i in 0..10 {
+                assert_eq!(a.is_local(i), (i < 5) == (loc.id() == 0));
+            }
+        });
+    }
+
+    #[test]
+    fn local_iteration_covers_exactly_local_elements() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let a = PArray::from_fn(loc, 37, |i| i);
+            let mut seen = Vec::new();
+            a.for_each_local(|g, v| {
+                assert_eq!(g, *v);
+                seen.push(g);
+            });
+            assert_eq!(seen.len(), a.local_size());
+            let all = loc.allreduce(seen, |mut x, mut y| {
+                x.append(&mut y);
+                x
+            });
+            let mut all = all;
+            all.sort_unstable();
+            assert_eq!(all, (0..37).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn for_each_local_mut_writes() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::new(loc, 12, 1i32);
+            a.for_each_local_mut(|g, v| *v = g as i32 * 10);
+            loc.barrier();
+            assert_eq!(a.get_element(11), 110);
+        });
+    }
+
+    #[test]
+    fn blocked_and_block_cyclic_partitions() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let blocked = PArray::with_partition(
+                loc,
+                Box::new(BlockedPartition::new(10, 3)),
+                Box::new(CyclicMapper::new(loc.nlocs())),
+                0usize,
+            );
+            // 4 sub-domains cyclic over 2 locations.
+            assert_eq!(blocked.locate_element(0).1, 0);
+            assert_eq!(blocked.locate_element(3).1, 1);
+            assert_eq!(blocked.locate_element(9).1, 1);
+
+            let bc = PArray::with_partition(
+                loc,
+                Box::new(BlockCyclicPartition::new(12, 2, 2)),
+                Box::new(CyclicMapper::new(loc.nlocs())),
+                0usize,
+            );
+            for i in 0..12 {
+                bc.set_element(i, i + 1);
+            }
+            loc.rmi_fence();
+            for i in 0..12 {
+                assert_eq!(bc.get_element(i), i + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn explicit_partition_and_general_placement() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::with_partition(
+                loc,
+                Box::new(ExplicitPartition::from_sizes(&[3, 4, 4])),
+                Box::new(stapl_core::mapper::GeneralMapper::new(2, vec![1, 0, 1])),
+                -1i64,
+            );
+            assert_eq!(a.locate_element(0).1, 1);
+            assert_eq!(a.locate_element(5).1, 0);
+            assert_eq!(a.locate_element(8).1, 1);
+            a.set_element(8, 42);
+            loc.rmi_fence();
+            assert_eq!(a.get_element(8), 42);
+        });
+    }
+
+    #[test]
+    fn boxed_storage_behaves_identically_but_costs_more() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let contiguous = PArray::new(loc, 64, 5u64);
+            let boxed = PArray::with_options(
+                loc,
+                Box::new(BalancedPartition::new(64, loc.nlocs())),
+                Box::new(CyclicMapper::new(loc.nlocs())),
+                5u64,
+                ArrayStorage::Boxed,
+                ThreadSafety::unlocked(),
+            );
+            boxed.set_element(10, 99);
+            loc.rmi_fence();
+            assert_eq!(boxed.get_element(10), 99);
+            let mc = contiguous.memory_size();
+            let mb = boxed.memory_size();
+            assert!(
+                mb.data > mc.data,
+                "boxed storage should report more data bytes: {mb:?} vs {mc:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn memory_size_scales_with_elements() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let small = PArray::new(loc, 100, 0u64);
+            let large = PArray::new(loc, 1000, 0u64);
+            let ms = small.memory_size();
+            let ml = large.memory_size();
+            assert!(ml.data >= ms.data * 9);
+            assert!(ms.data >= 100 * 8);
+        });
+    }
+
+    #[test]
+    fn redistribute_preserves_data() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 20, |i| i as i64 * 7);
+            // Rebalance to a blocked partition with block 3, reversed-ish
+            // cyclic placement.
+            a.redistribute(
+                Box::new(BlockedPartition::new(20, 3)),
+                Box::new(CyclicMapper::new(loc.nlocs())),
+            );
+            for i in 0..20 {
+                assert_eq!(a.get_element(i), i as i64 * 7, "element {i} lost in redistribution");
+            }
+            // And back.
+            a.rebalance();
+            for i in 0..20 {
+                assert_eq!(a.get_element(i), i as i64 * 7);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        execute(RtsConfig::default(), 1, |loc| {
+            let a = PArray::new(loc, 5, 0u8);
+            a.get_element(5);
+        });
+    }
+
+    #[test]
+    fn async_ordering_per_element_per_source() {
+        // MCM guarantee: same-source writes to the same element apply in
+        // program order, so the last value wins.
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::new(loc, 4, 0u64);
+            if loc.id() == 1 {
+                for k in 0..100u64 {
+                    a.set_element(0, k);
+                }
+            }
+            loc.rmi_fence();
+            assert_eq!(a.get_element(0), 99);
+        });
+    }
+
+    #[test]
+    fn sync_read_after_async_write_same_element() {
+        // MCM: a synchronous method on x observes earlier same-source
+        // asyncs on x.
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::new(loc, 4, 0u64);
+            let target = if loc.id() == 0 { 3 } else { 0 };
+            a.set_element(target, 77);
+            assert_eq!(a.get_element(target), 77);
+        });
+    }
+}

@@ -1,0 +1,741 @@
+//! Associative pContainers (Chapter XII): pMap, pSet, pHashMap, pHashSet,
+//! pMultiMap.
+//!
+//! Sorted associative containers use a *value-based* partition (Fig. 58):
+//! splitter keys define ordered key intervals, so the global key order is
+//! preserved across base containers (logarithmic access within a base
+//! container). Hashed associative containers use a hash partition
+//! (amortized constant access, no order).
+//!
+//! All containers share one generic implementation, [`PAssoc`], that is
+//! parameterized by the base-container store — the paper's "same
+//! framework, different bContainer/partition" specialization (Fig. 57).
+
+use std::collections::{BTreeMap, HashMap};
+
+use stapl_core::bcontainer::{BaseContainer, MemSize};
+use stapl_core::distribution::KeyDistribution;
+use stapl_core::gid::{Bcid, Key};
+use stapl_core::interfaces::{AssociativeContainer, DynamicPContainer, PContainer};
+use stapl_core::location_manager::LocationManager;
+use stapl_core::mapper::CyclicMapper;
+use stapl_core::partition::{HashPartition, SplitterPartition};
+use stapl_core::pobject::PObject;
+use stapl_rts::{LocId, Location, RmiFuture};
+
+/// Sequential key-value store usable as an associative base container.
+pub trait KvStore<K, V>: Default + 'static {
+    /// Inserts or overwrites; returns true when the key was new.
+    fn insert(&mut self, k: K, v: V) -> bool;
+    fn remove(&mut self, k: &K) -> Option<V>;
+    fn get(&self, k: &K) -> Option<&V>;
+    fn get_mut(&mut self, k: &K) -> Option<&mut V>;
+    fn len(&self) -> usize;
+    fn clear(&mut self);
+    fn for_each(&self, f: &mut dyn FnMut(&K, &V));
+}
+
+impl<K: Ord + 'static, V: 'static> KvStore<K, V> for BTreeMap<K, V> {
+    fn insert(&mut self, k: K, v: V) -> bool {
+        BTreeMap::insert(self, k, v).is_none()
+    }
+
+    fn remove(&mut self, k: &K) -> Option<V> {
+        BTreeMap::remove(self, k)
+    }
+
+    fn get(&self, k: &K) -> Option<&V> {
+        BTreeMap::get(self, k)
+    }
+
+    fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        BTreeMap::get_mut(self, k)
+    }
+
+    fn len(&self) -> usize {
+        BTreeMap::len(self)
+    }
+
+    fn clear(&mut self) {
+        BTreeMap::clear(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+}
+
+impl<K: Eq + std::hash::Hash + 'static, V: 'static> KvStore<K, V> for HashMap<K, V> {
+    fn insert(&mut self, k: K, v: V) -> bool {
+        HashMap::insert(self, k, v).is_none()
+    }
+
+    fn remove(&mut self, k: &K) -> Option<V> {
+        HashMap::remove(self, k)
+    }
+
+    fn get(&self, k: &K) -> Option<&V> {
+        HashMap::get(self, k)
+    }
+
+    fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        HashMap::get_mut(self, k)
+    }
+
+    fn len(&self) -> usize {
+        HashMap::len(self)
+    }
+
+    fn clear(&mut self) {
+        HashMap::clear(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+}
+
+/// Associative base container: a sequential store plus accounting.
+pub struct AssocBc<K, V, S> {
+    store: S,
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, S: Default> Default for AssocBc<K, V, S> {
+    fn default() -> Self {
+        AssocBc { store: S::default(), _marker: std::marker::PhantomData }
+    }
+}
+
+impl<K, V, S> BaseContainer for AssocBc<K, V, S>
+where
+    S: KvStore<K, V>,
+    K: 'static,
+    V: 'static,
+{
+    type Value = V;
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn clear(&mut self) {
+        self.store.clear();
+    }
+
+    fn memory_size(&self) -> MemSize {
+        MemSize::new(
+            self.store.len() * 2 * std::mem::size_of::<usize>(),
+            self.store.len() * (std::mem::size_of::<K>() + std::mem::size_of::<V>()),
+        )
+    }
+}
+
+// A helper alias is not possible for the KvStore generic without nightly
+// features; the rep carries phantom types instead.
+
+/// Per-location representative of an associative container.
+pub struct AssocRep<K: 'static, V: 'static, S: 'static> {
+    lm: LocationManager<AssocBc<K, V, S>>,
+    dist: KeyDistribution<K>,
+    cached_size: usize,
+    _marker: std::marker::PhantomData<fn() -> V>,
+}
+
+/// Generic associative pContainer over a pluggable sequential store.
+///
+/// ```
+/// use stapl_rts::{execute, RtsConfig};
+/// use stapl_containers::associative::PHashMap;
+/// use stapl_core::interfaces::{AssociativeContainer, PContainer};
+///
+/// execute(RtsConfig::default(), 2, |loc| {
+///     let m: PHashMap<String, u64> = PHashMap::new(loc);
+///     if loc.id() == 0 {
+///         m.insert_async("answer".into(), 42);
+///     }
+///     m.commit();
+///     assert_eq!(m.find("answer".into()), Some(42));
+///     assert_eq!(m.global_size(), 1);
+/// });
+/// ```
+pub struct PAssoc<K, V, S>
+where
+    K: Key,
+    V: Send + Clone + 'static,
+    S: KvStore<K, V>,
+{
+    obj: PObject<AssocRep<K, V, S>>,
+}
+
+impl<K, V, S> Clone for PAssoc<K, V, S>
+where
+    K: Key,
+    V: Send + Clone + 'static,
+    S: KvStore<K, V>,
+{
+    fn clone(&self) -> Self {
+        PAssoc { obj: self.obj.clone() }
+    }
+}
+
+impl<K, V, S> PAssoc<K, V, S>
+where
+    K: Key,
+    V: Send + Clone + 'static,
+    S: KvStore<K, V>,
+{
+    /// **Collective.** Builds from a key distribution.
+    pub fn with_distribution(loc: &Location, dist: KeyDistribution<K>) -> Self {
+        let mut lm = LocationManager::new();
+        for bcid in dist.bcids_of(loc.id()) {
+            lm.add_bcontainer(bcid, AssocBc::default());
+        }
+        let rep = AssocRep { lm, dist, cached_size: 0, _marker: std::marker::PhantomData };
+        let obj = PObject::register(loc, rep);
+        loc.barrier();
+        PAssoc { obj }
+    }
+
+    fn locate(&self, k: &K) -> (Bcid, LocId) {
+        self.obj.local().dist.locate(k)
+    }
+
+    fn me(&self) -> LocId {
+        self.obj.location().id()
+    }
+
+    /// Asynchronously applies `f` to the value under `k`, inserting
+    /// `default` first when absent — the combining primitive MapReduce and
+    /// histogramming build on.
+    pub fn apply_or_insert<F>(&self, k: K, default: V, f: F)
+    where
+        F: FnOnce(&mut V) + Send + 'static,
+    {
+        let (bcid, owner) = self.locate(&k);
+        let run = move |rep: &mut AssocRep<K, V, S>| {
+            let store = &mut rep.lm.get_mut(bcid).expect("assoc bcid").store;
+            if store.get(&k).is_none() {
+                store.insert(k.clone(), default);
+            }
+            f(store.get_mut(&k).expect("just inserted"));
+        };
+        if owner == self.me() {
+            run(&mut self.obj.local_mut());
+        } else {
+            self.obj.invoke_at(owner, move |cell, _| run(&mut cell.borrow_mut()));
+        }
+    }
+
+    /// Asynchronously applies `f` to an existing value (no-op when absent).
+    pub fn apply_async<F>(&self, k: K, f: F)
+    where
+        F: FnOnce(&mut V) + Send + 'static,
+    {
+        let (bcid, owner) = self.locate(&k);
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            if let Some(v) = rep.lm.get_mut(bcid).expect("assoc bcid").store.get_mut(&k) {
+                f(v);
+            }
+        });
+    }
+
+    /// Synchronous insert that reports whether the key was new.
+    pub fn insert(&self, k: K, v: V) -> bool {
+        let (bcid, owner) = self.locate(&k);
+        self.obj.invoke_ret_at(owner, move |cell, _| {
+            cell.borrow_mut().lm.get_mut(bcid).expect("assoc bcid").store.insert(k, v)
+        })
+    }
+
+    /// Iterates local (key, value) pairs; for sorted stores the order is
+    /// the key order within each base container.
+    pub fn for_each_local(&self, mut f: impl FnMut(&K, &V)) {
+        let rep = self.obj.local();
+        for (_, bc) in rep.lm.iter() {
+            bc.store.for_each(&mut f);
+        }
+    }
+
+    /// **Collective.** All pairs ordered by (bcid, store order) — for a
+    /// splitter partition over a sorted store this is global key order.
+    pub fn collect_ordered(&self) -> Vec<(K, V)> {
+        let local: Vec<(Bcid, Vec<(K, V)>)> = {
+            let rep = self.obj.local();
+            rep.lm
+                .iter()
+                .map(|(bcid, bc)| {
+                    let mut pairs = Vec::with_capacity(bc.store.len());
+                    bc.store.for_each(&mut |k, v| pairs.push((k.clone(), v.clone())));
+                    (bcid, pairs)
+                })
+                .collect()
+        };
+        let mut all = self.obj.location().allreduce(local, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+        all.sort_by_key(|(bcid, _)| *bcid);
+        all.into_iter().flat_map(|(_, p)| p).collect()
+    }
+}
+
+impl<K, V, S> PContainer for PAssoc<K, V, S>
+where
+    K: Key,
+    V: Send + Clone + 'static,
+    S: KvStore<K, V>,
+{
+    fn location(&self) -> &Location {
+        self.obj.location()
+    }
+
+    fn global_size(&self) -> usize {
+        self.obj.local().cached_size
+    }
+
+    fn local_size(&self) -> usize {
+        self.obj.local().lm.local_len()
+    }
+
+    fn commit(&self) {
+        let loc = self.obj.location().clone();
+        loc.rmi_fence();
+        let total = loc.allreduce_sum(self.local_size() as u64);
+        self.obj.local_mut().cached_size = total as usize;
+        loc.barrier();
+    }
+
+    fn memory_size(&self) -> MemSize {
+        let local = self.obj.local().lm.memory_size();
+        self.obj.location().allreduce(local, |a, b| a + b)
+    }
+}
+
+impl<K, V, S> DynamicPContainer for PAssoc<K, V, S>
+where
+    K: Key,
+    V: Send + Clone + 'static,
+    S: KvStore<K, V>,
+{
+    fn clear(&self) {
+        let loc = self.obj.location().clone();
+        loc.rmi_fence();
+        {
+            let mut rep = self.obj.local_mut();
+            rep.lm.clear();
+            rep.cached_size = 0;
+        }
+        loc.barrier();
+    }
+}
+
+impl<K, V, S> AssociativeContainer<K> for PAssoc<K, V, S>
+where
+    K: Key,
+    V: Send + Clone + 'static,
+    S: KvStore<K, V>,
+{
+    type Mapped = V;
+
+    fn insert_async(&self, k: K, v: V) {
+        let (bcid, owner) = self.locate(&k);
+        if owner == self.me() {
+            self.obj.local_mut().lm.get_mut(bcid).expect("assoc bcid").store.insert(k, v);
+        } else {
+            self.obj.invoke_at(owner, move |cell, _| {
+                cell.borrow_mut().lm.get_mut(bcid).expect("assoc bcid").store.insert(k, v);
+            });
+        }
+    }
+
+    fn erase_async(&self, k: K) {
+        let (bcid, owner) = self.locate(&k);
+        self.obj.invoke_at(owner, move |cell, _| {
+            cell.borrow_mut().lm.get_mut(bcid).expect("assoc bcid").store.remove(&k);
+        });
+    }
+
+    fn find(&self, k: K) -> Option<V> {
+        let (bcid, owner) = self.locate(&k);
+        if owner == self.me() {
+            return self.obj.local().lm.get(bcid).expect("assoc bcid").store.get(&k).cloned();
+        }
+        self.obj.invoke_ret_at(owner, move |cell, _| {
+            cell.borrow().lm.get(bcid).expect("assoc bcid").store.get(&k).cloned()
+        })
+    }
+
+    fn split_find(&self, k: K) -> RmiFuture<Option<V>> {
+        let (bcid, owner) = self.locate(&k);
+        self.obj.invoke_split_at(owner, move |cell, _| {
+            cell.borrow().lm.get(bcid).expect("assoc bcid").store.get(&k).cloned()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concrete containers
+// ---------------------------------------------------------------------
+
+/// Sorted pair-associative container (pMap): value-based partition over
+/// `BTreeMap` base containers.
+pub type PMap<K, V> = PAssoc<K, V, BTreeMap<K, V>>;
+
+/// Hashed pair-associative container (pHashMap): hash partition over
+/// `HashMap` base containers.
+pub type PHashMap<K, V> = PAssoc<K, V, HashMap<K, V>>;
+
+impl<K, V> PMap<K, V>
+where
+    K: Key + Ord,
+    V: Send + Clone + 'static,
+{
+    /// **Collective.** A pMap whose key space is cut by the given
+    /// splitters (one ordered interval per base container, Fig. 58).
+    pub fn new(loc: &Location, splitters: Vec<K>) -> Self {
+        let dist = KeyDistribution::new(
+            Box::new(SplitterPartition::new(splitters)),
+            Box::new(CyclicMapper::new(loc.nlocs())),
+        );
+        Self::with_distribution(loc, dist)
+    }
+}
+
+impl<K, V> PHashMap<K, V>
+where
+    K: Key + std::hash::Hash,
+    V: Send + Clone + 'static,
+{
+    /// **Collective.** A pHashMap with one hash bucket per location.
+    pub fn new(loc: &Location) -> Self {
+        Self::with_buckets(loc, loc.nlocs())
+    }
+
+    /// **Collective.** A pHashMap with an explicit bucket count.
+    pub fn with_buckets(loc: &Location, buckets: usize) -> Self {
+        let dist = KeyDistribution::new(
+            Box::new(HashPartition::new(buckets)),
+            Box::new(CyclicMapper::new(loc.nlocs())),
+        );
+        Self::with_distribution(loc, dist)
+    }
+}
+
+/// Sorted simple-associative container (pSet): keys only.
+pub struct PSet<K: Key + Ord> {
+    map: PMap<K, ()>,
+}
+
+impl<K: Key + Ord> Clone for PSet<K> {
+    fn clone(&self) -> Self {
+        PSet { map: self.map.clone() }
+    }
+}
+
+impl<K: Key + Ord> PSet<K> {
+    /// **Collective.**
+    pub fn new(loc: &Location, splitters: Vec<K>) -> Self {
+        PSet { map: PMap::new(loc, splitters) }
+    }
+
+    pub fn insert_async(&self, k: K) {
+        self.map.insert_async(k, ());
+    }
+
+    pub fn erase_async(&self, k: K) {
+        self.map.erase_async(k);
+    }
+
+    pub fn contains(&self, k: K) -> bool {
+        self.map.find(k).is_some()
+    }
+
+    pub fn commit(&self) {
+        self.map.commit();
+    }
+
+    pub fn global_size(&self) -> usize {
+        self.map.global_size()
+    }
+
+    /// **Collective.** Elements in global key order.
+    pub fn collect_ordered(&self) -> Vec<K> {
+        self.map.collect_ordered().into_iter().map(|(k, _)| k).collect()
+    }
+}
+
+/// Hashed simple-associative container (pHashSet).
+pub struct PHashSet<K: Key + std::hash::Hash> {
+    map: PHashMap<K, ()>,
+}
+
+impl<K: Key + std::hash::Hash> Clone for PHashSet<K> {
+    fn clone(&self) -> Self {
+        PHashSet { map: self.map.clone() }
+    }
+}
+
+impl<K: Key + std::hash::Hash> PHashSet<K> {
+    /// **Collective.**
+    pub fn new(loc: &Location) -> Self {
+        PHashSet { map: PHashMap::new(loc) }
+    }
+
+    pub fn insert_async(&self, k: K) {
+        self.map.insert_async(k, ());
+    }
+
+    pub fn contains(&self, k: K) -> bool {
+        self.map.find(k).is_some()
+    }
+
+    pub fn commit(&self) {
+        self.map.commit();
+    }
+
+    pub fn global_size(&self) -> usize {
+        self.map.global_size()
+    }
+}
+
+/// Sorted multi-associative container (pMultiMap): every key maps to the
+/// multiset of inserted values.
+pub struct PMultiMap<K: Key + Ord, V: Send + Clone + 'static> {
+    map: PMap<K, Vec<V>>,
+}
+
+impl<K: Key + Ord, V: Send + Clone + 'static> Clone for PMultiMap<K, V> {
+    fn clone(&self) -> Self {
+        PMultiMap { map: self.map.clone() }
+    }
+}
+
+impl<K: Key + Ord, V: Send + Clone + 'static> PMultiMap<K, V> {
+    /// **Collective.**
+    pub fn new(loc: &Location, splitters: Vec<K>) -> Self {
+        PMultiMap { map: PMap::new(loc, splitters) }
+    }
+
+    /// Asynchronously appends `v` under `k`.
+    pub fn insert_async(&self, k: K, v: V) {
+        self.map.apply_or_insert(k, Vec::new(), move |vs| vs.push(v));
+    }
+
+    /// All values under `k` (synchronous).
+    pub fn find_all(&self, k: K) -> Vec<V> {
+        self.map.find(k).unwrap_or_default()
+    }
+
+    /// Number of distinct keys (after commit).
+    pub fn num_keys(&self) -> usize {
+        self.map.global_size()
+    }
+
+    pub fn commit(&self) {
+        self.map.commit();
+    }
+
+    pub fn erase_key_async(&self, k: K) {
+        self.map.erase_async(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn hashmap_insert_find_erase() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let m: PHashMap<u64, String> = PHashMap::new(loc);
+            if loc.id() == 0 {
+                for k in 0..30 {
+                    m.insert_async(k, format!("v{k}"));
+                }
+            }
+            m.commit();
+            assert_eq!(m.global_size(), 30);
+            for k in 0..30 {
+                assert_eq!(m.find(k), Some(format!("v{k}")));
+            }
+            assert_eq!(m.find(99), None);
+            if loc.id() == 1 {
+                m.erase_async(7);
+            }
+            m.commit();
+            assert_eq!(m.global_size(), 29);
+            assert_eq!(m.find(7), None);
+        });
+    }
+
+    #[test]
+    fn map_preserves_global_key_order() {
+        execute(RtsConfig::default(), 3, |loc| {
+            // Splitters cut the key space into [min,10), [10,20), [20,max).
+            let m: PMap<i64, i64> = PMap::new(loc, vec![10, 20]);
+            // Insert shuffled keys from every location (overwrites collide
+            // deterministically because values equal keys).
+            for k in [25, 3, 14, 8, 29, 11, 0, 19, 22] {
+                m.insert_async(k, k * 2);
+            }
+            m.commit();
+            assert_eq!(m.global_size(), 9);
+            let pairs = m.collect_ordered();
+            let keys: Vec<i64> = pairs.iter().map(|(k, _)| *k).collect();
+            assert_eq!(keys, vec![0, 3, 8, 11, 14, 19, 22, 25, 29]);
+            assert!(pairs.iter().all(|(k, v)| *v == k * 2));
+        });
+    }
+
+    #[test]
+    fn duplicate_insert_overwrites() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m: PHashMap<u32, u32> = PHashMap::new(loc);
+            if loc.id() == 0 {
+                m.insert_async(5, 1);
+                m.insert_async(5, 2); // same source, same key: ordered
+            }
+            m.commit();
+            assert_eq!(m.global_size(), 1);
+            assert_eq!(m.find(5), Some(2));
+        });
+    }
+
+    #[test]
+    fn apply_or_insert_accumulates_like_wordcount() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let m: PHashMap<String, u64> = PHashMap::new(loc);
+            // Every location counts the same words.
+            for w in ["the", "quick", "the", "fox", "the"] {
+                m.apply_or_insert(w.to_string(), 0, |c| *c += 1);
+            }
+            m.commit();
+            assert_eq!(m.find("the".into()), Some(12)); // 3 × 4 locations
+            assert_eq!(m.find("quick".into()), Some(4));
+            assert_eq!(m.global_size(), 3);
+        });
+    }
+
+    #[test]
+    fn split_find_and_sync_insert() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m: PHashMap<u32, u32> = PHashMap::new(loc);
+            if loc.id() == 1 {
+                let newly = m.insert(1, 10);
+                assert!(newly);
+                let again = m.insert(1, 11);
+                assert!(!again);
+            }
+            loc.rmi_fence();
+            let fut = m.split_find(1);
+            assert_eq!(fut.get(), Some(11));
+        });
+    }
+
+    #[test]
+    fn local_fast_path_for_owned_keys() {
+        execute(RtsConfig::unbuffered(), 2, |loc| {
+            let m: PHashMap<u64, u64> = PHashMap::new(loc);
+            loc.rmi_fence();
+            let before = loc.stats().remote_requests;
+            let mut local_keys = 0;
+            for k in 0..50u64 {
+                let (_, owner) = m.locate(&k);
+                if owner == loc.id() {
+                    m.insert_async(k, k);
+                    assert_eq!(m.find(k), Some(k));
+                    local_keys += 1;
+                }
+            }
+            assert!(local_keys > 0);
+            let after = loc.stats().remote_requests;
+            assert_eq!(before, after, "local-key operations must not communicate");
+        });
+    }
+
+    #[test]
+    fn pset_membership_and_order() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let s: PSet<u32> = PSet::new(loc, vec![50]);
+            if loc.id() == 0 {
+                for k in [30, 80, 10, 60] {
+                    s.insert_async(k);
+                }
+            }
+            s.commit();
+            assert_eq!(s.global_size(), 4);
+            assert!(s.contains(30));
+            assert!(!s.contains(31));
+            assert_eq!(s.collect_ordered(), vec![10, 30, 60, 80]);
+            if loc.id() == 1 {
+                s.erase_async(30);
+            }
+            s.commit();
+            assert!(!s.contains(30));
+        });
+    }
+
+    #[test]
+    fn phashset_dedups() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let s: PHashSet<String> = PHashSet::new(loc);
+            s.insert_async("a".into());
+            s.insert_async("b".into());
+            s.commit();
+            assert_eq!(s.global_size(), 2); // all locations inserted the same two
+            assert!(s.contains("a".into()));
+        });
+    }
+
+    #[test]
+    fn multimap_collects_all_values() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let m: PMultiMap<u32, usize> = PMultiMap::new(loc, vec![5]);
+            m.insert_async(1, loc.id());
+            m.insert_async(9, loc.id() * 10);
+            m.commit();
+            assert_eq!(m.num_keys(), 2);
+            let mut vals = m.find_all(1);
+            vals.sort_unstable();
+            assert_eq!(vals, vec![0, 1, 2]);
+            assert_eq!(m.find_all(42), Vec::<usize>::new());
+        });
+    }
+
+    #[test]
+    fn clear_and_recommit() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m: PHashMap<u32, u32> = PHashMap::new(loc);
+            m.insert_async(loc.id() as u32, 1);
+            m.commit();
+            assert_eq!(m.global_size(), 2);
+            m.clear();
+            m.commit();
+            assert_eq!(m.global_size(), 0);
+            assert_eq!(m.find(0), None);
+        });
+    }
+
+    #[test]
+    fn many_buckets_spread_keys() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m: PHashMap<u64, u64> = PHashMap::with_buckets(loc, 8);
+            for k in 0..64 {
+                if k % loc.nlocs() as u64 == loc.id() as u64 {
+                    m.insert_async(k, k);
+                }
+            }
+            m.commit();
+            assert_eq!(m.global_size(), 64);
+            // Both locations hold several of the 8 buckets' worth of keys.
+            assert!(m.local_size() > 0);
+        });
+    }
+}

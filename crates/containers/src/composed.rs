@@ -1,0 +1,235 @@
+//! pContainer composition (Section IV.C, Chapter XIII): containers whose
+//! *elements are containers*, with nested GIDs `(outer, inner)` and nested
+//! parallel operations.
+//!
+//! The outer container is distributed; each inner container lives entirely
+//! on its element's owning location. This is the specialization the paper
+//! itself proposes for the bottom of a composition hierarchy ("if the
+//! lower level of the composed pContainer is distributed across a single
+//! shared memory node, then its mapping F can be specialized … some
+//! methods may turn into empty function calls"): inner operations execute
+//! at the owner with zero additional communication, and nested parallelism
+//! falls out of processing outer elements on their owning locations.
+//!
+//! Because [`LocalArray`] is an ordinary `Send + Clone` value, *any*
+//! container in this crate composes: `PArray<LocalArray<T>>`,
+//! `PList<LocalArray<T>>`, `PArray<LocalArray<LocalArray<T>>>` (height 3),
+//! and so on — the closure-under-composition property of Definition 12.
+
+use stapl_core::gid::Gid;
+use stapl_core::interfaces::ElementWrite;
+
+/// A sequential array usable as a pContainer element — the
+/// single-location specialization of an inner pArray.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct LocalArray<T> {
+    data: Vec<T>,
+}
+
+impl<T: Clone> LocalArray<T> {
+    pub fn new(n: usize, init: T) -> Self {
+        LocalArray { data: vec![init; n] }
+    }
+
+    pub fn from_vec(data: Vec<T>) -> Self {
+        LocalArray { data }
+    }
+
+    pub fn from_fn(n: usize, f: impl Fn(usize) -> T) -> Self {
+        LocalArray { data: (0..n).map(f).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+
+    pub fn set(&mut self, i: usize, v: T) {
+        self.data[i] = v;
+    }
+
+    pub fn resize(&mut self, n: usize, fill: T) {
+        self.data.resize(n, fill);
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+/// GID of an element of a height-2 composed container (Eq. 4.2): the
+/// outer GID paired with the inner index.
+pub type NestedGid<G> = (G, usize);
+
+/// Reads element `(outer, inner)` of a composed container — the
+/// `pc.get_element(i).get_element(j)` composition of the paper, executed
+/// at the owner in one hop.
+pub fn nested_get<C, G, T>(c: &C, gid: NestedGid<G>) -> T
+where
+    G: Gid,
+    T: Send + Clone + 'static,
+    C: ElementWrite<G, Value = LocalArray<T>>,
+{
+    let (outer, inner) = gid;
+    c.apply_get(outer, move |a| a.get(inner).clone())
+}
+
+/// Writes element `(outer, inner)` asynchronously.
+pub fn nested_set<C, G, T>(c: &C, gid: NestedGid<G>, v: T)
+where
+    G: Gid,
+    T: Send + Clone + 'static,
+    C: ElementWrite<G, Value = LocalArray<T>>,
+{
+    let (outer, inner) = gid;
+    c.apply_set(outer, move |a| a.set(inner, v));
+}
+
+/// Applies a whole-inner-container function at the owner and returns its
+/// result — the nested-pAlgorithm invocation of Fig. 61 (e.g. the
+/// per-row minimum of Fig. 62).
+pub fn nested_apply<C, G, T, R>(
+    c: &C,
+    outer: G,
+    f: impl FnOnce(&mut LocalArray<T>) -> R + Send + 'static,
+) -> R
+where
+    G: Gid,
+    T: Send + Clone + 'static,
+    R: Send + 'static,
+    C: ElementWrite<G, Value = LocalArray<T>>,
+{
+    c.apply_get(outer, f)
+}
+
+/// Resizes the inner container under `outer` (the paper's
+/// `pApA[i].resize(n)` from the Fig. 3 example). Asynchronous.
+pub fn nested_resize<C, G, T>(c: &C, outer: G, n: usize, fill: T)
+where
+    G: Gid,
+    T: Send + Clone + 'static,
+    C: ElementWrite<G, Value = LocalArray<T>>,
+{
+    c.apply_set(outer, move |a| a.resize(n, fill));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PArray;
+    use crate::list::PList;
+    use stapl_core::interfaces::{LocalIteration, PContainer};
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn local_array_basics() {
+        let mut a = LocalArray::from_fn(5, |i| i * 2);
+        assert_eq!(a.len(), 5);
+        assert_eq!(*a.get(3), 6);
+        a.set(3, 99);
+        assert_eq!(*a.get(3), 99);
+        a.resize(7, 0);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a.iter().copied().sum::<usize>(), 0 + 2 + 4 + 99 + 8);
+    }
+
+    #[test]
+    fn composed_parray_matches_fig3() {
+        // Fig. 3: pArray of 3 pArrays with sizes 2, 3, 4.
+        execute(RtsConfig::default(), 2, |loc| {
+            let pa: PArray<LocalArray<i32>> = PArray::new(loc, 3, LocalArray::default());
+            if loc.id() == 0 {
+                for (i, n) in [(0, 2), (1, 3), (2, 4)] {
+                    nested_resize(&pa, i, n, 0);
+                }
+            }
+            loc.rmi_fence();
+            // Write through nested GIDs from the other location.
+            if loc.id() == 1 {
+                for (i, j) in [(0, 0), (0, 1), (1, 2), (2, 3)] {
+                    nested_set(&pa, (i, j), (i * 10 + j) as i32);
+                }
+            }
+            loc.rmi_fence();
+            assert_eq!(nested_get(&pa, (2, 3)), 23);
+            assert_eq!(nested_get(&pa, (1, 2)), 12);
+            assert_eq!(nested_get(&pa, (0, 1)), 1);
+            // Composed size = Σ inner sizes (Eq. 4.2).
+            let total: usize = (0..3).map(|i| pa.apply_get(i, |a| a.len())).sum();
+            assert_eq!(total, 9);
+        });
+    }
+
+    #[test]
+    fn composed_plist_of_arrays() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let pl: PList<LocalArray<u64>> = PList::new(loc);
+            let gid = pl.push_anywhere(LocalArray::from_fn(4, |i| i as u64));
+            loc.rmi_fence();
+            let min = pl.apply_get(gid, |a| *a.iter().min().unwrap());
+            assert_eq!(min, 0);
+            pl.apply_set(gid, |a| a.set(0, 100));
+            loc.rmi_fence();
+            let min = pl.apply_get(gid, |a| *a.iter().min().unwrap());
+            assert_eq!(min, 1);
+            pl.commit();
+            assert_eq!(pl.global_size(), 2); // one inner array per location
+        });
+    }
+
+    #[test]
+    fn height_three_composition() {
+        // pArray<LocalArray<LocalArray<u8>>> — height 3 per Definition 12.
+        execute(RtsConfig::default(), 2, |loc| {
+            let pa: PArray<LocalArray<LocalArray<u8>>> =
+                PArray::new(loc, 2, LocalArray::new(2, LocalArray::new(2, 0)));
+            if loc.id() == 0 {
+                pa.apply_set(1, |mid| {
+                    let mut inner = mid.get(0).clone();
+                    inner.set(1, 9);
+                    mid.set(0, inner);
+                });
+            }
+            loc.rmi_fence();
+            let v = pa.apply_get(1, |mid| *mid.get(0).get(1));
+            assert_eq!(v, 9);
+        });
+    }
+
+    #[test]
+    fn nested_parallelism_processes_rows_locally() {
+        // Row-min over a composed array touches only local data on each
+        // location (the Fig. 62 access pattern).
+        execute(RtsConfig::unbuffered(), 2, |loc| {
+            let rows = 8;
+            let pa: PArray<LocalArray<i64>> =
+                PArray::from_fn(loc, rows, |r| LocalArray::from_fn(16, move |c| (r * 16 + c) as i64));
+            loc.rmi_fence();
+            let before = loc.stats().remote_requests;
+            let mut local_mins = Vec::new();
+            pa.for_each_local(|r, row| {
+                local_mins.push((r, *row.iter().min().unwrap()));
+            });
+            let after = loc.stats().remote_requests;
+            assert_eq!(before, after, "nested row-min must be communication-free");
+            for (r, m) in local_mins {
+                assert_eq!(m, (r * 16) as i64);
+            }
+        });
+    }
+}

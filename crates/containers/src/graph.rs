@@ -1,0 +1,795 @@
+//! pGraph (Chapter XI): a distributed relational pContainer — vertices,
+//! edges, and properties on both.
+//!
+//! Vertices are distributed over locations; each vertex stores its
+//! out-edge list (adjacency-list storage, the pVector-of-pLists layout the
+//! paper motivates). Three address-resolution strategies are provided,
+//! matching the partitions compared in Figs. 51/52:
+//!
+//! * [`GraphPartitionKind::Static`] — the vertex count is fixed at
+//!   construction; vertex → location is a closed-form balanced partition
+//!   (`add_vertex` panics, as the paper specifies for static pGraphs);
+//! * [`GraphPartitionKind::DynamicFwd`] — vertices are created/deleted at
+//!   runtime; resolution goes through the distributed directory with
+//!   *method forwarding*;
+//! * [`GraphPartitionKind::DynamicTwoPhase`] — same directory, but the
+//!   requester performs a synchronous lookup first ("no forwarding").
+//!
+//! Operations on a vertex that is already local bypass resolution entirely
+//! (the local fast path).
+
+use std::collections::BTreeMap;
+
+use stapl_core::bcontainer::{BaseContainer, MemSize};
+use stapl_core::directory::{dir_insert, dir_remove, dir_route, dir_route_ret, DirectoryShard, HasDirectory, Resolution};
+use stapl_core::interfaces::{PContainer, RelationalContainer};
+use stapl_core::partition::{BalancedPartition, IndexPartition};
+use stapl_core::pobject::PObject;
+use stapl_rts::{LocId, Location, RmiFuture};
+
+/// Vertex descriptor (the vertex GID).
+pub type VertexDesc = usize;
+
+/// A directed edge with a property (Table XXVI's edge reference).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Edge<EP> {
+    pub source: VertexDesc,
+    pub target: VertexDesc,
+    pub property: EP,
+}
+
+/// A vertex with property and out-edge list (Table XXV's vertex
+/// reference).
+#[derive(Clone, Debug)]
+pub struct Vertex<VP, EP> {
+    pub descriptor: VertexDesc,
+    pub property: VP,
+    pub edges: Vec<Edge<EP>>,
+}
+
+impl<VP, EP> Vertex<VP, EP> {
+    pub fn out_degree(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Direction semantics: undirected graphs store each edge at both
+/// endpoints (so traversals see it from either side).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Directedness {
+    Directed,
+    Undirected,
+}
+
+/// Which address-resolution strategy the pGraph uses (Fig. 51/52).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphPartitionKind {
+    Static,
+    DynamicFwd,
+    DynamicTwoPhase,
+}
+
+/// Graph base container: the vertices owned by one location, ordered by
+/// descriptor for deterministic iteration.
+pub struct GraphBc<VP, EP> {
+    vertices: BTreeMap<VertexDesc, Vertex<VP, EP>>,
+}
+
+impl<VP: 'static, EP: 'static> BaseContainer for GraphBc<VP, EP> {
+    type Value = Vertex<VP, EP>;
+
+    fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    fn clear(&mut self) {
+        self.vertices.clear();
+    }
+
+    fn memory_size(&self) -> MemSize {
+        let per_vertex = std::mem::size_of::<Vertex<VP, EP>>() + 4 * std::mem::size_of::<usize>();
+        let edges: usize = self.vertices.values().map(|v| v.edges.capacity()).sum();
+        MemSize::new(
+            self.vertices.len() * 4 * std::mem::size_of::<usize>(),
+            self.vertices.len() * per_vertex + edges * std::mem::size_of::<Edge<EP>>(),
+        )
+    }
+}
+
+/// Per-location representative.
+pub struct GraphRep<VP, EP> {
+    bc: GraphBc<VP, EP>,
+    dir: DirectoryShard<VertexDesc>,
+    kind: GraphPartitionKind,
+    directedness: Directedness,
+    /// Balanced vertex partition for static graphs.
+    static_partition: Option<BalancedPartition>,
+    nlocs: usize,
+    /// Next locally generated descriptor: id + k·nlocs.
+    next_vd: usize,
+    cached_nvertices: usize,
+    cached_nedges: usize,
+}
+
+impl<VP: 'static, EP: 'static> HasDirectory<VertexDesc> for GraphRep<VP, EP> {
+    fn directory(&self) -> &DirectoryShard<VertexDesc> {
+        &self.dir
+    }
+
+    fn directory_mut(&mut self) -> &mut DirectoryShard<VertexDesc> {
+        &mut self.dir
+    }
+}
+
+impl<VP, EP> GraphRep<VP, EP> {
+    fn add_edge_local(&mut self, e: Edge<EP>) {
+        let v = self
+            .vertices_mut()
+            .get_mut(&e.source)
+            .expect("pGraph: edge source vertex not on executing location");
+        v.edges.push(e);
+    }
+
+    fn vertices(&self) -> &BTreeMap<VertexDesc, Vertex<VP, EP>> {
+        &self.bc.vertices
+    }
+
+    fn vertices_mut(&mut self) -> &mut BTreeMap<VertexDesc, Vertex<VP, EP>> {
+        &mut self.bc.vertices
+    }
+}
+
+/// The STAPL pGraph.
+///
+/// ```
+/// use stapl_rts::{execute, RtsConfig};
+/// use stapl_containers::graph::{Directedness, PGraph};
+/// use stapl_core::interfaces::PContainer;
+///
+/// execute(RtsConfig::default(), 2, |loc| {
+///     // Static graph: 6 vertices pre-created, balanced over locations.
+///     let g: PGraph<u32, f64> = PGraph::new_static(loc, 6, Directedness::Directed, 0);
+///     if loc.id() == 0 {
+///         g.add_edge_async(0, 5, 2.5); // routed to vertex 0's owner
+///     }
+///     g.commit();
+///     assert_eq!(g.num_edges(), 1);
+///     assert!(g.find_edge(0, 5));
+///     assert_eq!(g.out_degree(0), 1);
+/// });
+/// ```
+pub struct PGraph<VP: Send + Clone + 'static, EP: Send + Clone + 'static> {
+    obj: PObject<GraphRep<VP, EP>>,
+}
+
+impl<VP: Send + Clone + 'static, EP: Send + Clone + 'static> Clone for PGraph<VP, EP> {
+    fn clone(&self) -> Self {
+        PGraph { obj: self.obj.clone() }
+    }
+}
+
+impl<VP, EP> PGraph<VP, EP>
+where
+    VP: Send + Clone + 'static,
+    EP: Send + Clone + 'static,
+{
+    /// **Collective.** A static pGraph with vertices `0..n` pre-created
+    /// (balanced over locations) holding `init` properties. `add_vertex`
+    /// panics on static graphs, per the paper.
+    pub fn new_static(loc: &Location, n: usize, directedness: Directedness, init: VP) -> Self {
+        let partition = BalancedPartition::new(n, loc.nlocs());
+        let mut vertices = BTreeMap::new();
+        // bcid == location id for the single per-location base container.
+        let sd = partition.subdomain(loc.id().min(partition.num_subdomains() - 1));
+        if loc.id() < partition.num_subdomains() {
+            for vd in sd.iter() {
+                vertices.insert(vd, Vertex { descriptor: vd, property: init.clone(), edges: Vec::new() });
+            }
+        }
+        let rep = GraphRep {
+            bc: GraphBc { vertices },
+            dir: DirectoryShard::new(),
+            kind: GraphPartitionKind::Static,
+            directedness,
+            static_partition: Some(partition),
+            nlocs: loc.nlocs(),
+            next_vd: loc.id(),
+            cached_nvertices: n,
+            cached_nedges: 0,
+        };
+        let obj = PObject::register(loc, rep);
+        loc.barrier();
+        PGraph { obj }
+    }
+
+    /// **Collective.** An empty dynamic pGraph using the chosen resolution
+    /// protocol (forwarding or two-phase).
+    pub fn new_dynamic(
+        loc: &Location,
+        directedness: Directedness,
+        kind: GraphPartitionKind,
+    ) -> Self {
+        assert_ne!(kind, GraphPartitionKind::Static, "use new_static for static graphs");
+        let rep = GraphRep {
+            bc: GraphBc { vertices: BTreeMap::new() },
+            dir: DirectoryShard::new(),
+            kind,
+            directedness,
+            static_partition: None,
+            nlocs: loc.nlocs(),
+            next_vd: loc.id(),
+            cached_nvertices: 0,
+            cached_nedges: 0,
+        };
+        let obj = PObject::register(loc, rep);
+        loc.barrier();
+        PGraph { obj }
+    }
+
+    pub fn partition_kind(&self) -> GraphPartitionKind {
+        self.obj.local().kind
+    }
+
+    pub fn directedness(&self) -> Directedness {
+        self.obj.local().directedness
+    }
+
+    fn me(&self) -> LocId {
+        self.obj.location().id()
+    }
+
+    fn resolution(&self) -> Option<Resolution> {
+        match self.obj.local().kind {
+            GraphPartitionKind::Static => None,
+            GraphPartitionKind::DynamicFwd => Some(Resolution::Forwarding),
+            GraphPartitionKind::DynamicTwoPhase => Some(Resolution::TwoPhase),
+        }
+    }
+
+    fn static_owner(&self, vd: VertexDesc) -> LocId {
+        let rep = self.obj.local();
+        let p = rep.static_partition.as_ref().expect("static partition");
+        assert!(vd < p.global_size(), "pGraph: vertex {vd} out of static range");
+        p.find(vd) // bcid == location for one bc per location
+    }
+
+    /// Routes `f` to the location owning `vd` (asynchronous). Local
+    /// vertices run inline without any resolution traffic.
+    fn route(&self, vd: VertexDesc, f: impl FnOnce(&mut GraphRep<VP, EP>, &Location) + Send + 'static) {
+        // Local fast path.
+        if self.obj.local().vertices().contains_key(&vd) {
+            f(&mut self.obj.local_mut(), self.obj.location());
+            return;
+        }
+        match self.resolution() {
+            None => {
+                let owner = self.static_owner(vd);
+                self.obj.invoke_at(owner, move |cell, loc| f(&mut cell.borrow_mut(), loc));
+            }
+            Some(policy) => {
+                dir_route(&self.obj, policy, vd, move |cell, loc, bcid| {
+                    assert!(
+                        bcid.is_some(),
+                        "pGraph: vertex {vd} not found (did you fence after add_vertex?)"
+                    );
+                    f(&mut cell.borrow_mut(), loc)
+                });
+            }
+        }
+    }
+
+    /// Routes a returning `f` to the owner of `vd` (synchronous result via
+    /// future).
+    fn route_ret<R: Send + 'static>(
+        &self,
+        vd: VertexDesc,
+        f: impl FnOnce(&mut GraphRep<VP, EP>, &Location) -> R + Send + 'static,
+    ) -> RmiFuture<R> {
+        if self.obj.local().vertices().contains_key(&vd) {
+            let r = f(&mut self.obj.local_mut(), self.obj.location());
+            return ready_future(self.obj.location(), r);
+        }
+        match self.resolution() {
+            None => {
+                let owner = self.static_owner(vd);
+                self.obj.invoke_split_at(owner, move |cell, loc| f(&mut cell.borrow_mut(), loc))
+            }
+            Some(policy) => dir_route_ret(&self.obj, policy, vd, move |cell, loc, bcid| {
+                assert!(
+                    bcid.is_some(),
+                    "pGraph: vertex {vd} not found (did you fence after add_vertex?)"
+                );
+                f(&mut cell.borrow_mut(), loc)
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Vertex methods (Table XXVII)
+    // ------------------------------------------------------------------
+
+    /// Adds a vertex with a locally generated descriptor; O(1), no
+    /// communication beyond the asynchronous directory registration.
+    /// Dynamic graphs only.
+    pub fn add_vertex(&self, property: VP) -> VertexDesc {
+        assert_ne!(
+            self.obj.local().kind,
+            GraphPartitionKind::Static,
+            "pGraph: add_vertex on a static pGraph (the paper's assertion)"
+        );
+        let me = self.me();
+        let vd = {
+            let mut rep = self.obj.local_mut();
+            let vd = rep.next_vd;
+            rep.next_vd += rep.nlocs;
+            let vertex = Vertex { descriptor: vd, property, edges: Vec::new() };
+            rep.vertices_mut().insert(vd, vertex);
+            vd
+        };
+        dir_insert(&self.obj, vd, me, me);
+        vd
+    }
+
+    /// Adds a vertex with a caller-chosen descriptor (dynamic graphs):
+    /// stored locally, registered in the directory.
+    pub fn add_vertex_with_descriptor(&self, vd: VertexDesc, property: VP) {
+        assert_ne!(self.obj.local().kind, GraphPartitionKind::Static);
+        let me = self.me();
+        {
+            let mut rep = self.obj.local_mut();
+            let vertex = Vertex { descriptor: vd, property, edges: Vec::new() };
+            rep.vertices_mut().insert(vd, vertex);
+        }
+        dir_insert(&self.obj, vd, me, me);
+    }
+
+    /// Asynchronously deletes a vertex and its out-edges. As the paper
+    /// notes, this is *not* a transaction: in-edges from other vertices
+    /// are not chased.
+    pub fn delete_vertex(&self, vd: VertexDesc) {
+        assert_ne!(
+            self.obj.local().kind,
+            GraphPartitionKind::Static,
+            "pGraph: delete_vertex on a static pGraph"
+        );
+        self.route(vd, move |rep, _| {
+            rep.vertices_mut().remove(&vd);
+        });
+        dir_remove(&self.obj, vd);
+    }
+
+    /// Synchronous existence check.
+    pub fn find_vertex(&self, vd: VertexDesc) -> bool {
+        if self.obj.local().vertices().contains_key(&vd) {
+            return true;
+        }
+        match self.resolution() {
+            None => {
+                let rep = self.obj.local();
+                let p = rep.static_partition.as_ref().unwrap();
+                vd < p.global_size()
+            }
+            Some(_) => stapl_core::directory::dir_lookup(&self.obj, vd).is_some(),
+        }
+    }
+
+    /// Synchronous vertex property read.
+    pub fn vertex_property(&self, vd: VertexDesc) -> VP {
+        self.route_ret(vd, move |rep, _| {
+            rep.vertices().get(&vd).expect("pGraph: vertex vanished").property.clone()
+        })
+        .get()
+    }
+
+    /// Asynchronous vertex property update.
+    pub fn set_vertex_property(&self, vd: VertexDesc, p: VP) {
+        self.route(vd, move |rep, _| {
+            if let Some(v) = rep.vertices_mut().get_mut(&vd) {
+                v.property = p;
+            }
+        });
+    }
+
+    /// Asynchronously applies `f` to the vertex (property + edges) at its
+    /// owner — the workhorse of the graph algorithms.
+    pub fn apply_vertex(&self, vd: VertexDesc, f: impl FnOnce(&mut Vertex<VP, EP>) + Send + 'static) {
+        self.route(vd, move |rep, _| {
+            if let Some(v) = rep.vertices_mut().get_mut(&vd) {
+                f(v);
+            }
+        });
+    }
+
+    /// Synchronously applies `f` to the vertex and returns its result.
+    pub fn apply_vertex_ret<R: Send + 'static>(
+        &self,
+        vd: VertexDesc,
+        f: impl FnOnce(&mut Vertex<VP, EP>) -> R + Send + 'static,
+    ) -> R {
+        self.route_ret(vd, move |rep, _| {
+            f(rep.vertices_mut().get_mut(&vd).expect("pGraph: vertex vanished"))
+        })
+        .get()
+    }
+
+    // ------------------------------------------------------------------
+    // Edge methods
+    // ------------------------------------------------------------------
+
+    /// Asynchronously adds an edge (the paper's `add_edge_async`). For
+    /// undirected graphs the edge is stored at both endpoints.
+    pub fn add_edge_async(&self, source: VertexDesc, target: VertexDesc, property: EP) {
+        let directedness = self.obj.local().directedness;
+        let p2 = property.clone();
+        self.route(source, move |rep, _| {
+            rep.add_edge_local(Edge { source, target, property });
+        });
+        if directedness == Directedness::Undirected && source != target {
+            self.route(target, move |rep, _| {
+                rep.add_edge_local(Edge { source: target, target: source, property: p2 });
+            });
+        }
+    }
+
+    /// Asynchronously removes the first edge `source → target` (both
+    /// directions for undirected graphs).
+    pub fn delete_edge_async(&self, source: VertexDesc, target: VertexDesc) {
+        let directedness = self.obj.local().directedness;
+        self.route(source, move |rep, _| {
+            if let Some(v) = rep.vertices_mut().get_mut(&source) {
+                if let Some(k) = v.edges.iter().position(|e| e.target == target) {
+                    v.edges.remove(k);
+                }
+            }
+        });
+        if directedness == Directedness::Undirected && source != target {
+            self.route(target, move |rep, _| {
+                if let Some(v) = rep.vertices_mut().get_mut(&target) {
+                    if let Some(k) = v.edges.iter().position(|e| e.target == source) {
+                        v.edges.remove(k);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Synchronous edge existence check.
+    pub fn find_edge(&self, source: VertexDesc, target: VertexDesc) -> bool {
+        self.route_ret(source, move |rep, _| {
+            rep.vertices()
+                .get(&source)
+                .map(|v| v.edges.iter().any(|e| e.target == target))
+                .unwrap_or(false)
+        })
+        .get()
+    }
+
+    /// Synchronous out-degree.
+    pub fn out_degree(&self, vd: VertexDesc) -> usize {
+        self.route_ret(vd, move |rep, _| {
+            rep.vertices().get(&vd).map(|v| v.edges.len()).unwrap_or(0)
+        })
+        .get()
+    }
+
+    /// Synchronous copy of a vertex's out-edges.
+    pub fn out_edges(&self, vd: VertexDesc) -> Vec<Edge<EP>> {
+        self.route_ret(vd, move |rep, _| {
+            rep.vertices().get(&vd).map(|v| v.edges.clone()).unwrap_or_default()
+        })
+        .get()
+    }
+
+    // ------------------------------------------------------------------
+    // Global methods
+    // ------------------------------------------------------------------
+
+    /// Vertices as of the last [`PContainer::commit`] (exact for static
+    /// graphs).
+    pub fn num_vertices(&self) -> usize {
+        self.obj.local().cached_nvertices
+    }
+
+    /// Stored directed edges as of the last commit (an undirected edge
+    /// counts twice, once per endpoint).
+    pub fn num_edges(&self) -> usize {
+        self.obj.local().cached_nedges
+    }
+
+    pub fn local_num_vertices(&self) -> usize {
+        self.obj.local().vertices().len()
+    }
+
+    pub fn local_num_edges(&self) -> usize {
+        self.obj.local().vertices().values().map(|v| v.edges.len()).sum()
+    }
+
+    /// Iterates the local vertices in descriptor order.
+    pub fn for_each_local_vertex(&self, mut f: impl FnMut(&Vertex<VP, EP>)) {
+        let rep = self.obj.local();
+        for v in rep.vertices().values() {
+            f(v);
+        }
+    }
+
+    pub fn for_each_local_vertex_mut(&self, mut f: impl FnMut(&mut Vertex<VP, EP>)) {
+        let mut rep = self.obj.local_mut();
+        for v in rep.vertices_mut().values_mut() {
+            f(v);
+        }
+    }
+
+    /// Descriptors of the local vertices.
+    pub fn local_vertices(&self) -> Vec<VertexDesc> {
+        self.obj.local().vertices().keys().copied().collect()
+    }
+
+    /// True when `vd` is stored on this location (no communication).
+    pub fn is_local_vertex(&self, vd: VertexDesc) -> bool {
+        self.obj.local().vertices().contains_key(&vd)
+    }
+}
+
+fn ready_future<R: Send + 'static>(loc: &Location, r: R) -> RmiFuture<R> {
+    let (token, fut) = loc.make_reply_slot::<R>();
+    loc.reply(token, r);
+    fut
+}
+
+impl<VP, EP> PContainer for PGraph<VP, EP>
+where
+    VP: Send + Clone + 'static,
+    EP: Send + Clone + 'static,
+{
+    fn location(&self) -> &Location {
+        self.obj.location()
+    }
+
+    fn global_size(&self) -> usize {
+        self.num_vertices()
+    }
+
+    fn local_size(&self) -> usize {
+        self.local_num_vertices()
+    }
+
+    fn commit(&self) {
+        let loc = self.obj.location().clone();
+        loc.rmi_fence();
+        let nv = loc.allreduce_sum(self.local_num_vertices() as u64) as usize;
+        let ne = loc.allreduce_sum(self.local_num_edges() as u64) as usize;
+        {
+            let mut rep = self.obj.local_mut();
+            rep.cached_nvertices = nv;
+            rep.cached_nedges = ne;
+        }
+        loc.barrier();
+    }
+
+    fn memory_size(&self) -> MemSize {
+        let local = {
+            let rep = self.obj.local();
+            let mut m = rep.bc.memory_size();
+            m.metadata += rep.dir.memory_size();
+            m
+        };
+        self.obj.location().allreduce(local, |a, b| a + b)
+    }
+}
+
+impl<VP, EP> RelationalContainer for PGraph<VP, EP>
+where
+    VP: Send + Clone + 'static,
+    EP: Send + Clone + 'static,
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn static_graph_has_all_vertices() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let g: PGraph<u32, ()> = PGraph::new_static(loc, 10, Directedness::Directed, 0);
+            assert_eq!(g.num_vertices(), 10);
+            let total = loc.allreduce_sum(g.local_num_vertices() as u64);
+            assert_eq!(total, 10);
+            for vd in 0..10 {
+                assert!(g.find_vertex(vd));
+            }
+            assert!(!g.find_vertex(10) || false); // vd==10 out of range asserted below
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "add_vertex on a static pGraph")]
+    fn static_graph_rejects_add_vertex() {
+        execute(RtsConfig::default(), 1, |loc| {
+            let g: PGraph<u32, ()> = PGraph::new_static(loc, 4, Directedness::Directed, 0);
+            g.add_vertex(1);
+        });
+    }
+
+    #[test]
+    fn static_edges_and_degree() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let g: PGraph<(), u32> = PGraph::new_static(loc, 6, Directedness::Directed, ());
+            if loc.id() == 0 {
+                g.add_edge_async(0, 5, 10);
+                g.add_edge_async(0, 3, 11);
+                g.add_edge_async(5, 0, 12); // remote source vertex
+            }
+            g.commit();
+            assert_eq!(g.num_edges(), 3);
+            assert_eq!(g.out_degree(0), 2);
+            assert_eq!(g.out_degree(5), 1);
+            assert!(g.find_edge(0, 5));
+            assert!(!g.find_edge(3, 0));
+            let edges = g.out_edges(0);
+            assert_eq!(edges.len(), 2);
+            assert!(edges.iter().any(|e| e.target == 5 && e.property == 10));
+        });
+    }
+
+    #[test]
+    fn undirected_stores_both_endpoints() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let g: PGraph<(), ()> = PGraph::new_static(loc, 4, Directedness::Undirected, ());
+            if loc.id() == 1 {
+                g.add_edge_async(0, 3, ());
+            }
+            g.commit();
+            assert!(g.find_edge(0, 3));
+            assert!(g.find_edge(3, 0));
+            assert_eq!(g.num_edges(), 2); // stored twice
+            // Separate the read phase from the delete phase: without this,
+            // one location could observe the other's delete mid-asserts.
+            loc.barrier();
+            if loc.id() == 0 {
+                g.delete_edge_async(3, 0);
+            }
+            g.commit();
+            assert!(!g.find_edge(0, 3));
+            assert!(!g.find_edge(3, 0));
+            assert_eq!(g.num_edges(), 0);
+        });
+    }
+
+    #[test]
+    fn dynamic_add_vertex_generates_unique_descriptors() {
+        for kind in [GraphPartitionKind::DynamicFwd, GraphPartitionKind::DynamicTwoPhase] {
+            execute(RtsConfig::default(), 3, |loc| {
+                let g: PGraph<u64, ()> = PGraph::new_dynamic(loc, Directedness::Directed, kind);
+                let mine: Vec<VertexDesc> =
+                    (0..5).map(|k| g.add_vertex(loc.id() as u64 * 100 + k)).collect();
+                g.commit();
+                assert_eq!(g.num_vertices(), 15);
+                // Descriptors are globally unique.
+                let all = loc.allreduce(mine.clone(), |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+                let mut sorted = all.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 15);
+                // Properties readable from any location after commit.
+                for vd in all {
+                    let _ = g.vertex_property(vd);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn dynamic_edges_across_locations() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let g: PGraph<u32, u32> =
+                PGraph::new_dynamic(loc, Directedness::Directed, GraphPartitionKind::DynamicFwd);
+            let vd = g.add_vertex(loc.id() as u32);
+            g.commit();
+            let peers = loc.allgather(vd);
+            // Everyone links its vertex to everyone else's.
+            for &p in &peers {
+                if p != vd {
+                    g.add_edge_async(vd, p, 1);
+                }
+            }
+            g.commit();
+            assert_eq!(g.num_edges(), 2);
+            assert_eq!(g.out_degree(vd), 1);
+        });
+    }
+
+    #[test]
+    fn dynamic_delete_vertex() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let g: PGraph<u32, ()> =
+                PGraph::new_dynamic(loc, Directedness::Directed, GraphPartitionKind::DynamicFwd);
+            let vd = g.add_vertex(7);
+            g.commit();
+            let other = loc.allgather(vd)[1 - loc.id()];
+            if loc.id() == 0 {
+                g.delete_vertex(other); // remote delete
+            }
+            g.commit();
+            assert_eq!(g.num_vertices(), 1);
+            if loc.id() == 0 {
+                assert!(g.find_vertex(vd));
+                assert!(!g.find_vertex(other));
+            }
+        });
+    }
+
+    #[test]
+    fn apply_vertex_and_properties() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let g: PGraph<u64, ()> = PGraph::new_static(loc, 4, Directedness::Directed, 0);
+            if loc.id() == 1 {
+                g.set_vertex_property(0, 5);
+                g.apply_vertex(0, |v| v.property *= 10);
+            }
+            g.commit();
+            assert_eq!(g.vertex_property(0), 50);
+            let deg = g.apply_vertex_ret(0, |v| {
+                v.edges.push(Edge { source: 0, target: 1, property: () });
+                v.out_degree()
+            });
+            assert!(deg >= 1);
+        });
+    }
+
+    #[test]
+    fn local_fast_path_avoids_communication() {
+        execute(RtsConfig::unbuffered(), 2, |loc| {
+            let g: PGraph<u32, ()> = PGraph::new_static(loc, 8, Directedness::Directed, 0);
+            loc.rmi_fence();
+            let before = loc.stats().remote_requests;
+            // Operate only on local vertices.
+            for vd in 0..8 {
+                if g.obj.local().vertices().contains_key(&vd) {
+                    g.set_vertex_property(vd, 9);
+                    let _ = g.vertex_property(vd);
+                }
+            }
+            let after = loc.stats().remote_requests;
+            assert_eq!(before, after, "local vertex ops must not communicate");
+        });
+    }
+
+    #[test]
+    fn local_iteration_and_counts() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let g: PGraph<usize, ()> = PGraph::new_static(loc, 20, Directedness::Directed, 0);
+            g.for_each_local_vertex_mut(|v| v.property = v.descriptor * 2);
+            loc.barrier();
+            let mut n = 0;
+            g.for_each_local_vertex(|v| {
+                assert_eq!(v.property, v.descriptor * 2);
+                n += 1;
+            });
+            assert_eq!(n, g.local_num_vertices());
+            assert_eq!(loc.allreduce_sum(n as u64), 20);
+            assert_eq!(g.local_vertices().len(), n);
+        });
+    }
+
+    #[test]
+    fn two_phase_resolution_also_routes_correctly() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let g: PGraph<u32, u8> = PGraph::new_dynamic(
+                loc,
+                Directedness::Directed,
+                GraphPartitionKind::DynamicTwoPhase,
+            );
+            let vd = g.add_vertex(loc.id() as u32);
+            g.commit();
+            let all = loc.allgather(vd);
+            for &p in &all {
+                assert_eq!(g.vertex_property(p), (p % loc.nlocs()) as u32);
+            }
+        });
+    }
+}

@@ -1,0 +1,42 @@
+//! # stapl-containers — the pContainer library
+//!
+//! The containers of Chapters IX–XIII, all assembled from the
+//! `stapl-core` PCF modules (Fig. 12's inheritance, expressed as
+//! composition of the framework parts):
+//!
+//! | Container | Taxonomy (Fig. 5) | Module |
+//! |---|---|---|
+//! | [`array::PArray`] | static, indexed | [`array`] |
+//! | [`vector::PVector`] | dynamic, indexed + sequence | [`vector`] |
+//! | [`list::PList`] | dynamic, sequence | [`list`] |
+//! | [`matrix::PMatrix`] | static, indexed (2-D) | [`matrix`] |
+//! | [`graph::PGraph`] | dynamic, relational | [`graph`] |
+//! | [`associative::PMap`] etc. | dynamic, associative | [`associative`] |
+//! | [`composed`] helpers | pContainer of pContainers | [`composed`] |
+
+pub mod array;
+pub mod associative;
+pub mod composed;
+pub mod generators;
+pub mod graph;
+pub mod list;
+pub mod matrix;
+pub mod slab_list;
+pub mod vector;
+
+pub mod prelude {
+    pub use crate::array::{ArrayStorage, PArray};
+    pub use crate::associative::{PAssoc, PHashMap, PHashSet, PMap, PMultiMap, PSet};
+    pub use crate::composed::{
+        nested_apply, nested_get, nested_resize, nested_set, LocalArray, NestedGid,
+    };
+    pub use crate::generators::{
+        dynamic_digraph_with_vertices, fill_binary_tree, fill_dag_with_sources, fill_mesh,
+        fill_random, fill_ssca2, static_digraph, Ssca2Params,
+    };
+    pub use crate::graph::{Directedness, Edge, GraphPartitionKind, PGraph, Vertex, VertexDesc};
+    pub use crate::list::{ListGid, PList};
+    pub use crate::matrix::PMatrix;
+    pub use crate::slab_list::SlabList;
+    pub use crate::vector::PVector;
+}

@@ -1,0 +1,637 @@
+//! pList (Chapter X): a distributed doubly-linked sequence.
+//!
+//! Each location owns one or more [`SlabList`](crate::slab_list::SlabList)
+//! base containers; the global linearization is base-container order
+//! (an ordered partition, Fig. 37) × within-list order. Element GIDs are
+//! stable `(bcid, seq)` pairs, so — unlike pVector — inserts and erases
+//! are O(1) and never invalidate other elements' GIDs. The
+//! [`PList::push_anywhere`] method is the paper's scalable insertion: it
+//! appends to a local base container with **no communication at all**.
+
+use stapl_core::bcontainer::{BaseContainer, MemSize};
+use stapl_core::gid::Bcid;
+use stapl_core::interfaces::{
+    DynamicPContainer, ElementRead, ElementWrite, LocalIteration, PContainer, SequenceContainer,
+};
+use stapl_core::location_manager::LocationManager;
+use stapl_core::pobject::PObject;
+use stapl_core::thread_safety::{methods, ThreadSafety};
+use stapl_rts::{LocId, Location, RmiFuture};
+
+use crate::slab_list::SlabList;
+
+/// Stable global identifier of a pList element: the base container it
+/// lives in plus its never-reused sequence number there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ListGid {
+    pub bcid: Bcid,
+    pub seq: u64,
+}
+
+/// pList base container: a slab list plus its BCID.
+pub struct ListBc<T> {
+    list: SlabList<T>,
+}
+
+impl<T: 'static> BaseContainer for ListBc<T> {
+    type Value = T;
+
+    fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    fn clear(&mut self) {
+        self.list.clear();
+    }
+
+    fn memory_size(&self) -> MemSize {
+        let (meta, data) = self.list.memory_bytes();
+        MemSize::new(meta, data)
+    }
+}
+
+/// Per-location representative.
+pub struct ListRep<T> {
+    lm: LocationManager<ListBc<T>>,
+    /// Base containers per location; global bcid = loc * bpl + k.
+    bpl: usize,
+    nlocs: usize,
+    ths: ThreadSafety,
+    /// Replicated size, refreshed lazily by `commit()` (Chapter VII.G).
+    cached_size: usize,
+    /// Round-robin cursor for `push_anywhere` across local bContainers.
+    anywhere_cursor: usize,
+}
+
+impl<T: Send + Clone + 'static> ListRep<T> {
+    fn bc(&self, bcid: Bcid) -> &SlabList<T> {
+        &self.lm.get(bcid).expect("pList: bcid not on this location").list
+    }
+
+    fn bc_mut(&mut self, bcid: Bcid) -> &mut SlabList<T> {
+        &mut self.lm.get_mut(bcid).expect("pList: bcid not on this location").list
+    }
+}
+
+/// The STAPL pList.
+///
+/// ```
+/// use stapl_rts::{execute, RtsConfig};
+/// use stapl_containers::list::PList;
+/// use stapl_core::interfaces::PContainer;
+///
+/// execute(RtsConfig::default(), 2, |loc| {
+///     let l: PList<u32> = PList::new(loc);
+///     // Scalable insertion: local, no communication, O(1).
+///     let gid = l.push_anywhere(loc.id() as u32);
+///     assert!(l.contains(gid));
+///     l.commit(); // refresh the lazily replicated size
+///     assert_eq!(l.global_size(), 2);
+/// });
+/// ```
+pub struct PList<T: Send + Clone + 'static> {
+    obj: PObject<ListRep<T>>,
+}
+
+impl<T: Send + Clone + 'static> Clone for PList<T> {
+    fn clone(&self) -> Self {
+        PList { obj: self.obj.clone() }
+    }
+}
+
+impl<T: Send + Clone + 'static> PList<T> {
+    /// **Collective.** An empty pList with one base container per location.
+    pub fn new(loc: &Location) -> Self {
+        Self::with_bcontainers(loc, 1)
+    }
+
+    /// **Collective.** An empty pList with `bpl` base containers per
+    /// location (the partition granularity knob of Fig. 37).
+    pub fn with_bcontainers(loc: &Location, bpl: usize) -> Self {
+        assert!(bpl >= 1);
+        let mut lm = LocationManager::new();
+        for k in 0..bpl {
+            lm.add_bcontainer(loc.id() * bpl + k, ListBc { list: SlabList::new() });
+        }
+        let rep = ListRep {
+            lm,
+            bpl,
+            nlocs: loc.nlocs(),
+            ths: ThreadSafety::unlocked(),
+            cached_size: 0,
+            anywhere_cursor: 0,
+        };
+        let obj = PObject::register(loc, rep);
+        loc.barrier();
+        PList { obj }
+    }
+
+    fn owner_of(&self, bcid: Bcid) -> LocId {
+        let rep = self.obj.local();
+        bcid / rep.bpl
+    }
+
+    fn me(&self) -> LocId {
+        self.obj.location().id()
+    }
+
+    /// Appends at the global end (last base container of the last
+    /// location). Asynchronous.
+    pub fn push_back(&self, v: T) {
+        let (nlocs, bpl) = {
+            let rep = self.obj.local();
+            (rep.nlocs, rep.bpl)
+        };
+        let bcid = nlocs * bpl - 1;
+        self.obj.invoke_at(nlocs - 1, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let ths = rep.ths.clone();
+            let _g = ths.guard(methods::PUSH_BACK, 0, bcid);
+            rep.bc_mut(bcid).push_back(v);
+        });
+    }
+
+    /// Prepends at the global front. Asynchronous.
+    pub fn push_front(&self, v: T) {
+        self.obj.invoke_at(0, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let ths = rep.ths.clone();
+            let _g = ths.guard(methods::PUSH_FRONT, 0, 0);
+            rep.bc_mut(0).push_front(v);
+        });
+    }
+
+    /// Adds the element at an unspecified position — into a local base
+    /// container, with no communication (the paper's `push_anywhere`).
+    /// Returns the new element's GID immediately.
+    pub fn push_anywhere(&self, v: T) -> ListGid {
+        let mut rep = self.obj.local_mut();
+        let rep = &mut *rep;
+        let k = rep.anywhere_cursor % rep.bpl;
+        rep.anywhere_cursor = rep.anywhere_cursor.wrapping_add(1);
+        let bcid = self.obj.location().id() * rep.bpl + k;
+        let ths = rep.ths.clone();
+        let _g = ths.guard(methods::PUSH_ANYWHERE, 0, bcid);
+        let seq = rep.bc_mut(bcid).push_back(v);
+        ListGid { bcid, seq }
+    }
+
+    /// Synchronously inserts before `gid`, returning the new GID, or
+    /// `None` when `gid` no longer exists.
+    pub fn insert_before(&self, gid: ListGid, v: T) -> Option<ListGid> {
+        let owner = self.owner_of(gid.bcid);
+        self.obj.invoke_ret_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let ths = rep.ths.clone();
+            let _g = ths.guard(methods::INSERT, gid.seq, gid.bcid);
+            rep.bc_mut(gid.bcid)
+                .insert_before(gid.seq, v)
+                .map(|seq| ListGid { bcid: gid.bcid, seq })
+        })
+    }
+
+    /// Front/back GIDs of the global linearization (synchronous scans over
+    /// base containers in order; `None` for an empty list).
+    pub fn front_gid(&self) -> Option<ListGid> {
+        let (nlocs, bpl) = {
+            let rep = self.obj.local();
+            (rep.nlocs, rep.bpl)
+        };
+        for bcid in 0..nlocs * bpl {
+            let owner = bcid / bpl;
+            let found: Option<u64> =
+                self.obj.invoke_ret_at(owner, move |cell, _| cell.borrow().bc(bcid).front_id());
+            if let Some(seq) = found {
+                return Some(ListGid { bcid, seq });
+            }
+        }
+        None
+    }
+
+    pub fn back_gid(&self) -> Option<ListGid> {
+        let (nlocs, bpl) = {
+            let rep = self.obj.local();
+            (rep.nlocs, rep.bpl)
+        };
+        for bcid in (0..nlocs * bpl).rev() {
+            let owner = bcid / bpl;
+            let found: Option<u64> =
+                self.obj.invoke_ret_at(owner, move |cell, _| cell.borrow().bc(bcid).back_id());
+            if let Some(seq) = found {
+                return Some(ListGid { bcid, seq });
+            }
+        }
+        None
+    }
+
+    /// GID following `gid` in the global linearization (synchronous).
+    pub fn next_gid(&self, gid: ListGid) -> Option<ListGid> {
+        let owner = self.owner_of(gid.bcid);
+        let within: Option<u64> =
+            self.obj.invoke_ret_at(owner, move |cell, _| cell.borrow().bc(gid.bcid).next_id(gid.seq));
+        if let Some(seq) = within {
+            return Some(ListGid { bcid: gid.bcid, seq });
+        }
+        // Cross into the next non-empty base container.
+        let (nlocs, bpl) = {
+            let rep = self.obj.local();
+            (rep.nlocs, rep.bpl)
+        };
+        for bcid in gid.bcid + 1..nlocs * bpl {
+            let owner = bcid / bpl;
+            let found: Option<u64> =
+                self.obj.invoke_ret_at(owner, move |cell, _| cell.borrow().bc(bcid).front_id());
+            if let Some(seq) = found {
+                return Some(ListGid { bcid, seq });
+            }
+        }
+        None
+    }
+
+    /// Synchronous existence check.
+    pub fn contains(&self, gid: ListGid) -> bool {
+        let owner = self.owner_of(gid.bcid);
+        self.obj.invoke_ret_at(owner, move |cell, _| cell.borrow().bc(gid.bcid).contains(gid.seq))
+    }
+
+    /// Fallible synchronous read.
+    pub fn try_get(&self, gid: ListGid) -> Option<T> {
+        let owner = self.owner_of(gid.bcid);
+        self.obj
+            .invoke_ret_at(owner, move |cell, _| cell.borrow().bc(gid.bcid).get(gid.seq).cloned())
+    }
+
+    /// **Collective.** All elements in global linearization order —
+    /// a test/debug helper, O(n) communication.
+    pub fn collect_ordered(&self) -> Vec<T> {
+        let local: Vec<(Bcid, Vec<T>)> = {
+            let rep = self.obj.local();
+            rep.lm
+                .iter()
+                .map(|(bcid, bc)| (bcid, bc.list.iter().map(|(_, v)| v.clone()).collect()))
+                .collect()
+        };
+        let mut all = self.obj.location().allreduce(local, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+        all.sort_by_key(|(bcid, _)| *bcid);
+        all.into_iter().flat_map(|(_, vs)| vs).collect()
+    }
+}
+
+impl<T: Send + Clone + 'static> PContainer for PList<T> {
+    fn location(&self) -> &Location {
+        self.obj.location()
+    }
+
+    /// The lazily replicated size (exact right after [`PContainer::commit`]).
+    fn global_size(&self) -> usize {
+        self.obj.local().cached_size
+    }
+
+    fn local_size(&self) -> usize {
+        self.obj.local().lm.local_len()
+    }
+
+    fn commit(&self) {
+        let loc = self.obj.location().clone();
+        loc.rmi_fence();
+        let local = self.local_size() as u64;
+        let total = loc.allreduce_sum(local);
+        self.obj.local_mut().cached_size = total as usize;
+        loc.barrier();
+    }
+
+    fn memory_size(&self) -> MemSize {
+        let local = self.obj.local().lm.memory_size();
+        self.obj.location().allreduce(local, |a, b| a + b)
+    }
+}
+
+impl<T: Send + Clone + 'static> DynamicPContainer for PList<T> {
+    fn clear(&self) {
+        let loc = self.obj.location().clone();
+        loc.rmi_fence();
+        {
+            let mut rep = self.obj.local_mut();
+            rep.lm.clear();
+            rep.cached_size = 0;
+        }
+        loc.barrier();
+    }
+}
+
+impl<T: Send + Clone + 'static> ElementRead<ListGid> for PList<T> {
+    type Value = T;
+
+    fn get_element(&self, gid: ListGid) -> T {
+        self.try_get(gid).expect("pList: GID does not name a live element")
+    }
+
+    fn split_get_element(&self, gid: ListGid) -> RmiFuture<T> {
+        let owner = self.owner_of(gid.bcid);
+        self.obj.invoke_split_at(owner, move |cell, _| {
+            cell.borrow()
+                .bc(gid.bcid)
+                .get(gid.seq)
+                .cloned()
+                .expect("pList: GID does not name a live element")
+        })
+    }
+
+    fn is_local(&self, gid: ListGid) -> bool {
+        self.owner_of(gid.bcid) == self.me()
+    }
+}
+
+impl<T: Send + Clone + 'static> ElementWrite<ListGid> for PList<T> {
+    fn set_element(&self, gid: ListGid, v: T) {
+        let owner = self.owner_of(gid.bcid);
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let ths = rep.ths.clone();
+            let _g = ths.guard(methods::SET, gid.seq, gid.bcid);
+            if let Some(slot) = rep.bc_mut(gid.bcid).get_mut(gid.seq) {
+                *slot = v;
+            }
+        });
+    }
+
+    fn apply_set<F>(&self, gid: ListGid, f: F)
+    where
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        let owner = self.owner_of(gid.bcid);
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let ths = rep.ths.clone();
+            let _g = ths.guard(methods::APPLY, gid.seq, gid.bcid);
+            if let Some(slot) = rep.bc_mut(gid.bcid).get_mut(gid.seq) {
+                f(slot);
+            }
+        });
+    }
+
+    fn apply_get<R, F>(&self, gid: ListGid, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        let owner = self.owner_of(gid.bcid);
+        self.obj.invoke_ret_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let ths = rep.ths.clone();
+            let _g = ths.guard(methods::APPLY, gid.seq, gid.bcid);
+            f(rep.bc_mut(gid.bcid).get_mut(gid.seq).expect("pList: GID does not name a live element"))
+        })
+    }
+}
+
+impl<T: Send + Clone + 'static> LocalIteration<ListGid> for PList<T> {
+    fn for_each_local(&self, mut f: impl FnMut(ListGid, &T)) {
+        let rep = self.obj.local();
+        for (bcid, bc) in rep.lm.iter() {
+            for (seq, v) in bc.list.iter() {
+                f(ListGid { bcid, seq }, v);
+            }
+        }
+    }
+
+    fn for_each_local_mut(&self, mut f: impl FnMut(ListGid, &mut T)) {
+        // SlabList has no ordered iter_mut; collect ids first (cheap: ids
+        // only), then mutate through get_mut.
+        let ids: Vec<ListGid> = {
+            let rep = self.obj.local();
+            rep.lm
+                .iter()
+                .flat_map(|(bcid, bc)| {
+                    bc.list.iter().map(move |(seq, _)| ListGid { bcid, seq }).collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let mut rep = self.obj.local_mut();
+        for gid in ids {
+            f(gid, rep.bc_mut(gid.bcid).get_mut(gid.seq).expect("live"));
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> SequenceContainer<ListGid> for PList<T> {
+    fn push_back(&self, v: T) {
+        PList::push_back(self, v);
+    }
+
+    fn push_front(&self, v: T) {
+        PList::push_front(self, v);
+    }
+
+    fn push_anywhere(&self, v: T) {
+        PList::push_anywhere(self, v);
+    }
+
+    fn insert_before_async(&self, gid: ListGid, v: T) {
+        let owner = self.owner_of(gid.bcid);
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let ths = rep.ths.clone();
+            let _g = ths.guard(methods::INSERT, gid.seq, gid.bcid);
+            rep.bc_mut(gid.bcid).insert_before(gid.seq, v);
+        });
+    }
+
+    fn erase_async(&self, gid: ListGid) {
+        let owner = self.owner_of(gid.bcid);
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let ths = rep.ths.clone();
+            let _g = ths.guard(methods::ERASE, gid.seq, gid.bcid);
+            rep.bc_mut(gid.bcid).erase(gid.seq);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn push_anywhere_is_local_and_commit_counts() {
+        execute(RtsConfig::unbuffered(), 4, |loc| {
+            let l = PList::new(loc);
+            let before = loc.stats().remote_requests;
+            for i in 0..10 {
+                let gid = l.push_anywhere(loc.id() * 10 + i);
+                assert!(l.is_local(gid));
+            }
+            let after = loc.stats().remote_requests;
+            assert_eq!(before, after, "push_anywhere must not communicate");
+            l.commit();
+            assert_eq!(l.global_size(), 40);
+        });
+    }
+
+    #[test]
+    fn global_order_is_bcid_then_list_order() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let l = PList::new(loc);
+            // Each location appends locally; global order must be loc 0's
+            // elements, then loc 1's, then loc 2's.
+            for i in 0..3 {
+                l.push_anywhere(loc.id() as i64 * 100 + i);
+            }
+            l.commit();
+            let v = l.collect_ordered();
+            assert_eq!(v, vec![0, 1, 2, 100, 101, 102, 200, 201, 202]);
+        });
+    }
+
+    #[test]
+    fn push_back_and_front_hit_the_ends() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let l = PList::new(loc);
+            if loc.id() == 1 {
+                l.push_back(99i32);
+                l.push_front(-1);
+            }
+            l.commit();
+            let v = l.collect_ordered();
+            assert_eq!(v, vec![-1, 99]);
+            let front = l.front_gid().unwrap();
+            let back = l.back_gid().unwrap();
+            assert_eq!(l.get_element(front), -1);
+            assert_eq!(l.get_element(back), 99);
+            assert_eq!(front.bcid, 0);
+            assert_eq!(back.bcid, loc.nlocs() - 1);
+        });
+    }
+
+    #[test]
+    fn insert_before_preserves_order() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let l = PList::new(loc);
+            let anchor = (loc.id() == 0).then(|| l.push_anywhere(10));
+            loc.rmi_fence();
+            if let Some(a) = anchor {
+                let b = l.insert_before(a, 5).unwrap();
+                let c = l.insert_before(b, 1).unwrap();
+                assert!(l.contains(c));
+            }
+            l.commit();
+            if loc.id() == 0 {
+                assert_eq!(l.collect_ordered(), vec![1, 5, 10]);
+            } else {
+                l.collect_ordered(); // collective participation
+            }
+        });
+    }
+
+    #[test]
+    fn remote_insert_before_and_erase() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let l = PList::new(loc);
+            let gid = (loc.id() == 1).then(|| l.push_anywhere(7i32));
+            let gid = loc.broadcast(1, gid);
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                // Remote (cross-location) insert before location 1's element.
+                let g2 = l.insert_before(gid.unwrap(), 3).unwrap();
+                assert_eq!(l.try_get(g2), Some(3));
+                l.erase_async(gid.unwrap());
+            }
+            l.commit();
+            assert_eq!(l.collect_ordered(), vec![3]);
+            assert_eq!(l.global_size(), 1);
+        });
+    }
+
+    #[test]
+    fn set_and_apply_cross_location() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let l = PList::new(loc);
+            let g = (loc.id() == 0).then(|| l.push_anywhere(1u64));
+            let g = loc.broadcast(0, g).unwrap();
+            loc.rmi_fence();
+            if loc.id() == 1 {
+                l.set_element(g, 5);
+                l.apply_set(g, |v| *v *= 3);
+                let seen = l.apply_get(g, |v| *v);
+                assert_eq!(seen, 15);
+            }
+            loc.rmi_fence();
+            assert_eq!(l.get_element(g), 15);
+        });
+    }
+
+    #[test]
+    fn traversal_crosses_bcontainers() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let l = PList::new(loc);
+            l.push_anywhere(loc.id() as u32);
+            l.commit();
+            if loc.id() == 0 {
+                let mut gids = vec![l.front_gid().unwrap()];
+                while let Some(n) = l.next_gid(*gids.last().unwrap()) {
+                    gids.push(n);
+                }
+                let vals: Vec<u32> = gids.iter().map(|g| l.get_element(*g)).collect();
+                assert_eq!(vals, vec![0, 1, 2]);
+            }
+        });
+    }
+
+    #[test]
+    fn multiple_bcontainers_per_location() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let l = PList::with_bcontainers(loc, 3);
+            for i in 0..6 {
+                l.push_anywhere(loc.id() * 100 + i);
+            }
+            l.commit();
+            assert_eq!(l.global_size(), 12);
+            // push_anywhere round-robins across the 3 local bContainers.
+            let mut per_bc = std::collections::HashMap::new();
+            l.for_each_local(|g, _| *per_bc.entry(g.bcid).or_insert(0) += 1);
+            assert_eq!(per_bc.len(), 3);
+            assert!(per_bc.values().all(|&c| c == 2));
+        });
+    }
+
+    #[test]
+    fn clear_empties_globally() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let l = PList::new(loc);
+            l.push_anywhere(1);
+            l.push_back(2);
+            l.commit();
+            // Both locations pushed: 2 × push_anywhere + 2 × push_back.
+            assert_eq!(l.global_size(), 4);
+            l.clear();
+            l.commit();
+            assert_eq!(l.global_size(), 0);
+            assert!(l.front_gid().is_none());
+        });
+    }
+
+    #[test]
+    fn erase_then_insert_before_misses_gracefully() {
+        execute(RtsConfig::default(), 1, |loc| {
+            let l = PList::new(loc);
+            let g = l.push_anywhere(1);
+            l.erase_async(g);
+            loc.rmi_fence();
+            assert_eq!(l.insert_before(g, 2), None);
+            assert_eq!(l.try_get(g), None);
+            assert!(!l.contains(g));
+        });
+    }
+}

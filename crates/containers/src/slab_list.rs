@@ -1,0 +1,373 @@
+//! A slab-allocated doubly-linked list with stable element identifiers —
+//! the sequential substrate under the pList base containers.
+//!
+//! STAPL's pList base container is an STL list whose iterators stay valid
+//! across unrelated inserts/erases. In Rust, the equivalent stability is
+//! provided by *sequence numbers*: every inserted element gets a `u64` id
+//! that never moves; nodes live in a slab (`Vec` + free list), and an
+//! id → slot map supports O(1) access, insert-before, and erase.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Node<T> {
+    seq: u64,
+    val: T,
+    prev: usize,
+    next: usize,
+}
+
+/// Doubly-linked list with O(1) push/insert/erase by stable id.
+pub struct SlabList<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<usize>,
+    index: HashMap<u64, usize>,
+    head: usize,
+    tail: usize,
+    next_seq: u64,
+}
+
+impl<T> Default for SlabList<T> {
+    fn default() -> Self {
+        SlabList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> SlabList<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn alloc(&mut self, val: T) -> (u64, usize) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let node = Node { seq, val, prev: NIL, next: NIL };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s] = node;
+                s
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.index.insert(seq, slot);
+        (seq, slot)
+    }
+
+    /// Appends; returns the element's stable id.
+    pub fn push_back(&mut self, val: T) -> u64 {
+        let (seq, slot) = self.alloc(val);
+        if self.tail == NIL {
+            self.head = slot;
+            self.tail = slot;
+        } else {
+            self.nodes[self.tail].next = slot;
+            self.nodes[slot].prev = self.tail;
+            self.tail = slot;
+        }
+        seq
+    }
+
+    /// Prepends; returns the element's stable id.
+    pub fn push_front(&mut self, val: T) -> u64 {
+        let (seq, slot) = self.alloc(val);
+        if self.head == NIL {
+            self.head = slot;
+            self.tail = slot;
+        } else {
+            self.nodes[self.head].prev = slot;
+            self.nodes[slot].next = self.head;
+            self.head = slot;
+        }
+        seq
+    }
+
+    /// Inserts before the element with id `before`; `None` if `before`
+    /// does not exist (e.g. it was concurrently erased).
+    pub fn insert_before(&mut self, before: u64, val: T) -> Option<u64> {
+        let &anchor = self.index.get(&before)?;
+        let (seq, slot) = self.alloc(val);
+        let prev = self.nodes[anchor].prev;
+        self.nodes[slot].next = anchor;
+        self.nodes[slot].prev = prev;
+        self.nodes[anchor].prev = slot;
+        if prev == NIL {
+            self.head = slot;
+        } else {
+            self.nodes[prev].next = slot;
+        }
+        Some(seq)
+    }
+
+    /// Removes the element with id `seq`, returning its value.
+    pub fn erase(&mut self, seq: u64) -> Option<T>
+    where
+        T: Clone,
+    {
+        let slot = self.index.remove(&seq)?;
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+        self.free.push(slot);
+        Some(self.nodes[slot].val.clone())
+    }
+
+    pub fn get(&self, seq: u64) -> Option<&T> {
+        self.index.get(&seq).map(|&s| &self.nodes[s].val)
+    }
+
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut T> {
+        let &slot = self.index.get(&seq)?;
+        Some(&mut self.nodes[slot].val)
+    }
+
+    pub fn contains(&self, seq: u64) -> bool {
+        self.index.contains_key(&seq)
+    }
+
+    pub fn front_id(&self) -> Option<u64> {
+        (self.head != NIL).then(|| self.nodes[self.head].seq)
+    }
+
+    pub fn back_id(&self) -> Option<u64> {
+        (self.tail != NIL).then(|| self.nodes[self.tail].seq)
+    }
+
+    /// Id of the element after `seq` in list order.
+    pub fn next_id(&self, seq: u64) -> Option<u64> {
+        let &slot = self.index.get(&seq)?;
+        let n = self.nodes[slot].next;
+        (n != NIL).then(|| self.nodes[n].seq)
+    }
+
+    /// Id of the element before `seq` in list order.
+    pub fn prev_id(&self, seq: u64) -> Option<u64> {
+        let &slot = self.index.get(&seq)?;
+        let p = self.nodes[slot].prev;
+        (p != NIL).then(|| self.nodes[p].seq)
+    }
+
+    /// In-order traversal.
+    pub fn iter(&self) -> SlabIter<'_, T> {
+        SlabIter { list: self, cur: self.head }
+    }
+
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.index.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Bytes used: slab + index (metadata) and values (data).
+    pub fn memory_bytes(&self) -> (usize, usize) {
+        let node_overhead = std::mem::size_of::<Node<T>>() - std::mem::size_of::<T>();
+        let meta = self.nodes.capacity() * node_overhead
+            + self.free.capacity() * std::mem::size_of::<usize>()
+            + self.index.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<usize>() * 2);
+        let data = self.nodes.capacity() * std::mem::size_of::<T>();
+        (meta, data)
+    }
+}
+
+pub struct SlabIter<'a, T> {
+    list: &'a SlabList<T>,
+    cur: usize,
+}
+
+impl<'a, T> Iterator for SlabIter<'a, T> {
+    type Item = (u64, &'a T);
+
+    fn next(&mut self) -> Option<(u64, &'a T)> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur];
+        self.cur = node.next;
+        Some((node.seq, &node.val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values(l: &SlabList<i32>) -> Vec<i32> {
+        l.iter().map(|(_, v)| *v).collect()
+    }
+
+    #[test]
+    fn push_back_front_order() {
+        let mut l = SlabList::new();
+        l.push_back(2);
+        l.push_back(3);
+        l.push_front(1);
+        assert_eq!(values(&l), vec![1, 2, 3]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn insert_before_head_and_middle() {
+        let mut l = SlabList::new();
+        let a = l.push_back(10);
+        let c = l.push_back(30);
+        let b = l.insert_before(c, 20).unwrap();
+        assert_eq!(values(&l), vec![10, 20, 30]);
+        let z = l.insert_before(a, 5).unwrap();
+        assert_eq!(values(&l), vec![5, 10, 20, 30]);
+        assert_eq!(l.front_id(), Some(z));
+        assert_eq!(l.next_id(z), Some(a));
+        assert_eq!(l.prev_id(c), Some(b));
+    }
+
+    #[test]
+    fn insert_before_missing_returns_none() {
+        let mut l = SlabList::new();
+        l.push_back(1);
+        assert_eq!(l.insert_before(999, 2), None);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn erase_relinks() {
+        let mut l = SlabList::new();
+        let a = l.push_back(1);
+        let b = l.push_back(2);
+        let c = l.push_back(3);
+        assert_eq!(l.erase(b), Some(2));
+        assert_eq!(values(&l), vec![1, 3]);
+        assert_eq!(l.next_id(a), Some(c));
+        assert_eq!(l.prev_id(c), Some(a));
+        assert_eq!(l.erase(a), Some(1));
+        assert_eq!(l.front_id(), Some(c));
+        assert_eq!(l.erase(c), Some(3));
+        assert!(l.is_empty());
+        assert_eq!(l.front_id(), None);
+        assert_eq!(l.back_id(), None);
+    }
+
+    #[test]
+    fn erase_missing_is_none() {
+        let mut l: SlabList<i32> = SlabList::new();
+        assert_eq!(l.erase(0), None);
+    }
+
+    #[test]
+    fn slots_are_reused_but_ids_are_not() {
+        let mut l = SlabList::new();
+        let a = l.push_back(1);
+        l.erase(a);
+        let b = l.push_back(2);
+        assert_ne!(a, b, "ids must be stable / never reused");
+        assert_eq!(l.nodes.len(), 1, "slab slot must be reused");
+        assert!(!l.contains(a));
+        assert!(l.contains(b));
+    }
+
+    #[test]
+    fn get_and_get_mut() {
+        let mut l = SlabList::new();
+        let a = l.push_back(5);
+        *l.get_mut(a).unwrap() += 10;
+        assert_eq!(l.get(a), Some(&15));
+        assert_eq!(l.get(a + 1), None);
+    }
+
+    #[test]
+    fn ids_traverse_in_both_directions() {
+        let mut l = SlabList::new();
+        let ids: Vec<u64> = (0..5).map(|i| l.push_back(i)).collect();
+        let mut forward = vec![l.front_id().unwrap()];
+        while let Some(n) = l.next_id(*forward.last().unwrap()) {
+            forward.push(n);
+        }
+        assert_eq!(forward, ids);
+        let mut backward = vec![l.back_id().unwrap()];
+        while let Some(p) = l.prev_id(*backward.last().unwrap()) {
+            backward.push(p);
+        }
+        backward.reverse();
+        assert_eq!(backward, ids);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = SlabList::new();
+        l.push_back(1);
+        l.push_back(2);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(values(&l), Vec::<i32>::new());
+        l.push_back(9);
+        assert_eq!(values(&l), vec![9]);
+    }
+
+    #[test]
+    fn random_model_check_against_vec() {
+        // Drive SlabList and a reference Vec<(id, val)> with the same op
+        // stream; orders must agree at every step.
+        let mut l = SlabList::new();
+        let mut model: Vec<(u64, i32)> = Vec::new();
+        let mut rng: u64 = 0x9e3779b97f4a7c15;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for step in 0..2000 {
+            match next() % 4 {
+                0 => {
+                    let id = l.push_back(step as i32);
+                    model.push((id, step as i32));
+                }
+                1 => {
+                    let id = l.push_front(step as i32);
+                    model.insert(0, (id, step as i32));
+                }
+                2 if !model.is_empty() => {
+                    let k = (next() as usize) % model.len();
+                    let (anchor, _) = model[k];
+                    let id = l.insert_before(anchor, step as i32).unwrap();
+                    model.insert(k, (id, step as i32));
+                }
+                3 if !model.is_empty() => {
+                    let k = (next() as usize) % model.len();
+                    let (id, v) = model.remove(k);
+                    assert_eq!(l.erase(id), Some(v));
+                }
+                _ => {}
+            }
+            assert_eq!(l.len(), model.len());
+        }
+        let got: Vec<(u64, i32)> = l.iter().map(|(i, v)| (i, *v)).collect();
+        assert_eq!(got, model);
+    }
+}

@@ -1,0 +1,513 @@
+//! pVector: a dynamic indexed sequence — the pArray/pList hybrid of the
+//! paper's taxonomy (Fig. 12d).
+//!
+//! pVector gives O(1) *index-based* access (like pArray) but supports
+//! inserts and erases (like pList), paying the well-known tradeoff the
+//! paper measures in Fig. 42: inserting shifts elements inside a block
+//! (linear time) and unbalances the partition.
+//!
+//! Index → location resolution uses a replicated vector of cumulative
+//! block bounds (an [`ExplicitPartition`](stapl_core::partition::ExplicitPartition)
+//! in spirit). Structural operations leave the replicated bounds *stale*
+//! until the collective [`PContainer::commit`] refreshes them — exactly
+//! the lazy replicated metadata of Chapter VII.G. Between commits,
+//! element accesses are routed by the stale bounds and clamped into the
+//! owner's current block, which is the relaxed-consistency window the
+//! paper's mixed-operation experiments run in.
+
+use stapl_core::bcontainer::MemSize;
+use stapl_core::interfaces::{
+    DynamicPContainer, ElementRead, ElementWrite, LocalIteration, PContainer,
+};
+use stapl_core::pobject::PObject;
+use stapl_core::thread_safety::{methods, LockingPolicyTable, ThreadSafety};
+use stapl_rts::{LocId, Location, RmiFuture};
+
+/// Per-location representative: one contiguous block per location.
+pub struct VectorRep<T> {
+    data: Vec<T>,
+    /// Replicated cumulative sizes: location `l` owns global indices
+    /// `[bounds[l-1], bounds[l])` as of the last commit.
+    bounds: Vec<usize>,
+    ths: ThreadSafety,
+}
+
+impl<T> VectorRep<T> {
+    fn lo(&self, loc: LocId) -> usize {
+        if loc == 0 {
+            0
+        } else {
+            self.bounds[loc - 1]
+        }
+    }
+
+    fn locate(&self, gid: usize) -> (LocId, usize) {
+        let loc = self.bounds.partition_point(|&b| b <= gid);
+        let loc = loc.min(self.bounds.len() - 1);
+        (loc, gid - self.lo(loc))
+    }
+
+    /// Clamped local offset — see the module docs on the relaxed window.
+    fn clamp(&self, off: usize) -> usize {
+        off.min(self.data.len().saturating_sub(1))
+    }
+}
+
+/// The STAPL pVector.
+pub struct PVector<T: Send + Clone + 'static> {
+    obj: PObject<VectorRep<T>>,
+}
+
+impl<T: Send + Clone + 'static> Clone for PVector<T> {
+    fn clone(&self) -> Self {
+        PVector { obj: self.obj.clone() }
+    }
+}
+
+impl<T: Send + Clone + 'static> PVector<T> {
+    /// **Collective.** A pVector of `n` copies of `init`, balanced.
+    pub fn new(loc: &Location, n: usize, init: T) -> Self {
+        let nlocs = loc.nlocs();
+        let base = n / nlocs;
+        let extra = n % nlocs;
+        let mine = base + usize::from(loc.id() < extra);
+        let mut bounds = Vec::with_capacity(nlocs);
+        let mut acc = 0;
+        for l in 0..nlocs {
+            acc += base + usize::from(l < extra);
+            bounds.push(acc);
+        }
+        let rep = VectorRep {
+            data: vec![init; mine],
+            bounds,
+            ths: ThreadSafety::new(
+                LockingPolicyTable::dynamic_default(),
+                std::sync::Arc::new(stapl_core::thread_safety::NoLockManager),
+            ),
+        };
+        let obj = PObject::register(loc, rep);
+        loc.barrier();
+        PVector { obj }
+    }
+
+    /// **Collective.** Builds with `f(i)` at every index, locally.
+    pub fn from_fn(loc: &Location, n: usize, f: impl Fn(usize) -> T) -> Self
+    where
+        T: Default,
+    {
+        let v = Self::new(loc, n, T::default());
+        {
+            let mut rep = v.obj.local_mut();
+            let lo = rep.lo(loc.id());
+            for (k, slot) in rep.data.iter_mut().enumerate() {
+                *slot = f(lo + k);
+            }
+        }
+        loc.barrier();
+        v
+    }
+
+    fn locate(&self, gid: usize) -> (LocId, usize) {
+        self.obj.local().locate(gid)
+    }
+
+    /// Asynchronously inserts `v` before global index `gid` (clamped into
+    /// the owner block's current extent). O(block) — the linear cost the
+    /// paper contrasts with pList's O(1).
+    pub fn insert_async(&self, gid: usize, v: T) {
+        let (owner, off) = self.locate(gid);
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let _g = rep.ths.guard(methods::INSERT, gid as u64, owner);
+            let at = off.min(rep.data.len());
+            rep.data.insert(at, v);
+        });
+    }
+
+    /// Asynchronously erases the element at global index `gid` (clamped).
+    pub fn erase_async(&self, gid: usize) {
+        let (owner, off) = self.locate(gid);
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let _g = rep.ths.guard(methods::ERASE, gid as u64, owner);
+            if !rep.data.is_empty() {
+                let at = rep.clamp(off);
+                rep.data.remove(at);
+            }
+        });
+    }
+
+    /// Appends at the global end (amortized O(1) at the last location).
+    pub fn push_back(&self, v: T) {
+        let last = self.obj.location().nlocs() - 1;
+        self.obj.invoke_at(last, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let _g = rep.ths.guard(methods::PUSH_BACK, 0, last);
+            rep.data.push(v);
+        });
+    }
+
+    /// Removes the globally last element.
+    pub fn pop_back(&self) {
+        let last = self.obj.location().nlocs() - 1;
+        self.obj.invoke_at(last, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let _g = rep.ths.guard(methods::POP_BACK, 0, last);
+            rep.data.pop();
+        });
+    }
+
+    /// **Collective.** All elements in index order (test/debug helper).
+    pub fn collect_ordered(&self) -> Vec<T> {
+        let local = (self.obj.location().id(), self.obj.local().data.clone());
+        let mut all = self.obj.location().allreduce(vec![local], |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+        all.sort_by_key(|(l, _)| *l);
+        all.into_iter().flat_map(|(_, d)| d).collect()
+    }
+}
+
+impl<T: Send + Clone + 'static> PContainer for PVector<T> {
+    fn location(&self) -> &Location {
+        self.obj.location()
+    }
+
+    /// Size as of the last commit (lazy replicated metadata).
+    fn global_size(&self) -> usize {
+        *self.obj.local().bounds.last().unwrap()
+    }
+
+    fn local_size(&self) -> usize {
+        self.obj.local().data.len()
+    }
+
+    /// **Collective.** Drains pending structural ops and rebuilds the
+    /// replicated bounds so indices are exact again.
+    fn commit(&self) {
+        let loc = self.obj.location().clone();
+        loc.rmi_fence();
+        let lens = loc.allgather(self.obj.local().data.len());
+        let mut acc = 0;
+        let bounds: Vec<usize> = lens
+            .into_iter()
+            .map(|l| {
+                acc += l;
+                acc
+            })
+            .collect();
+        self.obj.local_mut().bounds = bounds;
+        loc.barrier();
+    }
+
+    fn memory_size(&self) -> MemSize {
+        let local = {
+            let rep = self.obj.local();
+            MemSize::new(
+                rep.bounds.capacity() * std::mem::size_of::<usize>()
+                    + std::mem::size_of::<VectorRep<T>>(),
+                rep.data.capacity() * std::mem::size_of::<T>(),
+            )
+        };
+        self.obj.location().allreduce(local, |a, b| a + b)
+    }
+}
+
+impl<T: Send + Clone + 'static> DynamicPContainer for PVector<T> {
+    fn clear(&self) {
+        let loc = self.obj.location().clone();
+        loc.rmi_fence();
+        {
+            let mut rep = self.obj.local_mut();
+            rep.data.clear();
+            let n = rep.bounds.len();
+            rep.bounds = vec![0; n];
+        }
+        loc.barrier();
+    }
+}
+
+impl<T: Send + Clone + 'static> ElementRead<usize> for PVector<T> {
+    type Value = T;
+
+    fn get_element(&self, gid: usize) -> T {
+        let (owner, off) = self.locate(gid);
+        self.obj.invoke_ret_at(owner, move |cell, _| {
+            let rep = cell.borrow();
+            let _g = rep.ths.guard(methods::GET, gid as u64, owner);
+            rep.data[rep.clamp(off)].clone()
+        })
+    }
+
+    fn split_get_element(&self, gid: usize) -> RmiFuture<T> {
+        let (owner, off) = self.locate(gid);
+        self.obj.invoke_split_at(owner, move |cell, _| {
+            let rep = cell.borrow();
+            rep.data[rep.clamp(off)].clone()
+        })
+    }
+
+    fn is_local(&self, gid: usize) -> bool {
+        self.locate(gid).0 == self.obj.location().id()
+    }
+}
+
+impl<T: Send + Clone + 'static> ElementWrite<usize> for PVector<T> {
+    fn set_element(&self, gid: usize, v: T) {
+        let (owner, off) = self.locate(gid);
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let _g = rep.ths.guard(methods::SET, gid as u64, owner);
+            if !rep.data.is_empty() {
+                let at = rep.clamp(off);
+                rep.data[at] = v;
+            }
+        });
+    }
+
+    fn apply_set<F>(&self, gid: usize, f: F)
+    where
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        let (owner, off) = self.locate(gid);
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let _g = rep.ths.guard(methods::APPLY, gid as u64, owner);
+            if !rep.data.is_empty() {
+                let at = rep.clamp(off);
+                f(&mut rep.data[at]);
+            }
+        });
+    }
+
+    fn apply_get<R, F>(&self, gid: usize, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut T) -> R + Send + 'static,
+    {
+        let (owner, off) = self.locate(gid);
+        self.obj.invoke_ret_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let _g = rep.ths.guard(methods::APPLY, gid as u64, owner);
+            let at = rep.clamp(off);
+            f(&mut rep.data[at])
+        })
+    }
+}
+
+impl<T: Send + Clone + 'static> LocalIteration<usize> for PVector<T> {
+    fn for_each_local(&self, mut f: impl FnMut(usize, &T)) {
+        let rep = self.obj.local();
+        let lo = rep.lo(self.obj.location().id());
+        for (k, v) in rep.data.iter().enumerate() {
+            f(lo + k, v);
+        }
+    }
+
+    fn for_each_local_mut(&self, mut f: impl FnMut(usize, &mut T)) {
+        let me = self.obj.location().id();
+        let mut rep = self.obj.local_mut();
+        let lo = rep.lo(me);
+        for (k, v) in rep.data.iter_mut().enumerate() {
+            f(lo + k, v);
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> stapl_core::interfaces::SequenceContainer<usize> for PVector<T> {
+    fn push_back(&self, v: T) {
+        PVector::push_back(self, v);
+    }
+
+    /// O(first block): shifts location 0's block right.
+    fn push_front(&self, v: T) {
+        self.obj.invoke_at(0, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            rep.data.insert(0, v);
+        });
+    }
+
+    /// pVector has no position-free insertion cheaper than the last
+    /// block's end; `push_anywhere` appends to the *local* block (the
+    /// index of the new element is only exact after `commit`).
+    fn push_anywhere(&self, v: T) {
+        self.obj.local_mut().data.push(v);
+    }
+
+    fn insert_before_async(&self, gid: usize, v: T) {
+        self.insert_async(gid, v);
+    }
+
+    fn erase_async(&self, gid: usize) {
+        PVector::erase_async(self, gid);
+    }
+}
+
+impl<T: Send + Clone + 'static> stapl_core::interfaces::IndexedContainer for PVector<T> {
+    fn local_subdomains(&self) -> Vec<(usize, stapl_core::partition::IndexSubDomain)> {
+        let me = self.obj.location().id();
+        let rep = self.obj.local();
+        let lo = rep.lo(me);
+        vec![(
+            me,
+            stapl_core::partition::IndexSubDomain::Contiguous(
+                stapl_core::domain::Range1d::new(lo, lo + rep.data.len()),
+            ),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn construct_get_set() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let v = PVector::from_fn(loc, 10, |i| i as i64);
+            assert_eq!(v.global_size(), 10);
+            for i in 0..10 {
+                assert_eq!(v.get_element(i), i as i64);
+            }
+            if loc.id() == 2 {
+                v.set_element(0, -5);
+            }
+            loc.rmi_fence();
+            assert_eq!(v.get_element(0), -5);
+        });
+    }
+
+    #[test]
+    fn insert_shifts_subsequent_elements() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let v = PVector::from_fn(loc, 6, |i| i as i32 * 10);
+            if loc.id() == 0 {
+                v.insert_async(2, 99);
+            }
+            v.commit();
+            assert_eq!(v.global_size(), 7);
+            assert_eq!(v.collect_ordered(), vec![0, 10, 99, 20, 30, 40, 50]);
+        });
+    }
+
+    #[test]
+    fn erase_removes_and_commit_rebalances_bounds() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let v = PVector::from_fn(loc, 6, |i| i as i32);
+            if loc.id() == 1 {
+                v.erase_async(0);
+                v.erase_async(5); // stale index: still routed by old bounds
+            }
+            v.commit();
+            assert_eq!(v.global_size(), 4);
+            assert_eq!(v.collect_ordered(), vec![1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn push_back_appends_globally() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let v = PVector::new(loc, 3, 0u32);
+            if loc.id() == 0 {
+                v.push_back(7);
+                v.push_back(8);
+            }
+            v.commit();
+            assert_eq!(v.global_size(), 5);
+            assert_eq!(v.collect_ordered(), vec![0, 0, 0, 7, 8]);
+            assert_eq!(v.get_element(4), 8);
+            if loc.id() == 1 {
+                v.pop_back();
+            }
+            v.commit();
+            assert_eq!(v.global_size(), 4);
+        });
+    }
+
+    #[test]
+    fn apply_get_round_trips() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let v = PVector::new(loc, 4, 1u64);
+            if loc.id() == 0 {
+                let r = v.apply_get(3, |x| {
+                    *x += 9;
+                    *x
+                });
+                assert_eq!(r, 10);
+            }
+            loc.rmi_fence();
+            assert_eq!(v.get_element(3), 10);
+        });
+    }
+
+    #[test]
+    fn local_iteration_matches_bounds() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let v = PVector::from_fn(loc, 21, |i| i);
+            let mut count = 0;
+            v.for_each_local(|g, val| {
+                assert_eq!(g, *val);
+                assert!(v.is_local(g));
+                count += 1;
+            });
+            assert_eq!(count, v.local_size());
+            assert_eq!(loc.allreduce_sum(count as u64), 21);
+        });
+    }
+
+    #[test]
+    fn mixed_operations_converge_after_commit() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let v = PVector::from_fn(loc, 8, |i| i as i64);
+            // Interleave reads/writes/inserts/deletes from both locations,
+            // then commit and verify global invariants (size accounting).
+            for k in 0..4 {
+                if loc.id() == 0 {
+                    v.insert_async(k, 100 + k as i64);
+                } else {
+                    v.erase_async(7 - k);
+                }
+                let _ = v.get_element(k); // relaxed-window read must not panic
+            }
+            v.commit();
+            assert_eq!(v.global_size(), 8); // 4 inserts, 4 erases
+        });
+    }
+
+    #[test]
+    fn sequence_trait_push_front_and_anywhere() {
+        use stapl_core::interfaces::SequenceContainer;
+        execute(RtsConfig::default(), 2, |loc| {
+            let v: PVector<i32> = PVector::new(loc, 2, 0);
+            if loc.id() == 1 {
+                SequenceContainer::push_front(&v, -7);
+            }
+            SequenceContainer::push_anywhere(&v, 9); // local append, both locs
+            v.commit();
+            assert_eq!(v.global_size(), 5);
+            assert_eq!(v.get_element(0), -7);
+            let nines = v.collect_ordered().iter().filter(|x| **x == 9).count();
+            assert_eq!(nines, 2);
+        });
+    }
+
+    #[test]
+    fn clear_empties() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let v = PVector::new(loc, 10, 3u8);
+            v.clear();
+            v.commit();
+            assert_eq!(v.global_size(), 0);
+            assert_eq!(v.local_size(), 0);
+        });
+    }
+}

@@ -1,0 +1,84 @@
+//! The base-container concept (Table III) and memory accounting.
+//!
+//! A pContainer stores its data in a distributed collection of *base
+//! containers* (bContainers), one per sub-domain of the partition. Any
+//! sequential container can serve as a bContainer by implementing this
+//! minimal interface — the unification bridge the paper describes between
+//! existing data structures and the PCF.
+
+/// Memory usage report, split the way the paper reports it (Table XXII):
+/// bytes of user data vs bytes of framework metadata.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemSize {
+    pub metadata: usize,
+    pub data: usize,
+}
+
+impl MemSize {
+    pub fn new(metadata: usize, data: usize) -> Self {
+        MemSize { metadata, data }
+    }
+
+    pub fn total(&self) -> usize {
+        self.metadata + self.data
+    }
+}
+
+impl std::ops::Add for MemSize {
+    type Output = MemSize;
+
+    fn add(self, rhs: MemSize) -> MemSize {
+        MemSize { metadata: self.metadata + rhs.metadata, data: self.data + rhs.data }
+    }
+}
+
+impl std::ops::AddAssign for MemSize {
+    fn add_assign(&mut self, rhs: MemSize) {
+        self.metadata += rhs.metadata;
+        self.data += rhs.data;
+    }
+}
+
+impl std::iter::Sum for MemSize {
+    fn sum<I: Iterator<Item = MemSize>>(iter: I) -> MemSize {
+        iter.fold(MemSize::default(), |a, b| a + b)
+    }
+}
+
+/// Minimal interface every base container must provide (Table III).
+/// The `define_type` marshaling hook of the paper is unnecessary in-process
+/// (values move across locations as owned `Send` data); its role in the
+/// memory studies is played by [`BaseContainer::memory_size`].
+pub trait BaseContainer: 'static {
+    type Value;
+
+    /// Number of elements currently stored.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deallocates the elements; afterwards `len() == 0`.
+    fn clear(&mut self);
+
+    /// Bytes used, split into (metadata, data).
+    fn memory_size(&self) -> MemSize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memsize_arithmetic() {
+        let a = MemSize::new(10, 100);
+        let b = MemSize::new(5, 50);
+        assert_eq!((a + b).total(), 165);
+        let s: MemSize = [a, b, MemSize::default()].into_iter().sum();
+        assert_eq!(s, MemSize::new(15, 150));
+        let mut c = a;
+        c += b;
+        assert_eq!(c.metadata, 15);
+    }
+}

@@ -1,0 +1,356 @@
+//! Distributed GID directory for *dynamic* pContainers.
+//!
+//! Static containers resolve GID → (BCID, location) with a closed-form
+//! partition. Dynamic containers (pList, dynamic pGraph) create and delete
+//! elements at runtime, so the mapping is stored in a *directory*
+//! distributed by GID hash: the *home* location of a GID records where the
+//! element currently lives.
+//!
+//! Two resolution protocols are provided, matching the partitions compared
+//! in Fig. 51:
+//!
+//! * **Forwarding** (the paper's method forwarding, Section V.C): the
+//!   operation is shipped to the home location, which forwards it to the
+//!   owner — one-way traffic, work migrates to the data.
+//! * **Two-phase** ("no forwarding"): the requester synchronously asks the
+//!   home for the owner, then ships the operation — an extra round trip.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use stapl_rts::{LocId, Location, RmiFuture};
+
+use crate::gid::{Bcid, Gid};
+use crate::pobject::PObject;
+
+/// The home location of a GID: a hash spread over all locations.
+pub fn home_of<G: Hash>(g: &G, nlocs: usize) -> LocId {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    g.hash(&mut h);
+    (h.finish() as usize) % nlocs
+}
+
+/// One location's shard of the directory: entries for every GID whose home
+/// is this location.
+#[derive(Clone, Debug)]
+pub struct DirectoryShard<G: Gid> {
+    entries: HashMap<G, (Bcid, LocId)>,
+}
+
+impl<G: Gid> Default for DirectoryShard<G> {
+    fn default() -> Self {
+        DirectoryShard { entries: HashMap::new() }
+    }
+}
+
+impl<G: Gid> DirectoryShard<G> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, g: G, bcid: Bcid, owner: LocId) {
+        self.entries.insert(g, (bcid, owner));
+    }
+
+    pub fn remove(&mut self, g: &G) -> Option<(Bcid, LocId)> {
+        self.entries.remove(g)
+    }
+
+    pub fn get(&self, g: &G) -> Option<(Bcid, LocId)> {
+        self.entries.get(g).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate bytes used — counted as container metadata.
+    pub fn memory_size(&self) -> usize {
+        self.entries.len()
+            * (std::mem::size_of::<G>() + std::mem::size_of::<(Bcid, LocId)>() + std::mem::size_of::<u64>())
+    }
+}
+
+/// Representatives that embed a directory shard for GID type `G`.
+pub trait HasDirectory<G: Gid>: 'static {
+    fn directory(&self) -> &DirectoryShard<G>;
+    fn directory_mut(&mut self) -> &mut DirectoryShard<G>;
+}
+
+/// GID resolution protocol for dynamic containers (Fig. 51's comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// Ship the operation to the home, which forwards it to the owner.
+    Forwarding,
+    /// Ask the home for the owner (synchronous), then ship the operation.
+    TwoPhase,
+}
+
+/// Records `g` → (`bcid`, `owner`) at `g`'s home location. Asynchronous;
+/// visible after the next fence.
+pub fn dir_insert<Rep, G>(obj: &PObject<Rep>, g: G, bcid: Bcid, owner: LocId)
+where
+    Rep: HasDirectory<G>,
+    G: Gid,
+{
+    let home = home_of(&g, obj.location().nlocs());
+    obj.invoke_at(home, move |rep, _| {
+        rep.borrow_mut().directory_mut().insert(g, bcid, owner);
+    });
+}
+
+/// Deletes `g`'s directory entry. Asynchronous.
+pub fn dir_remove<Rep, G>(obj: &PObject<Rep>, g: G)
+where
+    Rep: HasDirectory<G>,
+    G: Gid,
+{
+    let home = home_of(&g, obj.location().nlocs());
+    obj.invoke_at(home, move |rep, _| {
+        rep.borrow_mut().directory_mut().remove(&g);
+    });
+}
+
+/// Synchronously resolves `g` at its home.
+pub fn dir_lookup<Rep, G>(obj: &PObject<Rep>, g: G) -> Option<(Bcid, LocId)>
+where
+    Rep: HasDirectory<G>,
+    G: Gid,
+{
+    let home = home_of(&g, obj.location().nlocs());
+    obj.invoke_ret_at(home, move |rep, _| rep.borrow().directory().get(&g))
+}
+
+/// Executes `f` on the location owning `g` (asynchronously), resolving
+/// through the directory with the chosen protocol. `f` receives
+/// `Some(bcid)` at the owner, or `None` (executed at the home for
+/// `Forwarding`, at the caller for `TwoPhase`) when `g` is unknown.
+pub fn dir_route<Rep, G, F>(obj: &PObject<Rep>, policy: Resolution, g: G, f: F)
+where
+    Rep: HasDirectory<G>,
+    G: Gid,
+    F: FnOnce(&RefCell<Rep>, &Location, Option<Bcid>) + Send + 'static,
+{
+    match policy {
+        Resolution::Forwarding => {
+            let home = home_of(&g, obj.location().nlocs());
+            let handle = obj.handle();
+            obj.invoke_at(home, move |rep, loc| {
+                let entry = { rep.borrow().directory().get(&g) };
+                match entry {
+                    None => f(rep, loc, None),
+                    Some((bcid, owner)) => {
+                        if owner == loc.id() {
+                            f(rep, loc, Some(bcid));
+                        } else {
+                            // Method forwarding: migrate the computation.
+                            loc.async_rmi(owner, handle, move |rep2: &RefCell<Rep>, loc2| {
+                                f(rep2, loc2, Some(bcid));
+                            });
+                        }
+                    }
+                }
+            });
+        }
+        Resolution::TwoPhase => match dir_lookup(obj, g) {
+            None => f(obj.rep_cell(), obj.location(), None),
+            Some((bcid, owner)) => {
+                obj.invoke_at(owner, move |rep, loc| f(rep, loc, Some(bcid)));
+            }
+        },
+    }
+}
+
+/// Like [`dir_route`] but returns a value: the executing location replies
+/// directly to the caller through a reply token, so forwarding chains cost
+/// one response regardless of hop count.
+pub fn dir_route_ret<Rep, G, R, F>(
+    obj: &PObject<Rep>,
+    policy: Resolution,
+    g: G,
+    f: F,
+) -> RmiFuture<R>
+where
+    Rep: HasDirectory<G>,
+    G: Gid,
+    R: Send + 'static,
+    F: FnOnce(&RefCell<Rep>, &Location, Option<Bcid>) -> R + Send + 'static,
+{
+    match policy {
+        Resolution::Forwarding => {
+            let (token, fut) = obj.location().make_reply_slot::<R>();
+            dir_route(obj, policy, g, move |rep, loc, bcid| {
+                let r = f(rep, loc, bcid);
+                loc.reply(token, r);
+            });
+            fut
+        }
+        Resolution::TwoPhase => match dir_lookup(obj, g) {
+            None => {
+                let r = f(obj.rep_cell(), obj.location(), None);
+                let (token, fut) = obj.location().make_reply_slot::<R>();
+                obj.location().reply(token, r);
+                fut
+            }
+            Some((bcid, owner)) => obj.invoke_split_at(owner, move |rep, loc| f(rep, loc, Some(bcid))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stapl_rts::{execute, RtsConfig};
+
+    struct Rep {
+        dir: DirectoryShard<u64>,
+        values: HashMap<u64, i64>, // elements living on this location
+    }
+
+    impl HasDirectory<u64> for Rep {
+        fn directory(&self) -> &DirectoryShard<u64> {
+            &self.dir
+        }
+
+        fn directory_mut(&mut self) -> &mut DirectoryShard<u64> {
+            &mut self.dir
+        }
+    }
+
+    fn setup(loc: &Location) -> PObject<Rep> {
+        let obj = PObject::register(loc, Rep { dir: DirectoryShard::new(), values: HashMap::new() });
+        loc.rmi_fence();
+        // Each location owns gids congruent to its id mod nlocs, with
+        // value gid*10; ownership is registered in the directory.
+        for g in 0..64u64 {
+            if g as usize % loc.nlocs() == loc.id() {
+                obj.local_mut().values.insert(g, g as i64 * 10);
+                dir_insert(&obj, g, loc.id(), loc.id());
+            }
+        }
+        loc.rmi_fence();
+        obj
+    }
+
+    #[test]
+    fn shard_insert_lookup_remove() {
+        let mut s = DirectoryShard::<u64>::new();
+        assert!(s.is_empty());
+        s.insert(4, 2, 1);
+        assert_eq!(s.get(&4), Some((2, 1)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.remove(&4), Some((2, 1)));
+        assert_eq!(s.get(&4), None);
+    }
+
+    #[test]
+    fn home_is_stable_and_in_range() {
+        for g in 0..100u64 {
+            let h = home_of(&g, 7);
+            assert!(h < 7);
+            assert_eq!(h, home_of(&g, 7));
+        }
+    }
+
+    #[test]
+    fn lookup_resolves_owner() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let obj = setup(loc);
+            for g in 0..64u64 {
+                let (bcid, owner) = dir_lookup(&obj, g).expect("registered");
+                assert_eq!(owner, g as usize % loc.nlocs());
+                assert_eq!(bcid, owner);
+            }
+            assert_eq!(dir_lookup(&obj, 1000), None);
+        });
+    }
+
+    #[test]
+    fn route_with_forwarding_executes_at_owner() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let obj = setup(loc);
+            for g in 0..64u64 {
+                dir_route(&obj, Resolution::Forwarding, g, move |rep, loc2, bcid| {
+                    assert_eq!(bcid, Some(g as usize % loc2.nlocs()));
+                    *rep.borrow_mut().values.get_mut(&g).expect("must run at owner") += 1;
+                });
+            }
+            loc.rmi_fence();
+            for (g, v) in &obj.local().values {
+                // 4 locations each routed one increment to every gid.
+                assert_eq!(*v, *g as i64 * 10 + 4);
+            }
+        });
+    }
+
+    #[test]
+    fn route_two_phase_executes_at_owner() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let obj = setup(loc);
+            for g in (loc.id() as u64..64).step_by(5) {
+                dir_route(&obj, Resolution::TwoPhase, g, move |rep, _, _| {
+                    *rep.borrow_mut().values.get_mut(&g).expect("must run at owner") -= 1;
+                });
+            }
+            loc.rmi_fence();
+            let bad = obj.local().values.iter().filter(|(g, v)| (**v - **g as i64 * 10) > 0).count();
+            assert_eq!(bad, 0);
+        });
+    }
+
+    #[test]
+    fn route_ret_returns_value_through_forwarding() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let obj = setup(loc);
+            for g in 0..64u64 {
+                for policy in [Resolution::Forwarding, Resolution::TwoPhase] {
+                    let v = dir_route_ret(&obj, policy, g, move |rep, _, _| {
+                        rep.borrow().values[&g]
+                    })
+                    .get();
+                    assert_eq!(v, g as i64 * 10);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn route_missing_gid_reports_none() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let obj = setup(loc);
+            let missing =
+                dir_route_ret(&obj, Resolution::Forwarding, 9999, |_, _, bcid| bcid.is_none()).get();
+            assert!(missing);
+            let missing2 =
+                dir_route_ret(&obj, Resolution::TwoPhase, 9999, |_, _, bcid| bcid.is_none()).get();
+            assert!(missing2);
+        });
+    }
+
+    #[test]
+    fn migration_updates_routing() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let obj = setup(loc);
+            // Move gid 3 from its owner to location 0 and re-register.
+            if loc.id() == 0 {
+                let owner = dir_lookup(&obj, 3).unwrap().1;
+                let v = obj
+                    .invoke_ret_at(owner, |rep, _| rep.borrow_mut().values.remove(&3).unwrap());
+                obj.local_mut().values.insert(3, v);
+                dir_insert(&obj, 3, 0, 0);
+            }
+            loc.rmi_fence();
+            let v = dir_route_ret(&obj, Resolution::Forwarding, 3, |rep, loc2, _| {
+                assert_eq!(loc2.id(), 0);
+                rep.borrow().values[&3]
+            })
+            .get();
+            assert_eq!(v, 30);
+        });
+    }
+}

@@ -1,0 +1,189 @@
+//! The data-distribution manager (Table X): partition + partition mapper,
+//! replicated per location, answering "where does GID g live?".
+//!
+//! This is the module that provides the shared-object view: every
+//! element-wise container method asks the distribution for the (BCID,
+//! location) of the target GID and then either executes locally or ships
+//! the operation (Fig. 7's address-resolution flow).
+
+use stapl_rts::LocId;
+
+use crate::gid::Bcid;
+use crate::mapper::PartitionMapper;
+use crate::partition::{IndexPartition, IndexSubDomain, KeyPartition};
+
+/// Distribution of a 1-D indexed container (pArray, pVector).
+pub struct IndexDistribution {
+    partition: Box<dyn IndexPartition>,
+    mapper: Box<dyn PartitionMapper>,
+}
+
+impl Clone for IndexDistribution {
+    fn clone(&self) -> Self {
+        IndexDistribution { partition: self.partition.clone(), mapper: self.mapper.clone() }
+    }
+}
+
+impl IndexDistribution {
+    pub fn new(partition: Box<dyn IndexPartition>, mapper: Box<dyn PartitionMapper>) -> Self {
+        IndexDistribution { partition, mapper }
+    }
+
+    pub fn partition(&self) -> &dyn IndexPartition {
+        self.partition.as_ref()
+    }
+
+    pub fn mapper(&self) -> &dyn PartitionMapper {
+        self.mapper.as_ref()
+    }
+
+    pub fn global_size(&self) -> usize {
+        self.partition.global_size()
+    }
+
+    /// (BCID, owning location) of `gid` — the `get_info` + mapper lookup of
+    /// the paper's invoke skeleton.
+    pub fn locate(&self, gid: usize) -> (Bcid, LocId) {
+        let b = self.partition.find(gid);
+        (b, self.mapper.map(b))
+    }
+
+    /// BCID when `gid` is owned by `loc`, else `None` (Table XII's
+    /// `is_local` with BCID out-parameter).
+    pub fn local_bcid(&self, gid: usize, loc: LocId) -> Option<Bcid> {
+        let (b, owner) = self.locate(gid);
+        (owner == loc).then_some(b)
+    }
+
+    /// BCIDs mapped to `loc`, ascending.
+    pub fn bcids_of(&self, loc: LocId) -> Vec<Bcid> {
+        self.mapper.local_bcids(loc, self.partition.num_subdomains())
+    }
+
+    /// (BCID, sub-domain) pairs owned by `loc`, ascending by BCID.
+    pub fn local_subdomains(&self, loc: LocId) -> Vec<(Bcid, IndexSubDomain)> {
+        self.bcids_of(loc).into_iter().map(|b| (b, self.partition.subdomain(b))).collect()
+    }
+
+    /// Replaces partition and mapper — the redistribution entry point
+    /// (Section V.G); the caller moves the data.
+    pub fn replace(&mut self, partition: Box<dyn IndexPartition>, mapper: Box<dyn PartitionMapper>) {
+        self.partition = partition;
+        self.mapper = mapper;
+    }
+
+    /// Approximate metadata bytes of the replicated distribution.
+    pub fn memory_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.partition.num_subdomains() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Distribution of an associative container: key partition + mapper.
+pub struct KeyDistribution<K> {
+    partition: Box<dyn KeyPartition<K>>,
+    mapper: Box<dyn PartitionMapper>,
+}
+
+impl<K: 'static> Clone for KeyDistribution<K> {
+    fn clone(&self) -> Self {
+        KeyDistribution { partition: self.partition.clone(), mapper: self.mapper.clone() }
+    }
+}
+
+impl<K: 'static> KeyDistribution<K> {
+    pub fn new(partition: Box<dyn KeyPartition<K>>, mapper: Box<dyn PartitionMapper>) -> Self {
+        KeyDistribution { partition, mapper }
+    }
+
+    pub fn locate(&self, k: &K) -> (Bcid, LocId) {
+        let b = self.partition.find(k);
+        (b, self.mapper.map(b))
+    }
+
+    pub fn num_subdomains(&self) -> usize {
+        self.partition.num_subdomains()
+    }
+
+    pub fn bcids_of(&self, loc: LocId) -> Vec<Bcid> {
+        self.mapper.local_bcids(loc, self.partition.num_subdomains())
+    }
+
+    pub fn mapper(&self) -> &dyn PartitionMapper {
+        self.mapper.as_ref()
+    }
+
+    pub fn partition(&self) -> &dyn KeyPartition<K> {
+        self.partition.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::CyclicMapper;
+    use crate::partition::{BalancedPartition, HashPartition, SplitterPartition};
+
+    #[test]
+    fn locate_agrees_with_partition_and_mapper() {
+        // 12 elements, 4 sub-domains, 2 locations, cyclic — Fig. 10 setup.
+        let d = IndexDistribution::new(
+            Box::new(BalancedPartition::new(12, 4)),
+            Box::new(CyclicMapper::new(2)),
+        );
+        assert_eq!(d.locate(0), (0, 0));
+        assert_eq!(d.locate(3), (1, 1));
+        assert_eq!(d.locate(6), (2, 0));
+        assert_eq!(d.locate(9), (3, 1));
+        assert_eq!(d.local_bcid(6, 0), Some(2));
+        assert_eq!(d.local_bcid(6, 1), None);
+    }
+
+    #[test]
+    fn local_subdomains_cover_location_elements() {
+        let d = IndexDistribution::new(
+            Box::new(BalancedPartition::new(100, 8)),
+            Box::new(CyclicMapper::new(4)),
+        );
+        let mut total = 0;
+        for loc in 0..4 {
+            for (b, sd) in d.local_subdomains(loc) {
+                for g in sd.iter() {
+                    assert_eq!(d.locate(g), (b, loc));
+                    total += 1;
+                }
+            }
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn replace_swaps_partition() {
+        let mut d = IndexDistribution::new(
+            Box::new(BalancedPartition::new(10, 2)),
+            Box::new(CyclicMapper::new(2)),
+        );
+        assert_eq!(d.locate(9).0, 1);
+        d.replace(Box::new(BalancedPartition::new(10, 5)), Box::new(CyclicMapper::new(2)));
+        assert_eq!(d.locate(9).0, 4);
+        assert_eq!(d.locate(9).1, 0); // bcid 4 -> loc 0 cyclic over 2
+    }
+
+    #[test]
+    fn key_distribution_sorted_and_hashed() {
+        let sorted = KeyDistribution::new(
+            Box::new(SplitterPartition::new(vec![50, 100])),
+            Box::new(CyclicMapper::new(3)),
+        );
+        assert_eq!(sorted.locate(&10).0, 0);
+        assert_eq!(sorted.locate(&75).0, 1);
+        assert_eq!(sorted.locate(&200).0, 2);
+
+        let hashed: KeyDistribution<i32> = KeyDistribution::new(
+            Box::new(HashPartition::new(6)),
+            Box::new(CyclicMapper::new(3)),
+        );
+        let (b, l) = hashed.locate(&42);
+        assert!(b < 6 && l < 3);
+        assert_eq!(hashed.locate(&42), (b, l));
+    }
+}

@@ -1,0 +1,726 @@
+//! Domains: sets of GIDs with optional order (Chapter IV.B.2–3 and the
+//! interfaces of Tables V and VI).
+//!
+//! A *domain* is the set of GIDs identifying a container's elements. An
+//! *ordered domain* adds a total order; a *finite ordered domain* adds
+//! cardinality, `next`/`prev`/`advance`/`offset`, and a unique enumeration
+//! (the linearization used for traversals).
+
+use std::collections::HashMap;
+
+use crate::gid::Gid;
+
+/// A set of GIDs (Table V's membership subset).
+pub trait Domain {
+    type Gid: Gid;
+
+    /// `contains_gid` of the paper.
+    fn contains(&self, g: &Self::Gid) -> bool;
+}
+
+/// A domain with a total order among its GIDs (Table V).
+pub trait OrderedDomain: Domain {
+    /// `compare_less_gids`: true when `a` precedes `b` in the order.
+    fn less(&self, a: &Self::Gid, b: &Self::Gid) -> bool;
+}
+
+/// A finite, totally ordered domain (Table VI).
+pub trait FiniteDomain: OrderedDomain {
+    /// Cardinality of the domain.
+    fn size(&self) -> usize;
+
+    /// First GID of the linearization; `None` for an empty domain.
+    fn first(&self) -> Option<Self::Gid>;
+
+    /// Last *valid* GID; `None` for an empty domain. (The paper represents
+    /// one-past-the-end by a conventional sentinel; an `Option` plays that
+    /// role idiomatically.)
+    fn last(&self) -> Option<Self::Gid>;
+
+    /// GID following `g`; `None` when `g` is the last.
+    fn next(&self, g: Self::Gid) -> Option<Self::Gid>;
+
+    /// GID preceding `g`; `None` when `g` is the first.
+    fn prev(&self, g: Self::Gid) -> Option<Self::Gid>;
+
+    /// `advance(g, n)`: the n-th GID after `g`.
+    fn advance(&self, g: Self::Gid, n: usize) -> Option<Self::Gid> {
+        let mut cur = g;
+        for _ in 0..n {
+            cur = self.next(cur)?;
+        }
+        Some(cur)
+    }
+
+    /// Position of `g` in the linearization.
+    fn offset(&self, g: &Self::Gid) -> usize;
+
+    /// n-th GID of the linearization.
+    fn nth(&self, n: usize) -> Option<Self::Gid> {
+        self.first().and_then(|f| if n == 0 { Some(f) } else { self.advance(f, n) })
+    }
+
+    fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    /// The unique enumeration imposed by the order (Definition 6.5).
+    /// Intended for tests and small domains; hot paths iterate concrete
+    /// types directly.
+    fn enumerate(&self) -> Vec<Self::Gid> {
+        let mut out = Vec::with_capacity(self.size());
+        let mut cur = self.first();
+        while let Some(g) = cur {
+            out.push(g);
+            cur = self.next(g);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1-D index range — the workhorse domain of pArray/pVector
+// ---------------------------------------------------------------------
+
+/// Half-open index range `[lo, hi)` under the natural order of `usize`;
+/// the paper's `1DRange`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Range1d {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl Range1d {
+    pub fn new(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi, "invalid range [{lo}, {hi})");
+        Range1d { lo, hi }
+    }
+
+    /// `[0, n)`.
+    pub fn with_size(n: usize) -> Self {
+        Range1d { lo: 0, hi: n }
+    }
+
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    pub fn iter(&self) -> std::ops::Range<usize> {
+        self.lo..self.hi
+    }
+
+    /// Set intersection with another range.
+    pub fn intersect(&self, other: &Range1d) -> Range1d {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi).max(lo);
+        Range1d { lo, hi }
+    }
+}
+
+impl Domain for Range1d {
+    type Gid = usize;
+
+    fn contains(&self, g: &usize) -> bool {
+        *g >= self.lo && *g < self.hi
+    }
+}
+
+impl OrderedDomain for Range1d {
+    fn less(&self, a: &usize, b: &usize) -> bool {
+        a < b
+    }
+}
+
+impl FiniteDomain for Range1d {
+    fn size(&self) -> usize {
+        self.len()
+    }
+
+    fn first(&self) -> Option<usize> {
+        (!self.is_empty()).then_some(self.lo)
+    }
+
+    fn last(&self) -> Option<usize> {
+        (!self.is_empty()).then(|| self.hi - 1)
+    }
+
+    fn next(&self, g: usize) -> Option<usize> {
+        (g + 1 < self.hi).then_some(g + 1)
+    }
+
+    fn prev(&self, g: usize) -> Option<usize> {
+        (g > self.lo).then(|| g - 1)
+    }
+
+    fn advance(&self, g: usize, n: usize) -> Option<usize> {
+        let t = g + n;
+        (t < self.hi).then_some(t)
+    }
+
+    fn offset(&self, g: &usize) -> usize {
+        debug_assert!(self.contains(g));
+        g - self.lo
+    }
+
+    fn nth(&self, n: usize) -> Option<usize> {
+        let t = self.lo + n;
+        (t < self.hi).then_some(t)
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2-D range — pMatrix domain (row-major linearization)
+// ---------------------------------------------------------------------
+
+/// Rectangular sub-domain `[row_lo, row_hi) × [col_lo, col_hi)` of a matrix
+/// index space, ordered row-wise (the paper's `2DRange row`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Range2d {
+    pub rows: Range1d,
+    pub cols: Range1d,
+}
+
+impl Range2d {
+    pub fn new(rows: Range1d, cols: Range1d) -> Self {
+        Range2d { rows, cols }
+    }
+
+    pub fn with_shape(nrows: usize, ncols: usize) -> Self {
+        Range2d { rows: Range1d::with_size(nrows), cols: Range1d::with_size(ncols) }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+impl Domain for Range2d {
+    type Gid = (usize, usize);
+
+    fn contains(&self, g: &(usize, usize)) -> bool {
+        self.rows.contains(&g.0) && self.cols.contains(&g.1)
+    }
+}
+
+impl OrderedDomain for Range2d {
+    fn less(&self, a: &(usize, usize), b: &(usize, usize)) -> bool {
+        a < b // lexicographic = row-major
+    }
+}
+
+impl FiniteDomain for Range2d {
+    fn size(&self) -> usize {
+        self.nrows() * self.ncols()
+    }
+
+    fn first(&self) -> Option<(usize, usize)> {
+        (!self.rows.is_empty() && !self.cols.is_empty()).then_some((self.rows.lo, self.cols.lo))
+    }
+
+    fn last(&self) -> Option<(usize, usize)> {
+        (!self.rows.is_empty() && !self.cols.is_empty())
+            .then(|| (self.rows.hi - 1, self.cols.hi - 1))
+    }
+
+    fn next(&self, g: (usize, usize)) -> Option<(usize, usize)> {
+        if g.1 + 1 < self.cols.hi {
+            Some((g.0, g.1 + 1))
+        } else if g.0 + 1 < self.rows.hi {
+            Some((g.0 + 1, self.cols.lo))
+        } else {
+            None
+        }
+    }
+
+    fn prev(&self, g: (usize, usize)) -> Option<(usize, usize)> {
+        if g.1 > self.cols.lo {
+            Some((g.0, g.1 - 1))
+        } else if g.0 > self.rows.lo {
+            Some((g.0 - 1, self.cols.hi - 1))
+        } else {
+            None
+        }
+    }
+
+    fn offset(&self, g: &(usize, usize)) -> usize {
+        debug_assert!(self.contains(g));
+        (g.0 - self.rows.lo) * self.ncols() + (g.1 - self.cols.lo)
+    }
+
+    fn nth(&self, n: usize) -> Option<(usize, usize)> {
+        if n >= self.size() {
+            return None;
+        }
+        Some((self.rows.lo + n / self.ncols(), self.cols.lo + n % self.ncols()))
+    }
+
+    fn advance(&self, g: (usize, usize), n: usize) -> Option<(usize, usize)> {
+        self.nth(self.offset(&g) + n)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Enumerated domain — explicit GID list (paper's "enumeration")
+// ---------------------------------------------------------------------
+
+/// A domain given by an explicit list of distinct GIDs; the order is the
+/// specification order (the paper's default for enumerations).
+#[derive(Clone, Debug)]
+pub struct EnumeratedDomain<G: Gid> {
+    gids: Vec<G>,
+    index: HashMap<G, usize>,
+}
+
+impl<G: Gid> EnumeratedDomain<G> {
+    pub fn new(gids: Vec<G>) -> Self {
+        let index: HashMap<G, usize> = gids.iter().enumerate().map(|(i, g)| (*g, i)).collect();
+        assert_eq!(index.len(), gids.len(), "enumerated domain GIDs must be distinct");
+        EnumeratedDomain { gids, index }
+    }
+
+    pub fn gids(&self) -> &[G] {
+        &self.gids
+    }
+}
+
+impl<G: Gid> Domain for EnumeratedDomain<G> {
+    type Gid = G;
+
+    fn contains(&self, g: &G) -> bool {
+        self.index.contains_key(g)
+    }
+}
+
+impl<G: Gid> OrderedDomain for EnumeratedDomain<G> {
+    fn less(&self, a: &G, b: &G) -> bool {
+        self.index[a] < self.index[b]
+    }
+}
+
+impl<G: Gid> FiniteDomain for EnumeratedDomain<G> {
+    fn size(&self) -> usize {
+        self.gids.len()
+    }
+
+    fn first(&self) -> Option<G> {
+        self.gids.first().copied()
+    }
+
+    fn last(&self) -> Option<G> {
+        self.gids.last().copied()
+    }
+
+    fn next(&self, g: G) -> Option<G> {
+        self.gids.get(self.index[&g] + 1).copied()
+    }
+
+    fn prev(&self, g: G) -> Option<G> {
+        let i = self.index[&g];
+        if i == 0 {
+            None
+        } else {
+            Some(self.gids[i - 1])
+        }
+    }
+
+    fn offset(&self, g: &G) -> usize {
+        self.index[g]
+    }
+
+    fn nth(&self, n: usize) -> Option<G> {
+        self.gids.get(n).copied()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Key domain — the (possibly infinite) ordered domain of associative
+// containers, `[lo, hi)` under `Ord`
+// ---------------------------------------------------------------------
+
+/// Ordered key interval for associative containers (the paper's "open
+/// ordered domains"): membership is a range check, cardinality may be
+/// unbounded. Not a [`FiniteDomain`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyDomain<K> {
+    pub lo: Option<K>,
+    pub hi: Option<K>,
+}
+
+impl<K: Ord + Clone> KeyDomain<K> {
+    /// The whole key universe.
+    pub fn all() -> Self {
+        KeyDomain { lo: None, hi: None }
+    }
+
+    /// `[lo, hi)`.
+    pub fn interval(lo: K, hi: K) -> Self {
+        KeyDomain { lo: Some(lo), hi: Some(hi) }
+    }
+
+    pub fn contains(&self, k: &K) -> bool {
+        if let Some(lo) = &self.lo {
+            if k < lo {
+                return false;
+            }
+        }
+        if let Some(hi) = &self.hi {
+            if k >= hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Filtered domain
+// ---------------------------------------------------------------------
+
+/// A domain restricted by a predicate, e.g. "every second element"
+/// (paper's filtered domain). Linearization order is inherited.
+#[derive(Clone)]
+pub struct FilteredDomain<D, F> {
+    pub base: D,
+    pub filter: F,
+}
+
+impl<D: FiniteDomain, F: Fn(&D::Gid) -> bool> FilteredDomain<D, F> {
+    pub fn new(base: D, filter: F) -> Self {
+        FilteredDomain { base, filter }
+    }
+}
+
+impl<D: FiniteDomain, F: Fn(&D::Gid) -> bool> Domain for FilteredDomain<D, F> {
+    type Gid = D::Gid;
+
+    fn contains(&self, g: &Self::Gid) -> bool {
+        self.base.contains(g) && (self.filter)(g)
+    }
+}
+
+impl<D: FiniteDomain, F: Fn(&D::Gid) -> bool> OrderedDomain for FilteredDomain<D, F> {
+    fn less(&self, a: &Self::Gid, b: &Self::Gid) -> bool {
+        self.base.less(a, b)
+    }
+}
+
+impl<D: FiniteDomain, F: Fn(&D::Gid) -> bool> FiniteDomain for FilteredDomain<D, F> {
+    fn size(&self) -> usize {
+        self.base.enumerate().iter().filter(|g| (self.filter)(g)).count()
+    }
+
+    fn first(&self) -> Option<Self::Gid> {
+        let mut cur = self.base.first();
+        while let Some(g) = cur {
+            if (self.filter)(&g) {
+                return Some(g);
+            }
+            cur = self.base.next(g);
+        }
+        None
+    }
+
+    fn last(&self) -> Option<Self::Gid> {
+        let mut cur = self.base.last();
+        while let Some(g) = cur {
+            if (self.filter)(&g) {
+                return Some(g);
+            }
+            cur = self.base.prev(g);
+        }
+        None
+    }
+
+    fn next(&self, g: Self::Gid) -> Option<Self::Gid> {
+        let mut cur = self.base.next(g);
+        while let Some(x) = cur {
+            if (self.filter)(&x) {
+                return Some(x);
+            }
+            cur = self.base.next(x);
+        }
+        None
+    }
+
+    fn prev(&self, g: Self::Gid) -> Option<Self::Gid> {
+        let mut cur = self.base.prev(g);
+        while let Some(x) = cur {
+            if (self.filter)(&x) {
+                return Some(x);
+            }
+            cur = self.base.prev(x);
+        }
+        None
+    }
+
+    fn offset(&self, g: &Self::Gid) -> usize {
+        let mut n = 0;
+        let mut cur = self.first();
+        while let Some(x) = cur {
+            if x == *g {
+                return n;
+            }
+            n += 1;
+            cur = self.next(x);
+        }
+        panic!("gid not in filtered domain");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Composed domain — cross product (Definition 12 / Eq. 4.2)
+// ---------------------------------------------------------------------
+
+/// The domain of a composed pContainer: the union of cross products of the
+/// outer domain with each element's inner domain (Eq. 4.2). GIDs are
+/// `(outer, inner)` pairs ordered lexicographically.
+#[derive(Clone, Debug)]
+pub struct ComposedDomain<Do: FiniteDomain, Di: FiniteDomain> {
+    pub outer: Do,
+    /// Inner domain per outer GID, in outer linearization order.
+    pub inners: Vec<Di>,
+}
+
+impl<Do: FiniteDomain, Di: FiniteDomain> ComposedDomain<Do, Di> {
+    pub fn new(outer: Do, inners: Vec<Di>) -> Self {
+        assert_eq!(outer.size(), inners.len());
+        ComposedDomain { outer, inners }
+    }
+
+    fn inner_of(&self, o: &Do::Gid) -> &Di {
+        &self.inners[self.outer.offset(o)]
+    }
+}
+
+impl<Do: FiniteDomain, Di: FiniteDomain> Domain for ComposedDomain<Do, Di> {
+    type Gid = (Do::Gid, Di::Gid);
+
+    fn contains(&self, g: &Self::Gid) -> bool {
+        self.outer.contains(&g.0) && self.inner_of(&g.0).contains(&g.1)
+    }
+}
+
+impl<Do: FiniteDomain, Di: FiniteDomain> OrderedDomain for ComposedDomain<Do, Di> {
+    fn less(&self, a: &Self::Gid, b: &Self::Gid) -> bool {
+        if a.0 == b.0 {
+            self.inner_of(&a.0).less(&a.1, &b.1)
+        } else {
+            self.outer.less(&a.0, &b.0)
+        }
+    }
+}
+
+impl<Do: FiniteDomain, Di: FiniteDomain> FiniteDomain for ComposedDomain<Do, Di> {
+    fn size(&self) -> usize {
+        self.inners.iter().map(|d| d.size()).sum()
+    }
+
+    fn first(&self) -> Option<Self::Gid> {
+        let mut o = self.outer.first();
+        while let Some(og) = o {
+            if let Some(ig) = self.inner_of(&og).first() {
+                return Some((og, ig));
+            }
+            o = self.outer.next(og);
+        }
+        None
+    }
+
+    fn last(&self) -> Option<Self::Gid> {
+        let mut o = self.outer.last();
+        while let Some(og) = o {
+            if let Some(ig) = self.inner_of(&og).last() {
+                return Some((og, ig));
+            }
+            o = self.outer.prev(og);
+        }
+        None
+    }
+
+    fn next(&self, g: Self::Gid) -> Option<Self::Gid> {
+        if let Some(ig) = self.inner_of(&g.0).next(g.1) {
+            return Some((g.0, ig));
+        }
+        let mut o = self.outer.next(g.0);
+        while let Some(og) = o {
+            if let Some(ig) = self.inner_of(&og).first() {
+                return Some((og, ig));
+            }
+            o = self.outer.next(og);
+        }
+        None
+    }
+
+    fn prev(&self, g: Self::Gid) -> Option<Self::Gid> {
+        if let Some(ig) = self.inner_of(&g.0).prev(g.1) {
+            return Some((g.0, ig));
+        }
+        let mut o = self.outer.prev(g.0);
+        while let Some(og) = o {
+            if let Some(ig) = self.inner_of(&og).last() {
+                return Some((og, ig));
+            }
+            o = self.outer.prev(og);
+        }
+        None
+    }
+
+    fn offset(&self, g: &Self::Gid) -> usize {
+        let oi = self.outer.offset(&g.0);
+        let before: usize = self.inners[..oi].iter().map(|d| d.size()).sum();
+        before + self.inner_of(&g.0).offset(&g.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range1d_basics() {
+        let d = Range1d::new(5, 12);
+        assert_eq!(d.size(), 7);
+        assert_eq!(d.first(), Some(5));
+        assert_eq!(d.last(), Some(11));
+        assert!(d.contains(&5) && d.contains(&11) && !d.contains(&12) && !d.contains(&4));
+        assert_eq!(d.next(11), None);
+        assert_eq!(d.prev(5), None);
+        assert_eq!(d.advance(5, 6), Some(11));
+        assert_eq!(d.advance(5, 7), None);
+        assert_eq!(d.offset(&9), 4);
+        assert_eq!(d.nth(4), Some(9));
+    }
+
+    #[test]
+    fn range1d_empty() {
+        let d = Range1d::new(3, 3);
+        assert!(d.is_empty());
+        assert_eq!(d.first(), None);
+        assert_eq!(d.last(), None);
+        assert_eq!(d.enumerate(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn range1d_enumeration_is_linear() {
+        let d = Range1d::new(2, 6);
+        assert_eq!(d.enumerate(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn range1d_intersect() {
+        let a = Range1d::new(0, 10);
+        let b = Range1d::new(5, 20);
+        assert_eq!(a.intersect(&b), Range1d::new(5, 10));
+        let c = Range1d::new(12, 15);
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn range2d_row_major_enumeration() {
+        let d = Range2d::with_shape(2, 3);
+        assert_eq!(
+            d.enumerate(),
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+        assert_eq!(d.offset(&(1, 1)), 4);
+        assert_eq!(d.nth(4), Some((1, 1)));
+        assert_eq!(d.size(), 6);
+    }
+
+    #[test]
+    fn range2d_submatrix() {
+        let d = Range2d::new(Range1d::new(1, 3), Range1d::new(2, 4));
+        assert!(d.contains(&(1, 2)) && d.contains(&(2, 3)));
+        assert!(!d.contains(&(0, 2)) && !d.contains(&(1, 4)));
+        assert_eq!(d.first(), Some((1, 2)));
+        assert_eq!(d.last(), Some((2, 3)));
+        assert_eq!(d.enumerate().len(), d.size());
+    }
+
+    #[test]
+    fn enumerated_domain_keeps_specification_order() {
+        let d = EnumeratedDomain::new(vec![7usize, 3, 5]);
+        assert_eq!(d.first(), Some(7));
+        assert_eq!(d.last(), Some(5));
+        assert!(d.less(&7, &3)); // specification order, not numeric
+        assert_eq!(d.enumerate(), vec![7, 3, 5]);
+        assert_eq!(d.offset(&3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn enumerated_domain_rejects_duplicates() {
+        EnumeratedDomain::new(vec![1usize, 1]);
+    }
+
+    #[test]
+    fn key_domain_interval() {
+        let d = KeyDomain::interval("b".to_string(), "d".to_string());
+        assert!(d.contains(&"b".to_string()));
+        assert!(d.contains(&"c".to_string()));
+        assert!(!d.contains(&"d".to_string()));
+        assert!(!d.contains(&"a".to_string()));
+        let all = KeyDomain::<String>::all();
+        assert!(all.contains(&"zzz".to_string()));
+    }
+
+    #[test]
+    fn filtered_domain_every_second() {
+        let d = FilteredDomain::new(Range1d::new(0, 10), |g: &usize| g % 2 == 0);
+        assert_eq!(d.enumerate(), vec![0, 2, 4, 6, 8]);
+        assert_eq!(d.size(), 5);
+        assert_eq!(d.first(), Some(0));
+        assert_eq!(d.last(), Some(8));
+        assert_eq!(d.next(4), Some(6));
+        assert_eq!(d.prev(4), Some(2));
+        assert_eq!(d.offset(&6), 3);
+        assert!(!d.contains(&3));
+    }
+
+    #[test]
+    fn composed_domain_matches_paper_example() {
+        // Fig. 3: outer pArray of 3, inner sizes 2, 3, 4.
+        let d = ComposedDomain::new(
+            Range1d::with_size(3),
+            vec![Range1d::with_size(2), Range1d::with_size(3), Range1d::with_size(4)],
+        );
+        assert_eq!(d.size(), 9);
+        assert_eq!(
+            d.enumerate(),
+            vec![
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (2, 3)
+            ]
+        );
+        assert!(d.contains(&(2, 3)));
+        assert!(!d.contains(&(0, 2)));
+        assert_eq!(d.offset(&(1, 2)), 4);
+        assert!(d.less(&(0, 1), &(1, 0)));
+    }
+
+    #[test]
+    fn composed_domain_skips_empty_inners() {
+        let d = ComposedDomain::new(
+            Range1d::with_size(3),
+            vec![Range1d::with_size(0), Range1d::with_size(2), Range1d::with_size(0)],
+        );
+        assert_eq!(d.first(), Some((1, 0)));
+        assert_eq!(d.last(), Some((1, 1)));
+        assert_eq!(d.enumerate(), vec![(1, 0), (1, 1)]);
+    }
+}

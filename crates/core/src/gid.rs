@@ -1,0 +1,43 @@
+//! Global identifiers (GIDs).
+//!
+//! Every pContainer element has a unique GID; the GID is what provides the
+//! shared-object abstraction (Chapter V.C): all references to an element,
+//! from any location, use the same GID. Indices are GIDs for pArray,
+//! (row, col) pairs for pMatrix, keys for pMap, vertex descriptors for
+//! pGraph, and stable (bcid, sequence) pairs for pList.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// The bound every GID type must satisfy: cheap to copy, shippable across
+/// locations, hashable (for directories), and comparable for identity.
+pub trait Gid: Copy + Send + Eq + Hash + Debug + 'static {}
+
+impl<T: Copy + Send + Eq + Hash + Debug + 'static> Gid for T {}
+
+/// The bound for associative-container keys: like [`Gid`] but only
+/// `Clone` (keys such as `String` are not `Copy`).
+pub trait Key: Clone + Send + Eq + Hash + Debug + 'static {}
+
+impl<T: Clone + Send + Eq + Hash + Debug + 'static> Key for T {}
+
+/// Identifier of a base container (sub-domain) within a pContainer.
+/// BCIDs are globally unique within one container and dense from zero for
+/// static partitions.
+pub type Bcid = usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_gid<G: Gid>() {}
+
+    #[test]
+    fn common_types_are_gids() {
+        assert_gid::<usize>();
+        assert_gid::<(usize, usize)>();
+        assert_gid::<u64>();
+        assert_gid::<i32>();
+        assert_gid::<[u8; 4]>();
+    }
+}

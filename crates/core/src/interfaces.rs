@@ -1,0 +1,146 @@
+//! Container-concept interfaces (the specifications of Tables XI–XVIII),
+//! expressed as traits so pViews and pAlgorithms stay generic over
+//! containers.
+
+use stapl_rts::{Location, RmiFuture};
+
+use crate::bcontainer::MemSize;
+use crate::gid::{Bcid, Gid};
+use crate::partition::IndexSubDomain;
+
+/// Base pContainer interface (Table XI): a distributed object with a
+/// (possibly lazily tracked) global size.
+pub trait PContainer {
+    /// The location this handle lives on.
+    fn location(&self) -> &Location;
+
+    /// Number of elements, globally. For dynamic containers this may be a
+    /// cached value refreshed by [`PContainer::commit`] (the paper's lazy
+    /// replicated size, Chapter VII.G).
+    fn global_size(&self) -> usize;
+
+    /// Number of elements stored on this location.
+    fn local_size(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.global_size() == 0
+    }
+
+    /// **Collective.** Synchronization point for dynamic containers: drains
+    /// pending structural operations (via fence) and refreshes replicated
+    /// metadata such as the cached global size — the paper's
+    /// `post_execute()` hook. A no-op beyond the fence for static ones.
+    fn commit(&self) {
+        self.location().rmi_fence();
+    }
+
+    /// **Collective.** Global (metadata, data) memory footprint in bytes.
+    fn memory_size(&self) -> MemSize {
+        MemSize::default()
+    }
+}
+
+/// Element read access by GID (read side of Tables XII/XIV).
+pub trait ElementRead<G: Gid>: PContainer {
+    type Value: Send + Clone + 'static;
+
+    /// Synchronous read (the paper's `get_element`): blocks until the value
+    /// is available.
+    fn get_element(&self, g: G) -> Self::Value;
+
+    /// Split-phase read (`split_phase_get_element`): returns a future.
+    fn split_get_element(&self, g: G) -> RmiFuture<Self::Value>;
+
+    /// True when the element lives on this location.
+    fn is_local(&self, g: G) -> bool;
+}
+
+/// Element write access by GID (write side of Tables XII/XIV).
+pub trait ElementWrite<G: Gid>: ElementRead<G> {
+    /// Asynchronous write (`set_element`): returns immediately; completion
+    /// guaranteed by the next fence, ordered with respect to other
+    /// operations from this location on the same element.
+    fn set_element(&self, g: G, v: Self::Value);
+
+    /// Asynchronously applies `f` to the element (`apply_set`). Executes at
+    /// the owner — the building block for read-modify-write without a
+    /// round trip.
+    fn apply_set<F>(&self, g: G, f: F)
+    where
+        F: FnOnce(&mut Self::Value) + Send + 'static;
+
+    /// Synchronously applies `f` and returns its result (`apply_get`).
+    fn apply_get<R, F>(&self, g: G, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Self::Value) -> R + Send + 'static;
+}
+
+/// Iteration over the elements stored on this location, in local
+/// linearization order. The fast path used by native views: no RMI.
+pub trait LocalIteration<G: Gid>: ElementRead<G> {
+    fn for_each_local(&self, f: impl FnMut(G, &Self::Value));
+
+    fn for_each_local_mut(&self, f: impl FnMut(G, &mut Self::Value));
+}
+
+/// Static indexed pContainers (pArray, pMatrix rows flattened, pVector
+/// between rebalances): GIDs are dense indices `[0, n)` and the partition
+/// exposes per-location sub-domains (Table XIV).
+pub trait IndexedContainer: ElementWrite<usize> + LocalIteration<usize> {
+    /// (BCID, sub-domain) pairs owned by this location, ascending by BCID.
+    fn local_subdomains(&self) -> Vec<(Bcid, IndexSubDomain)>;
+}
+
+/// Dynamic pContainers (Table XIII): element insertion/removal at runtime.
+pub trait DynamicPContainer: PContainer {
+    /// **Collective.** Removes all elements; distribution stays valid.
+    fn clear(&self);
+}
+
+/// Associative pContainers (Table XVI): key → value storage.
+pub trait AssociativeContainer<K: crate::gid::Key>: PContainer {
+    type Mapped: Send + Clone + 'static;
+
+    /// Asynchronous insert (last write wins on duplicate keys, as the
+    /// paper's pMap overwrite semantics).
+    fn insert_async(&self, k: K, v: Self::Mapped);
+
+    /// Asynchronous erase (`erase_async`).
+    fn erase_async(&self, k: K);
+
+    /// Synchronous lookup (`find_val`): `None` when absent.
+    fn find(&self, k: K) -> Option<Self::Mapped>;
+
+    /// Split-phase lookup (`split_phase_find`).
+    fn split_find(&self, k: K) -> RmiFuture<Option<Self::Mapped>>;
+
+    /// True when the key exists (synchronous).
+    fn contains(&self, k: K) -> bool {
+        self.find(k).is_some()
+    }
+}
+
+/// Sequence pContainers (Table XVIII): pList, pVector.
+pub trait SequenceContainer<G: Gid>: ElementRead<G> {
+    /// Append at the global end of the sequence.
+    fn push_back(&self, v: Self::Value);
+
+    /// Prepend at the global front.
+    fn push_front(&self, v: Self::Value);
+
+    /// Add at an unspecified position chosen for locality/load — the
+    /// paper's `push_anywhere`, its scalable flagship method.
+    fn push_anywhere(&self, v: Self::Value);
+
+    /// Insert before the element identified by `g` (asynchronous).
+    fn insert_before_async(&self, g: G, v: Self::Value);
+
+    /// Erase the element identified by `g` (asynchronous).
+    fn erase_async(&self, g: G);
+}
+
+/// Relational pContainers (Table XVII) are specified in
+/// `stapl-containers::graph` where the vertex/edge types live; this marker
+/// records membership in the taxonomy of Fig. 5.
+pub trait RelationalContainer: PContainer {}

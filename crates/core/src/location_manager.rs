@@ -1,0 +1,168 @@
+//! The location manager (Table IV): administers the base containers of a
+//! pContainer that are mapped to one location.
+
+use std::collections::BTreeMap;
+
+use crate::bcontainer::{BaseContainer, MemSize};
+use crate::gid::Bcid;
+
+/// Per-location owner of a pContainer's local base containers, keyed by
+/// globally unique BCID. A `BTreeMap` keeps local iteration in BCID order,
+/// which — combined with an ordered partition — yields the container's
+/// linearization restricted to this location.
+pub struct LocationManager<B> {
+    bcontainers: BTreeMap<Bcid, B>,
+}
+
+impl<B> Default for LocationManager<B> {
+    fn default() -> Self {
+        LocationManager { bcontainers: BTreeMap::new() }
+    }
+}
+
+impl<B> LocationManager<B> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a base container under `bcid`.
+    ///
+    /// # Panics
+    /// Panics if `bcid` is already present.
+    pub fn add_bcontainer(&mut self, bcid: Bcid, bc: B) {
+        let prev = self.bcontainers.insert(bcid, bc);
+        assert!(prev.is_none(), "bcid {bcid} already managed on this location");
+    }
+
+    /// Removes and returns the base container under `bcid`.
+    pub fn remove_bcontainer(&mut self, bcid: Bcid) -> Option<B> {
+        self.bcontainers.remove(&bcid)
+    }
+
+    /// Number of local base containers.
+    pub fn num_bcontainers(&self) -> usize {
+        self.bcontainers.len()
+    }
+
+    pub fn get(&self, bcid: Bcid) -> Option<&B> {
+        self.bcontainers.get(&bcid)
+    }
+
+    pub fn get_mut(&mut self, bcid: Bcid) -> Option<&mut B> {
+        self.bcontainers.get_mut(&bcid)
+    }
+
+    /// Local base containers in BCID order.
+    pub fn iter(&self) -> impl Iterator<Item = (Bcid, &B)> {
+        self.bcontainers.iter().map(|(b, c)| (*b, c))
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Bcid, &mut B)> {
+        self.bcontainers.iter_mut().map(|(b, c)| (*b, c))
+    }
+
+    pub fn bcids(&self) -> impl Iterator<Item = Bcid> + '_ {
+        self.bcontainers.keys().copied()
+    }
+}
+
+impl<B: BaseContainer> LocationManager<B> {
+    /// Total elements stored locally.
+    pub fn local_len(&self) -> usize {
+        self.bcontainers.values().map(|b| b.len()).sum()
+    }
+
+    pub fn local_is_empty(&self) -> bool {
+        self.bcontainers.values().all(|b| b.is_empty())
+    }
+
+    /// Clears every local base container (keeps the bContainers themselves,
+    /// as the paper's `clear` keeps the distribution valid).
+    pub fn clear(&mut self) {
+        for b in self.bcontainers.values_mut() {
+            b.clear();
+        }
+    }
+
+    /// Local memory usage; the manager's own bookkeeping is metadata.
+    pub fn memory_size(&self) -> MemSize {
+        let mut m: MemSize = self.bcontainers.values().map(|b| b.memory_size()).sum();
+        m.metadata += self.bcontainers.len()
+            * (std::mem::size_of::<Bcid>() + 3 * std::mem::size_of::<usize>());
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct VecBc(Vec<u32>);
+
+    impl BaseContainer for VecBc {
+        type Value = u32;
+
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        fn clear(&mut self) {
+            self.0.clear();
+        }
+
+        fn memory_size(&self) -> MemSize {
+            MemSize::new(std::mem::size_of::<Vec<u32>>(), self.0.len() * 4)
+        }
+    }
+
+    #[test]
+    fn add_get_remove() {
+        let mut lm = LocationManager::new();
+        lm.add_bcontainer(3, VecBc(vec![1, 2]));
+        lm.add_bcontainer(1, VecBc(vec![3]));
+        assert_eq!(lm.num_bcontainers(), 2);
+        assert_eq!(lm.get(3).unwrap().0, vec![1, 2]);
+        assert!(lm.get(0).is_none());
+        assert_eq!(lm.local_len(), 3);
+        let removed = lm.remove_bcontainer(1).unwrap();
+        assert_eq!(removed.0, vec![3]);
+        assert_eq!(lm.num_bcontainers(), 1);
+    }
+
+    #[test]
+    fn iteration_is_bcid_ordered() {
+        let mut lm = LocationManager::new();
+        for b in [5, 1, 3] {
+            lm.add_bcontainer(b, VecBc(vec![b as u32]));
+        }
+        let order: Vec<Bcid> = lm.iter().map(|(b, _)| b).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already managed")]
+    fn duplicate_bcid_panics() {
+        let mut lm = LocationManager::new();
+        lm.add_bcontainer(0, VecBc(vec![]));
+        lm.add_bcontainer(0, VecBc(vec![]));
+    }
+
+    #[test]
+    fn clear_keeps_bcontainers() {
+        let mut lm = LocationManager::new();
+        lm.add_bcontainer(0, VecBc(vec![1, 2, 3]));
+        lm.clear();
+        assert_eq!(lm.num_bcontainers(), 1);
+        assert!(lm.local_is_empty());
+    }
+
+    #[test]
+    fn memory_size_accumulates() {
+        let mut lm = LocationManager::new();
+        lm.add_bcontainer(0, VecBc(vec![0; 10]));
+        lm.add_bcontainer(1, VecBc(vec![0; 6]));
+        let m = lm.memory_size();
+        assert_eq!(m.data, 64);
+        assert!(m.metadata > 0);
+    }
+}

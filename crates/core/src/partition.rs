@@ -1,0 +1,676 @@
+//! Partitions: decompositions of a domain into sub-domains
+//! (Chapter IV.B.4–5 and the interfaces of Tables VII, VIII and XV).
+//!
+//! A partition groups a container's elements into units of storage: one
+//! sub-domain per base container. Partitions of totally ordered domains are
+//! *ordered partitions* (Definition 10): the sub-domain sequence preserves
+//! the element order, which is what lets a pContainer linearize its data.
+
+use std::hash::{Hash, Hasher};
+
+use crate::domain::{Domain, Range1d};
+use crate::gid::Bcid;
+
+// ---------------------------------------------------------------------
+// Sub-domains of 1-D index partitions
+// ---------------------------------------------------------------------
+
+/// A sub-domain produced by a 1-D index partition. Contiguous for blocked
+/// and balanced partitions; strided for block-cyclic ones (the paper's
+/// `BLOCK_CYCLIC` example produces sub-domains like `{0,1,2, 6,7,8}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndexSubDomain {
+    Contiguous(Range1d),
+    /// Indices `first + q*stride + r` for `q = 0, 1, ...` and `r in
+    /// [0, block)`, restricted to `< global_hi`.
+    BlockCyclic { first: usize, block: usize, stride: usize, global_hi: usize },
+}
+
+impl IndexSubDomain {
+    pub fn len(&self) -> usize {
+        match self {
+            IndexSubDomain::Contiguous(r) => r.len(),
+            IndexSubDomain::BlockCyclic { first, block, stride, global_hi } => {
+                if first >= global_hi {
+                    return 0;
+                }
+                let span = global_hi - first;
+                let full = span / stride;
+                let rem = (span % stride).min(*block);
+                full * block + rem
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn contains(&self, gid: usize) -> bool {
+        match self {
+            IndexSubDomain::Contiguous(r) => r.contains(&gid),
+            IndexSubDomain::BlockCyclic { first, block, stride, global_hi } => {
+                gid >= *first && gid < *global_hi && (gid - first) % stride < *block
+            }
+        }
+    }
+
+    /// GIDs of the sub-domain in linearization order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match self {
+            IndexSubDomain::Contiguous(r) => Box::new(r.iter()),
+            IndexSubDomain::BlockCyclic { first, block, stride, global_hi } => {
+                let (first, block, stride, hi) = (*first, *block, *stride, *global_hi);
+                Box::new(
+                    (0..)
+                        .flat_map(move |q| (0..block).map(move |r| first + q * stride + r))
+                        .take_while(move |g| *g < hi),
+                )
+            }
+        }
+    }
+
+    /// Offset of `gid` inside the sub-domain's linearization.
+    pub fn offset(&self, gid: usize) -> usize {
+        debug_assert!(self.contains(gid));
+        match self {
+            IndexSubDomain::Contiguous(r) => gid - r.lo,
+            IndexSubDomain::BlockCyclic { first, block, stride, .. } => {
+                let d = gid - first;
+                (d / stride) * block + d % stride
+            }
+        }
+    }
+
+    /// GID at offset `k` of the linearization.
+    pub fn nth(&self, k: usize) -> Option<usize> {
+        match self {
+            IndexSubDomain::Contiguous(r) => r.iter().nth(k),
+            IndexSubDomain::BlockCyclic { first, block, stride, global_hi } => {
+                let g = first + (k / block) * stride + k % block;
+                (g < *global_hi).then_some(g)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1-D index partitions (pArray / pVector, Table XV)
+// ---------------------------------------------------------------------
+
+/// Partition of the index domain `[0, n)` into ordered sub-domains; the
+/// paper's indexed-partition concept with a closed-form `find`.
+pub trait IndexPartition: 'static {
+    /// Total number of indices partitioned.
+    fn global_size(&self) -> usize;
+
+    /// Number of sub-domains (== number of base containers).
+    fn num_subdomains(&self) -> usize;
+
+    /// The sub-domain assigned to `bcid`.
+    fn subdomain(&self, bcid: Bcid) -> IndexSubDomain;
+
+    /// The BCID whose sub-domain contains `gid` (the paper's `get_info`).
+    fn find(&self, gid: usize) -> Bcid;
+
+    fn clone_box(&self) -> Box<dyn IndexPartition>;
+
+    fn subdomain_sizes(&self) -> Vec<usize> {
+        (0..self.num_subdomains()).map(|b| self.subdomain(b).len()).collect()
+    }
+}
+
+impl Clone for Box<dyn IndexPartition> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// `partition_balanced`: `p` sub-domains of size `n/p` (the first `n mod p`
+/// get one extra), pArray's default.
+#[derive(Clone, Copy, Debug)]
+pub struct BalancedPartition {
+    n: usize,
+    p: usize,
+}
+
+impl BalancedPartition {
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p >= 1);
+        // If n < p the paper creates n sub-domains of size 1.
+        let p = if n == 0 { 1 } else { p.min(n) };
+        BalancedPartition { n, p }
+    }
+
+    fn bounds(&self, b: Bcid) -> (usize, usize) {
+        let base = self.n / self.p;
+        let extra = self.n % self.p;
+        let lo = b * base + b.min(extra);
+        let hi = lo + base + usize::from(b < extra);
+        (lo, hi)
+    }
+}
+
+impl IndexPartition for BalancedPartition {
+    fn global_size(&self) -> usize {
+        self.n
+    }
+
+    fn num_subdomains(&self) -> usize {
+        self.p
+    }
+
+    fn subdomain(&self, bcid: Bcid) -> IndexSubDomain {
+        let (lo, hi) = self.bounds(bcid);
+        IndexSubDomain::Contiguous(Range1d::new(lo, hi))
+    }
+
+    fn find(&self, gid: usize) -> Bcid {
+        debug_assert!(gid < self.n);
+        let base = self.n / self.p;
+        let extra = self.n % self.p;
+        let big = extra * (base + 1);
+        if gid < big {
+            gid / (base + 1)
+        } else {
+            extra + (gid - big) / base.max(1)
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn IndexPartition> {
+        Box::new(*self)
+    }
+}
+
+/// `partition_blocked`: fixed block size; `ceil(n / block)` sub-domains,
+/// the last possibly smaller.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockedPartition {
+    n: usize,
+    block: usize,
+}
+
+impl BlockedPartition {
+    pub fn new(n: usize, block: usize) -> Self {
+        assert!(block >= 1);
+        BlockedPartition { n, block }
+    }
+}
+
+impl IndexPartition for BlockedPartition {
+    fn global_size(&self) -> usize {
+        self.n
+    }
+
+    fn num_subdomains(&self) -> usize {
+        if self.n == 0 {
+            1
+        } else {
+            self.n.div_ceil(self.block)
+        }
+    }
+
+    fn subdomain(&self, bcid: Bcid) -> IndexSubDomain {
+        let lo = (bcid * self.block).min(self.n);
+        let hi = (lo + self.block).min(self.n);
+        IndexSubDomain::Contiguous(Range1d::new(lo, hi))
+    }
+
+    fn find(&self, gid: usize) -> Bcid {
+        debug_assert!(gid < self.n);
+        gid / self.block
+    }
+
+    fn clone_box(&self) -> Box<dyn IndexPartition> {
+        Box::new(*self)
+    }
+}
+
+/// `partition_block_cyclic(domain, p, BLOCK_CYCLIC(b))`: groups of `b`
+/// consecutive indices dealt cyclically to `p` sub-domains.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockCyclicPartition {
+    n: usize,
+    p: usize,
+    block: usize,
+}
+
+impl BlockCyclicPartition {
+    pub fn new(n: usize, p: usize, block: usize) -> Self {
+        assert!(p >= 1 && block >= 1);
+        BlockCyclicPartition { n, p, block }
+    }
+}
+
+impl IndexPartition for BlockCyclicPartition {
+    fn global_size(&self) -> usize {
+        self.n
+    }
+
+    fn num_subdomains(&self) -> usize {
+        self.p
+    }
+
+    fn subdomain(&self, bcid: Bcid) -> IndexSubDomain {
+        IndexSubDomain::BlockCyclic {
+            first: bcid * self.block,
+            block: self.block,
+            stride: self.p * self.block,
+            global_hi: self.n,
+        }
+    }
+
+    fn find(&self, gid: usize) -> Bcid {
+        debug_assert!(gid < self.n);
+        (gid / self.block) % self.p
+    }
+
+    fn clone_box(&self) -> Box<dyn IndexPartition> {
+        Box::new(*self)
+    }
+}
+
+/// `partition_blocked_explicit`: arbitrary consecutive block sizes, e.g.
+/// `BLOCK(v{3,4,4})`. Also the shape taken by pVector's partition after
+/// unbalanced inserts.
+#[derive(Clone, Debug)]
+pub struct ExplicitPartition {
+    /// Cumulative upper bounds; sub-domain `i` is
+    /// `[bounds[i-1], bounds[i])` with `bounds[-1] == 0`.
+    bounds: Vec<usize>,
+}
+
+impl ExplicitPartition {
+    pub fn from_sizes(sizes: &[usize]) -> Self {
+        assert!(!sizes.is_empty());
+        let mut bounds = Vec::with_capacity(sizes.len());
+        let mut acc = 0;
+        for s in sizes {
+            acc += s;
+            bounds.push(acc);
+        }
+        ExplicitPartition { bounds }
+    }
+
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut prev = 0;
+        self.bounds
+            .iter()
+            .map(|&b| {
+                let s = b - prev;
+                prev = b;
+                s
+            })
+            .collect()
+    }
+}
+
+impl IndexPartition for ExplicitPartition {
+    fn global_size(&self) -> usize {
+        *self.bounds.last().unwrap()
+    }
+
+    fn num_subdomains(&self) -> usize {
+        self.bounds.len()
+    }
+
+    fn subdomain(&self, bcid: Bcid) -> IndexSubDomain {
+        let lo = if bcid == 0 { 0 } else { self.bounds[bcid - 1] };
+        IndexSubDomain::Contiguous(Range1d::new(lo, self.bounds[bcid]))
+    }
+
+    fn find(&self, gid: usize) -> Bcid {
+        debug_assert!(gid < self.global_size());
+        self.bounds.partition_point(|&b| b <= gid)
+    }
+
+    fn clone_box(&self) -> Box<dyn IndexPartition> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2-D matrix partition (pMatrix)
+// ---------------------------------------------------------------------
+
+/// How a matrix index space is cut into blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatrixLayout {
+    /// Horizontal stripes of rows.
+    RowBlocked,
+    /// Vertical stripes of columns.
+    ColumnBlocked,
+    /// `grid_rows × grid_cols` rectangular tiles.
+    Blocked2d { grid_rows: usize, grid_cols: usize },
+}
+
+/// `p_matrix_partition`: blocked decompositions of a 2-D domain; BCIDs
+/// enumerate the blocks row-major.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixPartition {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub layout: MatrixLayout,
+    pub nparts: usize,
+}
+
+impl MatrixPartition {
+    pub fn new(nrows: usize, ncols: usize, layout: MatrixLayout, nparts: usize) -> Self {
+        assert!(nparts >= 1);
+        if let MatrixLayout::Blocked2d { grid_rows, grid_cols } = layout {
+            assert_eq!(grid_rows * grid_cols, nparts, "grid must have nparts tiles");
+        }
+        MatrixPartition { nrows, ncols, layout, nparts }
+    }
+
+    fn stripe(total: usize, parts: usize, i: usize) -> Range1d {
+        let base = total / parts;
+        let extra = total % parts;
+        let lo = i * base + i.min(extra);
+        let hi = lo + base + usize::from(i < extra);
+        Range1d::new(lo, hi)
+    }
+
+    fn stripe_of(total: usize, parts: usize, x: usize) -> usize {
+        let base = total / parts;
+        let extra = total % parts;
+        let big = extra * (base + 1);
+        if x < big {
+            x / (base + 1)
+        } else {
+            extra + (x - big) / base.max(1)
+        }
+    }
+
+    pub fn num_subdomains(&self) -> usize {
+        self.nparts
+    }
+
+    /// The rectangular block assigned to `bcid`.
+    pub fn block(&self, bcid: Bcid) -> crate::domain::Range2d {
+        match self.layout {
+            MatrixLayout::RowBlocked => crate::domain::Range2d::new(
+                Self::stripe(self.nrows, self.nparts, bcid),
+                Range1d::with_size(self.ncols),
+            ),
+            MatrixLayout::ColumnBlocked => crate::domain::Range2d::new(
+                Range1d::with_size(self.nrows),
+                Self::stripe(self.ncols, self.nparts, bcid),
+            ),
+            MatrixLayout::Blocked2d { grid_rows, grid_cols } => {
+                let br = bcid / grid_cols;
+                let bc = bcid % grid_cols;
+                crate::domain::Range2d::new(
+                    Self::stripe(self.nrows, grid_rows, br),
+                    Self::stripe(self.ncols, grid_cols, bc),
+                )
+            }
+        }
+    }
+
+    /// BCID of the block containing `(row, col)`.
+    pub fn find(&self, g: (usize, usize)) -> Bcid {
+        match self.layout {
+            MatrixLayout::RowBlocked => Self::stripe_of(self.nrows, self.nparts, g.0),
+            MatrixLayout::ColumnBlocked => Self::stripe_of(self.ncols, self.nparts, g.1),
+            MatrixLayout::Blocked2d { grid_rows, grid_cols } => {
+                let br = Self::stripe_of(self.nrows, grid_rows, g.0);
+                let bc = Self::stripe_of(self.ncols, grid_cols, g.1);
+                br * grid_cols + bc
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Key partitions (associative pContainers, Ch. XII)
+// ---------------------------------------------------------------------
+
+/// Maps keys to BCIDs for associative containers.
+pub trait KeyPartition<K>: 'static {
+    fn num_subdomains(&self) -> usize;
+    fn find(&self, k: &K) -> Bcid;
+    fn clone_box(&self) -> Box<dyn KeyPartition<K>>;
+}
+
+impl<K: 'static> Clone for Box<dyn KeyPartition<K>> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Value-based partition for *sorted* associative containers (Fig. 58):
+/// `s` splitter keys define `s + 1` ordered key intervals, preserving the
+/// global key order across sub-domains.
+#[derive(Clone, Debug)]
+pub struct SplitterPartition<K> {
+    splitters: Vec<K>,
+}
+
+impl<K: Ord + Clone + 'static> SplitterPartition<K> {
+    pub fn new(mut splitters: Vec<K>) -> Self {
+        splitters.sort();
+        SplitterPartition { splitters }
+    }
+
+    pub fn splitters(&self) -> &[K] {
+        &self.splitters
+    }
+}
+
+impl<K: Ord + Clone + 'static> KeyPartition<K> for SplitterPartition<K> {
+    fn num_subdomains(&self) -> usize {
+        self.splitters.len() + 1
+    }
+
+    fn find(&self, k: &K) -> Bcid {
+        self.splitters.partition_point(|s| s <= k)
+    }
+
+    fn clone_box(&self) -> Box<dyn KeyPartition<K>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Hash partition for *hashed* associative containers: bucket =
+/// `hash(key) mod buckets`. Does not preserve key order.
+#[derive(Clone, Copy, Debug)]
+pub struct HashPartition {
+    buckets: usize,
+}
+
+impl HashPartition {
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets >= 1);
+        HashPartition { buckets }
+    }
+}
+
+impl<K: Hash + 'static> KeyPartition<K> for HashPartition {
+    fn num_subdomains(&self) -> usize {
+        self.buckets
+    }
+
+    fn find(&self, k: &K) -> Bcid {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        k.hash(&mut h);
+        (h.finish() as usize) % self.buckets
+    }
+
+    fn clone_box(&self) -> Box<dyn KeyPartition<K>> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(p: &dyn IndexPartition) {
+        // Sub-domains are disjoint and cover [0, n) — Definition 9.
+        let n = p.global_size();
+        let mut seen = vec![0u32; n];
+        for b in 0..p.num_subdomains() {
+            for g in p.subdomain(b).iter() {
+                seen[g] += 1;
+                assert_eq!(p.find(g), b, "find({g}) disagrees with subdomain({b})");
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "not a partition: {seen:?}");
+    }
+
+    #[test]
+    fn balanced_partition_covers_and_balances() {
+        let p = BalancedPartition::new(10, 4);
+        check_cover(&p);
+        let sizes = p.subdomain_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+    }
+
+    #[test]
+    fn balanced_with_fewer_elements_than_parts() {
+        let p = BalancedPartition::new(3, 8);
+        assert_eq!(p.num_subdomains(), 3);
+        check_cover(&p);
+        assert!(p.subdomain_sizes().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn blocked_partition_example_from_paper() {
+        // partition_blocked([0..11), 3) -> {0..2, 3..5, 6..8, 9..10}
+        let p = BlockedPartition::new(11, 3);
+        assert_eq!(p.num_subdomains(), 4);
+        check_cover(&p);
+        assert_eq!(p.subdomain_sizes(), vec![3, 3, 3, 2]);
+        assert_eq!(p.find(9), 3);
+    }
+
+    #[test]
+    fn block_cyclic_matches_paper_example() {
+        // partition_block_cyclic([0..11), 2, BLOCK_CYCLIC(3))
+        //   -> { {0,1,2, 6,7,8}, {3,4,5, 9,10} }
+        let p = BlockCyclicPartition::new(11, 2, 3);
+        check_cover(&p);
+        assert_eq!(
+            p.subdomain(0).iter().collect::<Vec<_>>(),
+            vec![0, 1, 2, 6, 7, 8]
+        );
+        assert_eq!(
+            p.subdomain(1).iter().collect::<Vec<_>>(),
+            vec![3, 4, 5, 9, 10]
+        );
+    }
+
+    #[test]
+    fn block_cyclic_block_one_is_cyclic() {
+        // partition_block_cyclic([0..11), 2, BLOCK_CYCLIC(1))
+        //   -> { {0,2,4,6,8,10}, {1,3,5,7,9} }
+        let p = BlockCyclicPartition::new(11, 2, 1);
+        check_cover(&p);
+        assert_eq!(
+            p.subdomain(0).iter().collect::<Vec<_>>(),
+            vec![0, 2, 4, 6, 8, 10]
+        );
+    }
+
+    #[test]
+    fn block_cyclic_subdomain_offsets_roundtrip() {
+        let p = BlockCyclicPartition::new(23, 3, 4);
+        for b in 0..3 {
+            let sd = p.subdomain(b);
+            for (k, g) in sd.iter().enumerate() {
+                assert_eq!(sd.offset(g), k);
+                assert_eq!(sd.nth(k), Some(g));
+            }
+            assert_eq!(sd.len(), sd.iter().count());
+        }
+    }
+
+    #[test]
+    fn explicit_partition_example_from_paper() {
+        // partition_blocked_explicit(BLOCK(v{3,4,4})) -> {0..2, 3..6, 7..10}
+        let p = ExplicitPartition::from_sizes(&[3, 4, 4]);
+        check_cover(&p);
+        assert_eq!(p.find(0), 0);
+        assert_eq!(p.find(3), 1);
+        assert_eq!(p.find(6), 1);
+        assert_eq!(p.find(7), 2);
+        assert_eq!(p.sizes(), vec![3, 4, 4]);
+    }
+
+    #[test]
+    fn ordered_partition_preserves_order() {
+        // Definition 10: contiguous ordered partitions preserve the global
+        // order: every gid in sub-domain i precedes every gid in i+1.
+        let p = BalancedPartition::new(37, 5);
+        let mut prev_max: Option<usize> = None;
+        for b in 0..p.num_subdomains() {
+            let gids: Vec<_> = p.subdomain(b).iter().collect();
+            if let (Some(pm), Some(first)) = (prev_max, gids.first()) {
+                assert!(pm < *first);
+            }
+            prev_max = gids.last().copied().or(prev_max);
+        }
+    }
+
+    #[test]
+    fn matrix_row_blocked() {
+        let p = MatrixPartition::new(6, 4, MatrixLayout::RowBlocked, 3);
+        assert_eq!(p.block(0).nrows(), 2);
+        assert_eq!(p.find((0, 3)), 0);
+        assert_eq!(p.find((2, 0)), 1);
+        assert_eq!(p.find((5, 3)), 2);
+    }
+
+    #[test]
+    fn matrix_column_blocked() {
+        let p = MatrixPartition::new(4, 6, MatrixLayout::ColumnBlocked, 2);
+        assert_eq!(p.find((3, 2)), 0);
+        assert_eq!(p.find((0, 3)), 1);
+        assert_eq!(p.block(1).ncols(), 3);
+    }
+
+    #[test]
+    fn matrix_blocked_2d_tiles_cover() {
+        let p = MatrixPartition::new(6, 6, MatrixLayout::Blocked2d { grid_rows: 2, grid_cols: 3 }, 6);
+        let mut count = 0;
+        for b in 0..p.num_subdomains() {
+            let blk = p.block(b);
+            for r in blk.rows.iter() {
+                for c in blk.cols.iter() {
+                    assert_eq!(p.find((r, c)), b);
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, 36);
+    }
+
+    #[test]
+    fn splitter_partition_orders_keys() {
+        let p = SplitterPartition::new(vec![10, 20, 30]);
+        assert_eq!(p.num_subdomains(), 4);
+        assert_eq!(p.find(&5), 0);
+        assert_eq!(p.find(&10), 1);
+        assert_eq!(p.find(&19), 1);
+        assert_eq!(p.find(&25), 2);
+        assert_eq!(p.find(&99), 3);
+        // Order preservation: k1 < k2 => bcid(k1) <= bcid(k2).
+        for a in 0..40 {
+            for b in a..40 {
+                assert!(p.find(&a) <= p.find(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_partition_is_stable_and_in_range() {
+        let p = HashPartition::new(7);
+        for k in 0..100 {
+            let b = KeyPartition::<i32>::find(&p, &k);
+            assert!(b < 7);
+            assert_eq!(b, KeyPartition::<i32>::find(&p, &k));
+        }
+    }
+}

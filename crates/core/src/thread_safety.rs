@@ -1,0 +1,440 @@
+//! Thread safety (Chapter VI): per-method locking policies and pluggable
+//! thread-safety managers.
+//!
+//! Each pContainer method declares a *locking policy*: the granularity of
+//! the data it touches (`Element`, `BContainer`, `Local`, or `None`) and
+//! whether it reads or writes data and metadata. A *thread-safety manager*
+//! turns those declarations into actual mutual exclusion. The framework
+//! ships `NoLock` (for single-threaded locations or when the task graph
+//! already serializes conflicting accesses — the paper's default for static
+//! containers), a single `GlobalMutex`, a `HashedLocks(K)` manager (the
+//! paper's "K locks, hash each GID to one" refinement), and a
+//! reader-writer manager.
+//!
+//! In this reproduction each location executes requests on one thread, so
+//! owner-side method execution is already atomic; the managers matter when
+//! base containers are shared by several worker threads inside a location,
+//! which is how the tests and the ablation bench exercise them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::lock_api::{RawMutex as RawMutexApi, RawRwLock as RawRwLockApi};
+use parking_lot::{RawMutex, RawRwLock};
+
+use crate::gid::Bcid;
+
+/// Identifier of a container method, used to look up its locking policy
+/// (the paper's `LP_SET`, `LP_GET`, `LP_INSERT`, ... constants).
+pub type MethodId = u32;
+
+pub mod methods {
+    //! Well-known method ids shared by the provided containers.
+    use super::MethodId;
+
+    pub const SET: MethodId = 0;
+    pub const GET: MethodId = 1;
+    pub const APPLY: MethodId = 2;
+    pub const INSERT: MethodId = 3;
+    pub const ERASE: MethodId = 4;
+    pub const PUSH_BACK: MethodId = 5;
+    pub const POP_BACK: MethodId = 6;
+    pub const PUSH_FRONT: MethodId = 7;
+    pub const POP_FRONT: MethodId = 8;
+    pub const PUSH_ANYWHERE: MethodId = 9;
+    pub const FIND: MethodId = 10;
+    pub const ADD_VERTEX: MethodId = 11;
+    pub const DELETE_VERTEX: MethodId = 12;
+    pub const ADD_EDGE: MethodId = 13;
+    pub const DELETE_EDGE: MethodId = 14;
+    pub const SIZE: MethodId = 15;
+}
+
+/// How much of the local data a method locks (Chapter VI.D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockGranularity {
+    /// No locking required (read-only phases, or safety delegated to the
+    /// task dependence graph).
+    None,
+    /// One element, identified by its GID hash.
+    Element,
+    /// One base container.
+    BContainer,
+    /// Everything stored on the location.
+    Local,
+}
+
+/// Read/write mode for data or metadata accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessMode {
+    Read,
+    Write,
+}
+
+/// Locking attributes of one method: granularity plus data and metadata
+/// access modes — the `(ELEMENT, WRITE, MDREAD)` tuples of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MethodPolicy {
+    pub granularity: LockGranularity,
+    pub data: AccessMode,
+    pub metadata: AccessMode,
+}
+
+impl MethodPolicy {
+    pub const fn new(granularity: LockGranularity, data: AccessMode, metadata: AccessMode) -> Self {
+        MethodPolicy { granularity, data, metadata }
+    }
+
+    pub const NONE: MethodPolicy =
+        MethodPolicy::new(LockGranularity::None, AccessMode::Read, AccessMode::Read);
+}
+
+/// Per-method policy table with a default, owned by each partition /
+/// container instance (the paper's `m_locking_policy` array).
+#[derive(Clone, Debug)]
+pub struct LockingPolicyTable {
+    default: MethodPolicy,
+    overrides: HashMap<MethodId, MethodPolicy>,
+}
+
+impl LockingPolicyTable {
+    pub fn new(default: MethodPolicy) -> Self {
+        LockingPolicyTable { default, overrides: HashMap::new() }
+    }
+
+    /// A table whose every method is `None` — the default for static
+    /// read-mostly containers (pArray, pMatrix).
+    pub fn unlocked() -> Self {
+        Self::new(MethodPolicy::NONE)
+    }
+
+    /// The pVector-style default of the paper: element-granularity
+    /// read/write for accessors, local-granularity write for structural
+    /// methods.
+    pub fn dynamic_default() -> Self {
+        let mut t = Self::new(MethodPolicy::new(
+            LockGranularity::Local,
+            AccessMode::Write,
+            AccessMode::Write,
+        ));
+        t.set(methods::SET, MethodPolicy::new(LockGranularity::Element, AccessMode::Write, AccessMode::Read));
+        t.set(methods::GET, MethodPolicy::new(LockGranularity::Element, AccessMode::Read, AccessMode::Read));
+        t.set(methods::APPLY, MethodPolicy::new(LockGranularity::Element, AccessMode::Write, AccessMode::Read));
+        t.set(methods::FIND, MethodPolicy::new(LockGranularity::Element, AccessMode::Read, AccessMode::Read));
+        t
+    }
+
+    pub fn set(&mut self, m: MethodId, p: MethodPolicy) {
+        self.overrides.insert(m, p);
+    }
+
+    /// `get_locking_policy` of the paper.
+    pub fn get(&self, m: MethodId) -> MethodPolicy {
+        self.overrides.get(&m).copied().unwrap_or(self.default)
+    }
+}
+
+/// Context handed to the manager: which method runs, on which element.
+#[derive(Clone, Copy, Debug)]
+pub struct ThsInfo {
+    pub method: MethodId,
+    pub gid_hash: u64,
+    pub bcid: Bcid,
+}
+
+/// The thread-safety manager interface of Chapter VI.C. `*_pre` acquires,
+/// `*_post` releases; the granularity and mode come from the policy.
+pub trait ThreadSafetyManager: Send + Sync + 'static {
+    fn data_access_pre(&self, info: &ThsInfo, policy: &MethodPolicy);
+    fn data_access_post(&self, info: &ThsInfo, policy: &MethodPolicy);
+    fn metadata_access_pre(&self, _info: &ThsInfo, _policy: &MethodPolicy) {}
+    fn metadata_access_post(&self, _info: &ThsInfo, _policy: &MethodPolicy) {}
+}
+
+/// RAII wrapper pairing `data_access_pre` with `data_access_post`.
+pub struct DataGuard<'a> {
+    mgr: &'a dyn ThreadSafetyManager,
+    info: ThsInfo,
+    policy: MethodPolicy,
+}
+
+impl<'a> DataGuard<'a> {
+    pub fn acquire(mgr: &'a dyn ThreadSafetyManager, info: ThsInfo, policy: MethodPolicy) -> Self {
+        mgr.data_access_pre(&info, &policy);
+        DataGuard { mgr, info, policy }
+    }
+}
+
+impl Drop for DataGuard<'_> {
+    fn drop(&mut self) {
+        self.mgr.data_access_post(&self.info, &self.policy);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Managers
+// ---------------------------------------------------------------------
+
+/// Performs no locking whatsoever.
+#[derive(Default)]
+pub struct NoLockManager;
+
+impl ThreadSafetyManager for NoLockManager {
+    fn data_access_pre(&self, _: &ThsInfo, _: &MethodPolicy) {}
+    fn data_access_post(&self, _: &ThsInfo, _: &MethodPolicy) {}
+}
+
+/// One mutex for the whole location — maximal contention, minimal memory.
+pub struct GlobalMutexManager {
+    raw: RawMutex,
+}
+
+impl Default for GlobalMutexManager {
+    fn default() -> Self {
+        GlobalMutexManager { raw: RawMutex::INIT }
+    }
+}
+
+impl ThreadSafetyManager for GlobalMutexManager {
+    fn data_access_pre(&self, _: &ThsInfo, policy: &MethodPolicy) {
+        if policy.granularity != LockGranularity::None {
+            self.raw.lock();
+        }
+    }
+
+    fn data_access_post(&self, _: &ThsInfo, policy: &MethodPolicy) {
+        if policy.granularity != LockGranularity::None {
+            // Safety: paired with the lock taken in data_access_pre.
+            unsafe { self.raw.unlock() }
+        }
+    }
+}
+
+/// K mutexes; element accesses hash their GID to one of them, bContainer
+/// accesses hash the BCID, and `Local` granularity takes every lock in
+/// index order (deadlock-free by total order).
+pub struct HashedLockManager {
+    locks: Vec<RawMutex>,
+}
+
+impl HashedLockManager {
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        HashedLockManager { locks: (0..k).map(|_| RawMutex::INIT).collect() }
+    }
+
+    fn slot(&self, info: &ThsInfo, policy: &MethodPolicy) -> Option<usize> {
+        match policy.granularity {
+            LockGranularity::None | LockGranularity::Local => None,
+            LockGranularity::Element => Some(info.gid_hash as usize % self.locks.len()),
+            LockGranularity::BContainer => Some(info.bcid % self.locks.len()),
+        }
+    }
+}
+
+impl ThreadSafetyManager for HashedLockManager {
+    fn data_access_pre(&self, info: &ThsInfo, policy: &MethodPolicy) {
+        match policy.granularity {
+            LockGranularity::None => {}
+            LockGranularity::Local => {
+                for l in &self.locks {
+                    l.lock();
+                }
+            }
+            _ => self.locks[self.slot(info, policy).unwrap()].lock(),
+        }
+    }
+
+    fn data_access_post(&self, info: &ThsInfo, policy: &MethodPolicy) {
+        match policy.granularity {
+            LockGranularity::None => {}
+            LockGranularity::Local => {
+                for l in self.locks.iter().rev() {
+                    // Safety: paired with data_access_pre.
+                    unsafe { l.unlock() }
+                }
+            }
+            _ => unsafe {
+                // Safety: paired with data_access_pre.
+                self.locks[self.slot(info, policy).unwrap()].unlock()
+            },
+        }
+    }
+}
+
+/// A single reader-writer lock honoring the policy's data access mode:
+/// concurrent readers, exclusive writers.
+pub struct RwLockManager {
+    raw: RawRwLock,
+}
+
+impl Default for RwLockManager {
+    fn default() -> Self {
+        RwLockManager { raw: RawRwLock::INIT }
+    }
+}
+
+impl ThreadSafetyManager for RwLockManager {
+    fn data_access_pre(&self, _: &ThsInfo, policy: &MethodPolicy) {
+        match (policy.granularity, policy.data) {
+            (LockGranularity::None, _) => {}
+            (_, AccessMode::Read) => self.raw.lock_shared(),
+            (_, AccessMode::Write) => self.raw.lock_exclusive(),
+        }
+    }
+
+    fn data_access_post(&self, _: &ThsInfo, policy: &MethodPolicy) {
+        match (policy.granularity, policy.data) {
+            (LockGranularity::None, _) => {}
+            // Safety: paired with data_access_pre.
+            (_, AccessMode::Read) => unsafe { self.raw.unlock_shared() },
+            (_, AccessMode::Write) => unsafe { self.raw.unlock_exclusive() },
+        }
+    }
+}
+
+/// Bundle of policy table + manager carried by a container representative.
+#[derive(Clone)]
+pub struct ThreadSafety {
+    pub table: Arc<LockingPolicyTable>,
+    pub manager: Arc<dyn ThreadSafetyManager>,
+}
+
+impl ThreadSafety {
+    pub fn unlocked() -> Self {
+        ThreadSafety {
+            table: Arc::new(LockingPolicyTable::unlocked()),
+            manager: Arc::new(NoLockManager),
+        }
+    }
+
+    pub fn new(table: LockingPolicyTable, manager: Arc<dyn ThreadSafetyManager>) -> Self {
+        ThreadSafety { table: Arc::new(table), manager }
+    }
+
+    /// Guards a data access for `method` on the element hashing to
+    /// `gid_hash` in `bcid`; the guard releases on drop.
+    pub fn guard(&self, method: MethodId, gid_hash: u64, bcid: Bcid) -> DataGuard<'_> {
+        let policy = self.table.get(method);
+        DataGuard::acquire(self.manager.as_ref(), ThsInfo { method, gid_hash, bcid }, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+    #[test]
+    fn policy_table_lookup_and_default() {
+        let mut t = LockingPolicyTable::unlocked();
+        assert_eq!(t.get(methods::SET).granularity, LockGranularity::None);
+        t.set(methods::SET, MethodPolicy::new(LockGranularity::Element, AccessMode::Write, AccessMode::Read));
+        assert_eq!(t.get(methods::SET).granularity, LockGranularity::Element);
+        assert_eq!(t.get(methods::GET).granularity, LockGranularity::None);
+    }
+
+    #[test]
+    fn dynamic_default_matches_paper_shape() {
+        let t = LockingPolicyTable::dynamic_default();
+        assert_eq!(t.get(methods::GET).data, AccessMode::Read);
+        assert_eq!(t.get(methods::SET).granularity, LockGranularity::Element);
+        // Structural ops lock the whole location by default.
+        assert_eq!(t.get(methods::PUSH_BACK).granularity, LockGranularity::Local);
+        assert_eq!(t.get(methods::INSERT).granularity, LockGranularity::Local);
+    }
+
+    /// Hammer a manager from many threads and count mutual-exclusion
+    /// violations with an "inside" canary.
+    fn violations(mgr: Arc<dyn ThreadSafetyManager>, policy: MethodPolicy, same_element: bool) -> u64 {
+        let inside = AtomicI64::new(0);
+        let viol = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let mgr = &mgr;
+                let inside = &inside;
+                let viol = &viol;
+                s.spawn(move || {
+                    for i in 0..300u64 {
+                        let gid = if same_element { 7 } else { t * 10_000 + i };
+                        let info = ThsInfo { method: methods::SET, gid_hash: gid, bcid: 0 };
+                        mgr.data_access_pre(&info, &policy);
+                        if inside.fetch_add(1, Ordering::SeqCst) != 0 {
+                            viol.fetch_add(1, Ordering::SeqCst);
+                        }
+                        // Widen the race window so overlap is observable
+                        // even on a single-core host.
+                        std::thread::yield_now();
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        mgr.data_access_post(&info, &policy);
+                    }
+                });
+            }
+        });
+        viol.load(Ordering::SeqCst)
+    }
+
+    const WR: MethodPolicy =
+        MethodPolicy::new(LockGranularity::Element, AccessMode::Write, AccessMode::Read);
+
+    #[test]
+    fn global_mutex_excludes() {
+        assert_eq!(violations(Arc::new(GlobalMutexManager::default()), WR, true), 0);
+    }
+
+    #[test]
+    fn hashed_locks_exclude_same_element() {
+        assert_eq!(violations(Arc::new(HashedLockManager::new(16)), WR, true), 0);
+    }
+
+    #[test]
+    fn rwlock_excludes_writers() {
+        assert_eq!(violations(Arc::new(RwLockManager::default()), WR, true), 0);
+    }
+
+    #[test]
+    fn no_lock_manager_admits_races() {
+        // Not a correctness property — a sanity check that the canary
+        // actually detects concurrency, validating the tests above.
+        let v = violations(Arc::new(NoLockManager), WR, true);
+        assert!(v > 0, "expected NoLock to admit concurrent entries");
+    }
+
+    #[test]
+    fn hashed_local_granularity_takes_all_locks() {
+        let pol = MethodPolicy::new(LockGranularity::Local, AccessMode::Write, AccessMode::Write);
+        assert_eq!(violations(Arc::new(HashedLockManager::new(4)), pol, false), 0);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let mgr = RwLockManager::default();
+        let pol = MethodPolicy::new(LockGranularity::Element, AccessMode::Read, AccessMode::Read);
+        let info = ThsInfo { method: methods::GET, gid_hash: 1, bcid: 0 };
+        // Two nested read acquisitions must not deadlock.
+        mgr.data_access_pre(&info, &pol);
+        mgr.data_access_pre(&info, &pol);
+        mgr.data_access_post(&info, &pol);
+        mgr.data_access_post(&info, &pol);
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let ths = ThreadSafety::new(
+            LockingPolicyTable::dynamic_default(),
+            Arc::new(GlobalMutexManager::default()),
+        );
+        {
+            let _g = ths.guard(methods::SET, 1, 0);
+        }
+        // Re-acquiring immediately proves the guard released.
+        let _g2 = ths.guard(methods::SET, 1, 0);
+    }
+
+    #[test]
+    fn none_granularity_skips_locking() {
+        let ths = ThreadSafety::unlocked();
+        let _a = ths.guard(methods::SET, 1, 0);
+        let _b = ths.guard(methods::SET, 1, 0); // would deadlock if locked
+    }
+}

@@ -1,0 +1,106 @@
+//! A polling barrier: locations waiting at the barrier keep servicing
+//! incoming RMI requests, so a location can never be blocked at a barrier
+//! while a peer waits on a synchronous reply from it.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub(crate) struct PollBarrier {
+    total: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    /// Set when any location panics so waiters abort instead of hanging.
+    pub(crate) poisoned: AtomicBool,
+}
+
+impl PollBarrier {
+    pub(crate) fn new(total: usize) -> Self {
+        PollBarrier {
+            total,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Waits for all locations, invoking `service` repeatedly while waiting.
+    /// `service` is expected to poll the incoming request queue.
+    pub(crate) fn wait(&self, mut service: impl FnMut()) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // Last arriver releases the others.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if self.poisoned.load(Ordering::Relaxed) {
+                    panic!("stapl-rts: a peer location panicked while this location waited at a barrier");
+                }
+                service();
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn all_threads_pass_each_generation_together() {
+        let n = 4;
+        let barrier = Arc::new(PollBarrier::new(n));
+        let phase = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                let barrier = barrier.clone();
+                let phase = phase.clone();
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        // Everyone must observe the shared phase of the
+                        // current round, never a future one.
+                        assert_eq!(phase.load(Ordering::SeqCst) / n as u64, round);
+                        phase.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait(|| {});
+                    }
+                });
+            }
+        });
+        assert_eq!(phase.load(Ordering::SeqCst), 50 * n as u64);
+    }
+
+    #[test]
+    fn service_closure_runs_while_waiting() {
+        let barrier = Arc::new(PollBarrier::new(2));
+        let serviced = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            let b = barrier.clone();
+            let sv = serviced.clone();
+            s.spawn(move || {
+                b.wait(|| {
+                    sv.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            // Give the first thread time to spin in the barrier.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            barrier.wait(|| {});
+        });
+        assert!(serviced.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peer location panicked")]
+    fn poisoned_barrier_panics_waiters() {
+        let barrier = PollBarrier::new(2);
+        barrier.poisoned.store(true, Ordering::Relaxed);
+        barrier.wait(|| {});
+    }
+}

@@ -1,0 +1,140 @@
+//! Collective operations: broadcast, reductions, scans, all-gather.
+//!
+//! The paper's ARMI provides collective operations "with the same semantics
+//! as the traditional MPI collective operations". Because all locations of
+//! the simulated machine live in one process, the collectives exchange
+//! values through a shared scoreboard guarded by the polling barrier; this
+//! is a control-plane shortcut (the paper's RTS similarly implements
+//! collectives below the RMI layer) and does not let p_object data bypass
+//! the message-passing discipline.
+
+use std::any::Any;
+use std::sync::Mutex;
+
+use crate::location::Location;
+
+pub(crate) struct CollectiveBoard {
+    slots: Vec<Mutex<Option<Box<dyn Any + Send>>>>,
+    result: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl CollectiveBoard {
+    pub(crate) fn new(nlocs: usize) -> Self {
+        CollectiveBoard {
+            slots: (0..nlocs).map(|_| Mutex::new(None)).collect(),
+            result: Mutex::new(None),
+        }
+    }
+}
+
+impl Location {
+    /// All-reduce: every location contributes `val`; every location receives
+    /// the reduction of all contributions under `op` (applied in location
+    /// order, so non-commutative `op` still gives a deterministic result).
+    ///
+    /// **Collective**: must be called by all locations.
+    pub fn allreduce<T, F>(&self, val: T, op: F) -> T
+    where
+        T: Send + Clone + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let board = &self.shared().board;
+        *board.slots[self.id()].lock().unwrap() = Some(Box::new(val));
+        self.barrier();
+        if self.id() == 0 {
+            let mut acc: Option<T> = None;
+            for slot in &board.slots {
+                let v = slot
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("collective slot empty")
+                    .downcast::<T>()
+                    .expect("collective type mismatch");
+                acc = Some(match acc {
+                    None => *v,
+                    Some(a) => op(a, *v),
+                });
+            }
+            *board.result.lock().unwrap() = Some(Box::new(acc.unwrap()));
+        }
+        self.barrier();
+        let out = {
+            let guard = board.result.lock().unwrap();
+            guard
+                .as_ref()
+                .expect("collective result missing")
+                .downcast_ref::<T>()
+                .expect("collective type mismatch")
+                .clone()
+        };
+        // Everyone has read the result; location 0 may clear it and the
+        // board can be reused by the next collective.
+        self.barrier();
+        if self.id() == 0 {
+            *board.result.lock().unwrap() = None;
+        }
+        self.barrier();
+        out
+    }
+
+    /// Broadcast `val` from `root` to every location. Non-root contributions
+    /// are ignored.
+    ///
+    /// **Collective**.
+    pub fn broadcast<T>(&self, root: super::LocId, val: T) -> T
+    where
+        T: Send + Clone + 'static,
+    {
+        let rooted = (self.id() == root).then_some(val);
+        self.allreduce(rooted, |a, b| a.or(b)).expect("broadcast root missing")
+    }
+
+    /// Gathers every location's contribution into a vector indexed by
+    /// location id, visible on all locations.
+    ///
+    /// **Collective**.
+    pub fn allgather<T>(&self, val: T) -> Vec<T>
+    where
+        T: Send + Clone + 'static,
+    {
+        self.allreduce(vec![val], |mut a, mut b| {
+            a.append(&mut b);
+            a
+        })
+    }
+
+    /// Exclusive prefix scan over location ids: location `i` receives
+    /// `op(val_0, ..., val_{i-1})`, and location 0 receives `identity`.
+    /// Also returns the global total as the second tuple element.
+    ///
+    /// **Collective**. Used for, e.g., computing global index offsets.
+    pub fn exclusive_scan<T, F>(&self, val: T, identity: T, op: F) -> (T, T)
+    where
+        T: Send + Clone + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let all = self.allgather(val);
+        let mut acc = identity.clone();
+        let mut mine = identity;
+        for (i, v) in all.into_iter().enumerate() {
+            if i == self.id() {
+                mine = acc.clone();
+            }
+            acc = op(acc, v);
+        }
+        (mine, acc)
+    }
+
+    /// Global sum of `u64` contributions — the most common collective in
+    /// the containers (sizes, counters).
+    pub fn allreduce_sum(&self, val: u64) -> u64 {
+        self.allreduce(val, |a, b| a + b)
+    }
+
+    /// Global max — used by the benchmark kernel (Fig. 24 reports the max
+    /// time over all locations).
+    pub fn allreduce_max_f64(&self, val: f64) -> f64 {
+        self.allreduce(val, f64::max)
+    }
+}

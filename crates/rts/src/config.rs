@@ -1,0 +1,100 @@
+//! Runtime configuration: aggregation and the simulated machine model.
+
+/// Configuration for one SPMD execution.
+///
+/// The defaults model a single shared-memory node with moderate request
+/// aggregation, matching the paper's default ARMI settings.
+#[derive(Clone, Debug)]
+pub struct RtsConfig {
+    /// Maximum number of RMI requests buffered per destination before the
+    /// buffer is flushed as a single message. `1` disables aggregation.
+    ///
+    /// The paper's ARMI aggregates requests "to use bandwidth and reduce
+    /// overhead"; this knob is swept in the aggregation ablation bench.
+    pub aggregation: usize,
+    /// Number of locations per simulated node. `0` means all locations live
+    /// on one node (no inter-node traffic). With `node_size = 4`, locations
+    /// 0..4 share a node, 4..8 the next, and so on — the placement study of
+    /// Fig. 41 compares `node_size = nlocs` against `node_size = 1`.
+    pub node_size: usize,
+    /// Busy-wait injected at delivery for every *message batch* that
+    /// crosses a node boundary, in nanoseconds (models network latency).
+    pub internode_batch_delay_ns: u64,
+    /// Additional busy-wait per *request* inside a cross-node batch, in
+    /// nanoseconds (models serialization / bandwidth cost).
+    pub internode_per_msg_delay_ns: u64,
+}
+
+impl Default for RtsConfig {
+    fn default() -> Self {
+        RtsConfig {
+            aggregation: 16,
+            node_size: 0,
+            internode_batch_delay_ns: 0,
+            internode_per_msg_delay_ns: 0,
+        }
+    }
+}
+
+impl RtsConfig {
+    /// A config with no aggregation and no node model; useful in tests that
+    /// reason about exact message counts.
+    pub fn unbuffered() -> Self {
+        RtsConfig { aggregation: 1, ..Self::default() }
+    }
+
+    /// A config with the given aggregation factor.
+    pub fn with_aggregation(aggregation: usize) -> Self {
+        RtsConfig { aggregation: aggregation.max(1), ..Self::default() }
+    }
+
+    /// A cluster-like config: nodes of `node_size` locations and the given
+    /// per-batch inter-node latency in nanoseconds.
+    pub fn clustered(node_size: usize, batch_delay_ns: u64, per_msg_delay_ns: u64) -> Self {
+        RtsConfig {
+            node_size,
+            internode_batch_delay_ns: batch_delay_ns,
+            internode_per_msg_delay_ns: per_msg_delay_ns,
+            ..Self::default()
+        }
+    }
+
+    /// Returns true when `a` and `b` are placed on different simulated nodes.
+    pub fn cross_node(&self, a: usize, b: usize) -> bool {
+        if self.node_size == 0 {
+            return false;
+        }
+        a / self.node_size != b / self.node_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_single_node() {
+        let c = RtsConfig::default();
+        assert!(!c.cross_node(0, 7));
+        assert!(c.aggregation > 1);
+    }
+
+    #[test]
+    fn cross_node_grouping() {
+        let c = RtsConfig::clustered(4, 100, 10);
+        assert!(!c.cross_node(0, 3));
+        assert!(c.cross_node(3, 4));
+        assert!(c.cross_node(0, 15));
+        assert!(!c.cross_node(5, 6));
+    }
+
+    #[test]
+    fn unbuffered_has_no_aggregation() {
+        assert_eq!(RtsConfig::unbuffered().aggregation, 1);
+    }
+
+    #[test]
+    fn aggregation_clamped_to_one() {
+        assert_eq!(RtsConfig::with_aggregation(0).aggregation, 1);
+    }
+}

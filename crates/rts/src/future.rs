@@ -1,0 +1,64 @@
+//! Split-phase futures (the paper's `pc_future`).
+//!
+//! A split-phase method returns immediately with an [`RmiFuture`]; calling
+//! [`RmiFuture::get`] blocks until the response arrives, servicing incoming
+//! requests while waiting. This mirrors the paper's completion guarantee:
+//! the acknowledgment of a split-phase method is received no later than the
+//! `get()` on its future (or the next fence).
+
+use std::cell::Cell;
+
+use crate::location::Location;
+
+pub(crate) enum FutureInner<R> {
+    Ready(Cell<Option<R>>),
+    Slot { loc: Location, slot: u64 },
+}
+
+/// Handle to the eventual result of a split-phase RMI.
+pub struct RmiFuture<R> {
+    inner: FutureInner<R>,
+}
+
+impl<R: 'static> RmiFuture<R> {
+    pub(crate) fn ready(r: R) -> Self {
+        RmiFuture { inner: FutureInner::Ready(Cell::new(Some(r))) }
+    }
+
+    pub(crate) fn new(inner: FutureInner<R>) -> Self {
+        RmiFuture { inner }
+    }
+
+    /// True when the value is already available and `get` will not block.
+    pub fn is_ready(&self) -> bool {
+        match &self.inner {
+            FutureInner::Ready(_) => true,
+            FutureInner::Slot { loc, slot } => {
+                // Drain anything already queued so readiness is fresh.
+                loc.poll();
+                loc.peek_slot(*slot)
+            }
+        }
+    }
+
+    /// Blocks until the value arrives, servicing incoming requests while
+    /// waiting, and returns it.
+    pub fn get(self) -> R {
+        match self.inner {
+            FutureInner::Ready(cell) => cell.take().expect("future value already taken"),
+            FutureInner::Slot { loc, slot } => loop {
+                if let Some(v) = loc.try_take_slot(slot) {
+                    return *v.downcast::<R>().expect("future slot type mismatch");
+                }
+                loc.poll_or_relax();
+            },
+        }
+    }
+}
+
+impl Location {
+    pub(crate) fn peek_slot(&self, slot: u64) -> bool {
+        // A cheap existence check without removing the value.
+        self.try_peek(slot)
+    }
+}

@@ -1,0 +1,64 @@
+//! # stapl-rts — an ARMI-style runtime system
+//!
+//! This crate reproduces the STAPL runtime system (RTS) described in
+//! Chapter III.B of *The STAPL Parallel Container Framework*: locations,
+//! remote method invocations (RMIs), fences, and collective operations.
+//!
+//! The paper's RTS runs over MPI/pthreads on distributed-memory machines.
+//! Here the distributed machine is simulated inside one process:
+//!
+//! * a **location** is an OS thread with a *private address space by
+//!   convention* — no object data is shared between locations; every
+//!   cross-location interaction is a message through a channel,
+//! * an **RMI** is a boxed closure shipped to the owning location, where it
+//!   looks up the target *p_object* representative in a per-location
+//!   registry and executes against it,
+//! * requests between a fixed (source, destination) pair are executed in
+//!   **invocation order** (the paper's point-to-point FIFO guarantee),
+//! * **`rmi_fence`** performs global termination detection over
+//!   (sent, handled) counters, so arbitrarily deep *method forwarding*
+//!   chains are drained before the fence completes,
+//! * **aggregation** packs multiple requests to the same destination into a
+//!   single message (the paper's bandwidth optimization), and
+//! * a configurable **node model** injects per-message delay between
+//!   locations placed on different simulated nodes, reproducing the paper's
+//!   same-node / cross-node placement experiments (Fig. 41).
+//!
+//! Every blocking wait in this crate (sync RMI, [`RmiFuture::get`],
+//! [`Location::barrier`], [`Location::rmi_fence`]) *polls and executes*
+//! incoming requests while waiting, which is what makes the classic
+//! "two locations sync-RMI each other" pattern deadlock-free.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use stapl_rts::{execute, RtsConfig};
+//! use std::cell::RefCell;
+//!
+//! // One counter per location; location 0 asks everyone to increment the
+//! // counter of location 1, then reads it back synchronously.
+//! execute(RtsConfig::default(), 4, |loc| {
+//!     let (h, _rep) = loc.register(RefCell::new(0u64));
+//!     loc.rmi_fence(); // registration is collective
+//!     loc.async_rmi(1, h, |c: &RefCell<u64>, _| *c.borrow_mut() += 1);
+//!     loc.rmi_fence();
+//!     if loc.id() == 0 {
+//!         let v = loc.sync_rmi(1, h, |c: &RefCell<u64>, _| *c.borrow());
+//!         assert_eq!(v, 4);
+//!     }
+//! });
+//! ```
+
+mod barrier;
+mod collective;
+mod config;
+mod future;
+mod location;
+mod spmd;
+mod stats;
+
+pub use config::RtsConfig;
+pub use future::RmiFuture;
+pub use location::{Handle, LocId, Location, ReplyToken};
+pub use spmd::{execute, execute_collect};
+pub use stats::StatsSnapshot;

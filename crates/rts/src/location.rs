@@ -1,0 +1,468 @@
+//! Locations, the p_object registry, and the RMI primitives.
+//!
+//! A [`Location`] is the paper's abstraction of "a component of a parallel
+//! machine that has a contiguous address space and associated execution
+//! capabilities". Each location runs on its own OS thread; the `Location`
+//! handle is `!Send` and cheap to clone (it is an `Rc` around the
+//! per-thread state).
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::barrier::PollBarrier;
+use crate::collective::CollectiveBoard;
+use crate::config::RtsConfig;
+use crate::future::{FutureInner, RmiFuture};
+use crate::stats::{Stats, StatsSnapshot};
+
+/// Identifier of a location (0-based, dense).
+pub type LocId = usize;
+
+/// Handle of a registered p_object; identical on every location because
+/// registration is a collective operation performed in the same order by
+/// all locations (SPMD).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Handle(pub(crate) u32);
+
+/// A request shipped between locations: executed on the destination thread
+/// with access to the destination's `Location`.
+pub(crate) type Request = Box<dyn FnOnce(&Location) + Send>;
+
+/// Address of a pending reply slot on the requesting location; see
+/// [`Location::make_reply_slot`].
+pub struct ReplyToken<R> {
+    src: LocId,
+    slot: u64,
+    _marker: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<R> Clone for ReplyToken<R> {
+    fn clone(&self) -> Self {
+        ReplyToken { src: self.src, slot: self.slot, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<R> Copy for ReplyToken<R> {}
+
+pub(crate) struct Batch {
+    pub src: LocId,
+    pub reqs: Vec<Request>,
+}
+
+/// State shared by all locations of one SPMD execution. Only control-plane
+/// data lives here (channel endpoints, counters, barriers); p_object data
+/// never does.
+pub(crate) struct Shared {
+    pub nlocs: usize,
+    pub cfg: RtsConfig,
+    pub senders: Vec<Sender<Batch>>,
+    /// Requests enqueued for a remote location (incremented *before* the
+    /// request becomes visible, even while still in an aggregation buffer).
+    pub sent: AtomicU64,
+    /// Requests fully executed at their destination.
+    pub handled: AtomicU64,
+    pub barrier: PollBarrier,
+    pub fence_done: AtomicU64, // 0 = undecided/no, 1 = done (leader-written)
+    pub board: CollectiveBoard,
+    pub stats: Stats,
+}
+
+struct LocInner {
+    id: LocId,
+    shared: Arc<Shared>,
+    rx: Receiver<Batch>,
+    registry: RefCell<Vec<Option<Rc<dyn Any>>>>,
+    outbuf: RefCell<Vec<Vec<Request>>>,
+    slots: RefCell<HashMap<u64, Box<dyn Any>>>,
+    next_slot: Cell<u64>,
+}
+
+/// A per-thread handle to the runtime. Cloning is cheap; the clone refers
+/// to the same location.
+#[derive(Clone)]
+pub struct Location {
+    inner: Rc<LocInner>,
+}
+
+impl Location {
+    pub(crate) fn new(id: LocId, shared: Arc<Shared>, rx: Receiver<Batch>) -> Self {
+        let nlocs = shared.nlocs;
+        Location {
+            inner: Rc::new(LocInner {
+                id,
+                shared,
+                rx,
+                registry: RefCell::new(Vec::new()),
+                outbuf: RefCell::new((0..nlocs).map(|_| Vec::new()).collect()),
+                slots: RefCell::new(HashMap::new()),
+                next_slot: Cell::new(0),
+            }),
+        }
+    }
+
+    /// This location's identifier.
+    pub fn id(&self) -> LocId {
+        self.inner.id
+    }
+
+    /// Number of locations in the execution.
+    pub fn nlocs(&self) -> usize {
+        self.inner.shared.nlocs
+    }
+
+    /// The runtime configuration of this execution.
+    pub fn config(&self) -> &RtsConfig {
+        &self.inner.shared.cfg
+    }
+
+    /// Snapshot of the global communication counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.shared.stats.snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // p_object registry
+    // ------------------------------------------------------------------
+
+    /// Registers a p_object representative on this location and returns its
+    /// handle plus a local `Rc` to the representative.
+    ///
+    /// **Collective**: every location must register its representative of
+    /// the same object at the same point in the SPMD program, so handles
+    /// agree across locations (the paper's `p_object` registration).
+    pub fn register<T: 'static>(&self, rep: T) -> (Handle, Rc<T>) {
+        let rc = Rc::new(rep);
+        let mut reg = self.inner.registry.borrow_mut();
+        let h = Handle(reg.len() as u32);
+        reg.push(Some(rc.clone() as Rc<dyn Any>));
+        (h, rc)
+    }
+
+    /// Removes a representative from the registry. Subsequent RMIs to this
+    /// handle on this location panic.
+    pub fn unregister(&self, h: Handle) {
+        let mut reg = self.inner.registry.borrow_mut();
+        if let Some(slot) = reg.get_mut(h.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Looks up the local representative registered under `h`.
+    ///
+    /// # Panics
+    /// Panics if the handle is unregistered or the type does not match.
+    pub fn lookup<T: 'static>(&self, h: Handle) -> Rc<T> {
+        let reg = self.inner.registry.borrow();
+        let rc = reg
+            .get(h.0 as usize)
+            .and_then(|s| s.as_ref())
+            .unwrap_or_else(|| panic!("stapl-rts: RMI to unregistered handle {:?}", h))
+            .clone();
+        drop(reg);
+        rc.downcast::<T>()
+            .unwrap_or_else(|_| panic!("stapl-rts: handle {:?} registered with a different type", h))
+    }
+
+    // ------------------------------------------------------------------
+    // RMI primitives
+    // ------------------------------------------------------------------
+
+    /// Asynchronous RMI (the paper's `async_rmi`): runs `f` against the
+    /// representative of `h` on location `dest` and returns immediately.
+    ///
+    /// Guarantees: requests from this location to a fixed destination are
+    /// executed in invocation order; completion is guaranteed only after a
+    /// subsequent [`Location::rmi_fence`].
+    pub fn async_rmi<T, F>(&self, dest: LocId, h: Handle, f: F)
+    where
+        T: 'static,
+        F: FnOnce(&T, &Location) + Send + 'static,
+    {
+        if dest == self.id() {
+            self.inner.shared.stats.local_invocations.fetch_add(1, Ordering::Relaxed);
+            let obj = self.lookup::<T>(h);
+            f(&obj, self);
+            return;
+        }
+        self.enqueue(
+            dest,
+            Box::new(move |loc: &Location| {
+                let obj = loc.lookup::<T>(h);
+                f(&obj, loc);
+            }),
+        );
+    }
+
+    /// Synchronous RMI (the paper's `sync_rmi`): runs `f` on `dest` and
+    /// blocks until the result arrives, servicing incoming requests while
+    /// waiting.
+    pub fn sync_rmi<T, R, F>(&self, dest: LocId, h: Handle, f: F) -> R
+    where
+        T: 'static,
+        R: Send + 'static,
+        F: FnOnce(&T, &Location) -> R + Send + 'static,
+    {
+        self.split_rmi(dest, h, f).get()
+    }
+
+    /// Split-phase RMI (the paper's two-phase methods, Charm++/X10 style):
+    /// returns a future immediately; `RmiFuture::get` blocks until the value
+    /// arrives.
+    pub fn split_rmi<T, R, F>(&self, dest: LocId, h: Handle, f: F) -> RmiFuture<R>
+    where
+        T: 'static,
+        R: Send + 'static,
+        F: FnOnce(&T, &Location) -> R + Send + 'static,
+    {
+        if dest == self.id() {
+            self.inner.shared.stats.local_invocations.fetch_add(1, Ordering::Relaxed);
+            let obj = self.lookup::<T>(h);
+            let r = f(&obj, self);
+            return RmiFuture::ready(r);
+        }
+        let slot = self.alloc_slot();
+        let src = self.id();
+        self.enqueue(
+            dest,
+            Box::new(move |loc: &Location| {
+                let obj = loc.lookup::<T>(h);
+                let r = f(&obj, loc);
+                loc.inner.shared.stats.responses_sent.fetch_add(1, Ordering::Relaxed);
+                loc.send_response(src, slot, r);
+            }),
+        );
+        // Bound response latency: the request (and everything ordered
+        // before it) leaves the aggregation buffer now.
+        self.flush(dest);
+        RmiFuture::new(FutureInner::Slot { loc: self.clone(), slot })
+    }
+
+    /// Ships `req` to `dest` for execution there, preserving per-pair FIFO
+    /// order. Used by higher layers (e.g. method forwarding) that need raw
+    /// request routing without a registry lookup baked in.
+    pub fn send_request(&self, dest: LocId, req: Box<dyn FnOnce(&Location) + Send>) {
+        if dest == self.id() {
+            req(self);
+            return;
+        }
+        self.enqueue(dest, req);
+    }
+
+    fn alloc_slot(&self) -> u64 {
+        let s = self.inner.next_slot.get();
+        self.inner.next_slot.set(s + 1);
+        s
+    }
+
+    /// Creates a (reply token, future) pair for request/response protocols
+    /// that are *not* a single round trip — e.g. a request forwarded through
+    /// a directory's home location before reaching the owner, who replies
+    /// directly to the original requester (the paper's method forwarding
+    /// with synchronous semantics).
+    ///
+    /// Ship the token inside the request; whoever ends up executing it calls
+    /// [`Location::reply`]. The requester blocks on the future.
+    pub fn make_reply_slot<R: Send + 'static>(&self) -> (ReplyToken<R>, RmiFuture<R>) {
+        let slot = self.alloc_slot();
+        let token = ReplyToken { src: self.id(), slot, _marker: std::marker::PhantomData };
+        let fut = RmiFuture::new(FutureInner::Slot { loc: self.clone(), slot });
+        (token, fut)
+    }
+
+    /// Sends `r` back to the location that created `token`, completing its
+    /// future. May be called from any location.
+    pub fn reply<R: Send + 'static>(&self, token: ReplyToken<R>, r: R) {
+        self.send_response(token.src, token.slot, r);
+    }
+
+    fn send_response<R: Send + 'static>(&self, dest: LocId, slot: u64, r: R) {
+        if dest == self.id() {
+            self.fill_slot(slot, Box::new(r));
+            return;
+        }
+        self.enqueue(
+            dest,
+            Box::new(move |loc: &Location| {
+                loc.fill_slot(slot, Box::new(r));
+            }),
+        );
+        // Responses bypass aggregation: someone is spinning on this value.
+        self.flush(dest);
+    }
+
+    pub(crate) fn fill_slot(&self, slot: u64, val: Box<dyn Any>) {
+        self.inner.slots.borrow_mut().insert(slot, val);
+    }
+
+    pub(crate) fn try_take_slot(&self, slot: u64) -> Option<Box<dyn Any>> {
+        self.inner.slots.borrow_mut().remove(&slot)
+    }
+
+    pub(crate) fn try_peek(&self, slot: u64) -> bool {
+        self.inner.slots.borrow().contains_key(&slot)
+    }
+
+    // ------------------------------------------------------------------
+    // Message plumbing
+    // ------------------------------------------------------------------
+
+    fn enqueue(&self, dest: LocId, req: Request) {
+        debug_assert_ne!(dest, self.id());
+        let shared = &self.inner.shared;
+        // Count at enqueue time (not flush time) so the fence's quiescence
+        // check observes buffered-but-unflushed requests.
+        shared.sent.fetch_add(1, Ordering::SeqCst);
+        shared.stats.remote_requests.fetch_add(1, Ordering::Relaxed);
+        let flush_now = {
+            let mut buf = self.inner.outbuf.borrow_mut();
+            buf[dest].push(req);
+            buf[dest].len() >= shared.cfg.aggregation
+        };
+        if flush_now {
+            self.flush(dest);
+        }
+    }
+
+    /// Flushes the aggregation buffer toward `dest`.
+    pub fn flush(&self, dest: LocId) {
+        let reqs = {
+            let mut buf = self.inner.outbuf.borrow_mut();
+            if buf[dest].is_empty() {
+                return;
+            }
+            std::mem::take(&mut buf[dest])
+        };
+        let shared = &self.inner.shared;
+        shared.stats.batches_sent.fetch_add(1, Ordering::Relaxed);
+        shared.senders[dest]
+            .send(Batch { src: self.id(), reqs })
+            .expect("stapl-rts: destination location hung up");
+    }
+
+    /// Flushes all aggregation buffers.
+    pub fn flush_all(&self) {
+        for dest in 0..self.nlocs() {
+            if dest != self.id() {
+                self.flush(dest);
+            }
+        }
+    }
+
+    /// Services all currently queued incoming batches; returns the number
+    /// of requests executed.
+    pub fn poll(&self) -> usize {
+        let mut n = 0;
+        while let Ok(batch) = self.inner.rx.try_recv() {
+            n += self.deliver(batch);
+        }
+        n
+    }
+
+    fn deliver(&self, batch: Batch) -> usize {
+        let shared = &self.inner.shared;
+        let cfg = &shared.cfg;
+        if cfg.cross_node(batch.src, self.id()) {
+            let total = cfg.internode_batch_delay_ns
+                + cfg.internode_per_msg_delay_ns * batch.reqs.len() as u64;
+            if total > 0 {
+                busy_wait_ns(total);
+            }
+        }
+        let n = batch.reqs.len();
+        for req in batch.reqs {
+            req(self);
+            shared.handled.fetch_add(1, Ordering::SeqCst);
+        }
+        n
+    }
+
+    /// One iteration of the wait loop used by futures and barriers: poll,
+    /// and back off briefly if nothing arrived.
+    ///
+    /// A blocked location also flushes its own aggregation buffers —
+    /// otherwise a request this location itself depends on (e.g. the first
+    /// hop of a forwarded synchronous method) could sit buffered forever
+    /// while the location spins on the reply.
+    pub(crate) fn poll_or_relax(&self) {
+        if self.inner.shared.barrier.poisoned.load(Ordering::Relaxed) {
+            panic!("stapl-rts: a peer location panicked while this location waited");
+        }
+        if self.poll() == 0 {
+            self.flush_all();
+            std::thread::yield_now();
+        }
+    }
+
+    pub(crate) fn mark_panicked(&self) {
+        self.inner.shared.barrier.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    /// A barrier across all locations that services incoming requests while
+    /// waiting. Unlike [`Location::rmi_fence`] it does *not* guarantee that
+    /// pending asynchronous RMIs have completed.
+    pub fn barrier(&self) {
+        let me = self.clone();
+        self.inner.shared.barrier.wait(move || {
+            if me.poll() == 0 {
+                me.flush_all();
+            }
+        });
+    }
+
+    /// The paper's `rmi_fence`: completes only when every RMI issued before
+    /// the fence — including RMIs issued *by* RMI handlers (method
+    /// forwarding chains) — has been executed, globally.
+    ///
+    /// Implemented as termination detection: repeat (flush, drain, barrier)
+    /// rounds until the global sent == handled counters are stable and
+    /// equal while all locations are inside the fence.
+    pub fn rmi_fence(&self) {
+        let shared = self.inner.shared.clone();
+        loop {
+            shared.stats.fence_rounds.fetch_add(1, Ordering::Relaxed);
+            self.flush_all();
+            while self.poll() > 0 {}
+            self.barrier();
+            // Polling inside the barrier may have executed handlers that
+            // enqueued new requests; push those out and drain again.
+            self.flush_all();
+            while self.poll() > 0 {}
+            self.barrier();
+            if self.id() == 0 {
+                let quiescent =
+                    shared.sent.load(Ordering::SeqCst) == shared.handled.load(Ordering::SeqCst);
+                shared.fence_done.store(quiescent as u64, Ordering::SeqCst);
+            }
+            self.barrier();
+            let done = shared.fence_done.load(Ordering::SeqCst) == 1;
+            // All locations observed the verdict; only now may a new round
+            // (or the caller) disturb the counters again.
+            self.barrier();
+            if done {
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.inner.shared
+    }
+}
+
+fn busy_wait_ns(ns: u64) {
+    let start = std::time::Instant::now();
+    let dur = std::time::Duration::from_nanos(ns);
+    while start.elapsed() < dur {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,308 @@
+//! SPMD execution: run the same closure on every location, as STAPL runs
+//! `stapl_main` on every location of the machine.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use crate::barrier::PollBarrier;
+use crate::collective::CollectiveBoard;
+use crate::config::RtsConfig;
+use crate::location::{Batch, Location, Shared};
+use crate::stats::Stats;
+
+/// Runs `f` on `nlocs` locations (one OS thread each) in SPMD fashion and
+/// returns each location's result, indexed by location id.
+///
+/// An implicit [`Location::rmi_fence`] runs after `f` returns on every
+/// location, so all asynchronous RMIs issued by `f` complete before
+/// `execute_collect` returns (the paper's program-exit guarantee).
+///
+/// If any location panics, the panic is propagated and the remaining
+/// locations abort their waits instead of hanging.
+pub fn execute_collect<R, F>(cfg: RtsConfig, nlocs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Location) -> R + Send + Sync,
+{
+    assert!(nlocs >= 1, "need at least one location");
+    let mut senders = Vec::with_capacity(nlocs);
+    let mut receivers = Vec::with_capacity(nlocs);
+    for _ in 0..nlocs {
+        let (tx, rx) = unbounded::<Batch>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let shared = Arc::new(Shared {
+        nlocs,
+        cfg,
+        senders,
+        sent: AtomicU64::new(0),
+        handled: AtomicU64::new(0),
+        barrier: PollBarrier::new(nlocs),
+        fence_done: AtomicU64::new(0),
+        board: CollectiveBoard::new(nlocs),
+        stats: Stats::default(),
+    });
+    let f = &f;
+    let mut results: Vec<Option<R>> = (0..nlocs).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| {
+                let shared = shared.clone();
+                s.spawn(move || {
+                    let loc = Location::new(id, shared, rx);
+                    let mut guard = PanicGuard { loc: loc.clone(), defused: false };
+                    let r = f(&loc);
+                    loc.rmi_fence();
+                    guard.defused = true;
+                    drop(guard);
+                    r
+                })
+            })
+            .collect();
+        for (id, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => results[id] = Some(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("location produced no result")).collect()
+}
+
+/// Runs `f` on `nlocs` locations, discarding results. See
+/// [`execute_collect`].
+pub fn execute<F>(cfg: RtsConfig, nlocs: usize, f: F)
+where
+    F: Fn(&Location) + Send + Sync,
+{
+    execute_collect(cfg, nlocs, |loc| f(loc));
+}
+
+/// Marks the whole execution as poisoned if the location's closure panics,
+/// so peers spinning at barriers or futures abort with a clear message
+/// instead of hanging forever.
+struct PanicGuard {
+    loc: Location,
+    defused: bool,
+}
+
+impl Drop for PanicGuard {
+    fn drop(&mut self) {
+        if !self.defused {
+            self.loc.mark_panicked();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn single_location_runs() {
+        let out = execute_collect(RtsConfig::default(), 1, |loc| loc.id() * 10 + loc.nlocs());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn results_indexed_by_location() {
+        let out = execute_collect(RtsConfig::default(), 4, |loc| loc.id());
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn async_rmi_visible_after_fence() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let (h, rep) = loc.register(RefCell::new(Vec::<usize>::new()));
+            loc.rmi_fence();
+            // Everyone appends its id to location 0's vector.
+            let me = loc.id();
+            loc.async_rmi(0, h, move |v: &RefCell<Vec<usize>>, _| v.borrow_mut().push(me));
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                let mut got = rep.borrow().clone();
+                got.sort_unstable();
+                assert_eq!(got, vec![0, 1, 2, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn sync_rmi_round_trip() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let (h, _rep) = loc.register(RefCell::new(loc.id() as u64 * 100));
+            loc.rmi_fence();
+            for peer in 0..loc.nlocs() {
+                let v = loc.sync_rmi(peer, h, |c: &RefCell<u64>, _| *c.borrow());
+                assert_eq!(v, peer as u64 * 100);
+            }
+        });
+    }
+
+    #[test]
+    fn split_phase_overlaps_computation() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let (h, _rep) = loc.register(RefCell::new(7u32));
+            loc.rmi_fence();
+            let peer = (loc.id() + 1) % loc.nlocs();
+            let fut = loc.split_rmi(peer, h, |c: &RefCell<u32>, _| *c.borrow() + 1);
+            // Unrelated local work while the request is in flight.
+            let local = (0..100u32).sum::<u32>();
+            assert_eq!(local, 4950);
+            assert_eq!(fut.get(), 8);
+        });
+    }
+
+    #[test]
+    fn mutual_sync_rmi_does_not_deadlock() {
+        // Both locations block in sync_rmi simultaneously; polling while
+        // waiting must let each serve the other's request.
+        execute(RtsConfig::default(), 2, |loc| {
+            let (h, _rep) = loc.register(RefCell::new(loc.id() as u64));
+            loc.rmi_fence();
+            let peer = 1 - loc.id();
+            let v = loc.sync_rmi(peer, h, |c: &RefCell<u64>, _| *c.borrow());
+            assert_eq!(v, peer as u64);
+        });
+    }
+
+    #[test]
+    fn fence_drains_forwarding_chains() {
+        // Location 0 sends to 1, whose handler forwards to 2, whose handler
+        // forwards to 3, which records. One fence must drain the chain.
+        execute(RtsConfig::default(), 4, |loc| {
+            let (h, rep) = loc.register(RefCell::new(0u64));
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                loc.async_rmi(1, h, move |_: &RefCell<u64>, l| {
+                    l.async_rmi(2, h, move |_: &RefCell<u64>, l| {
+                        l.async_rmi(3, h, move |c: &RefCell<u64>, _| {
+                            *c.borrow_mut() += 1;
+                        });
+                    });
+                });
+            }
+            loc.rmi_fence();
+            if loc.id() == 3 {
+                assert_eq!(*rep.borrow(), 1);
+            }
+        });
+    }
+
+    #[test]
+    fn per_pair_fifo_ordering() {
+        // Writes from one source to one destination must apply in order,
+        // even with aggregation enabled.
+        execute(RtsConfig::with_aggregation(8), 2, |loc| {
+            let (h, rep) = loc.register(RefCell::new(Vec::<u32>::new()));
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                for i in 0..100u32 {
+                    loc.async_rmi(1, h, move |v: &RefCell<Vec<u32>>, _| v.borrow_mut().push(i));
+                }
+            }
+            loc.rmi_fence();
+            if loc.id() == 1 {
+                let v = rep.borrow();
+                assert_eq!(*v, (0..100).collect::<Vec<u32>>());
+            }
+        });
+    }
+
+    #[test]
+    fn collectives_agree() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let sum = loc.allreduce_sum(loc.id() as u64 + 1);
+            assert_eq!(sum, 1 + 2 + 3 + 4);
+            let all = loc.allgather(loc.id());
+            assert_eq!(all, vec![0, 1, 2, 3]);
+            let b = loc.broadcast(2, if loc.id() == 2 { 42u32 } else { 0 });
+            assert_eq!(b, 42);
+            let (prefix, total) = loc.exclusive_scan(loc.id() as u64 + 1, 0, |a, b| a + b);
+            let expect: u64 = (1..=loc.id() as u64).sum();
+            assert_eq!(prefix, expect);
+            assert_eq!(total, 10);
+        });
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        execute(RtsConfig::default(), 3, |loc| {
+            for round in 0..50u64 {
+                let s = loc.allreduce_sum(round);
+                assert_eq!(s, round * 3);
+            }
+        });
+    }
+
+    #[test]
+    fn stats_count_local_vs_remote() {
+        let snaps = execute_collect(RtsConfig::unbuffered(), 2, |loc| {
+            let (h, _rep) = loc.register(RefCell::new(0u64));
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                loc.async_rmi(0, h, |c: &RefCell<u64>, _| *c.borrow_mut() += 1);
+                loc.async_rmi(1, h, |c: &RefCell<u64>, _| *c.borrow_mut() += 1);
+            }
+            loc.rmi_fence();
+            loc.stats()
+        });
+        assert_eq!(snaps[0].local_invocations, 1);
+        assert!(snaps[0].remote_requests >= 1);
+    }
+
+    #[test]
+    fn aggregation_reduces_batches() {
+        let run = |agg: usize| {
+            let snaps = execute_collect(RtsConfig::with_aggregation(agg), 2, |loc| {
+                let (h, _rep) = loc.register(RefCell::new(0u64));
+                loc.rmi_fence();
+                if loc.id() == 0 {
+                    for _ in 0..256 {
+                        loc.async_rmi(1, h, |c: &RefCell<u64>, _| *c.borrow_mut() += 1);
+                    }
+                }
+                loc.rmi_fence();
+                loc.stats()
+            });
+            snaps[0].batches_sent
+        };
+        let unbuffered = run(1);
+        let buffered = run(64);
+        assert!(
+            buffered < unbuffered,
+            "aggregation should cut batch count: {buffered} !< {unbuffered}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn panic_in_one_location_propagates() {
+        execute(RtsConfig::default(), 2, |loc| {
+            if loc.id() == 1 {
+                panic!("boom");
+            }
+            // Location 0 waits at the final fence; poisoning must wake it.
+        });
+    }
+
+    #[test]
+    fn many_locations_smoke() {
+        execute(RtsConfig::default(), 16, |loc| {
+            let (h, rep) = loc.register(RefCell::new(0u64));
+            loc.rmi_fence();
+            let dest = (loc.id() + 1) % loc.nlocs();
+            for _ in 0..100 {
+                loc.async_rmi(dest, h, |c: &RefCell<u64>, _| *c.borrow_mut() += 1);
+            }
+            loc.rmi_fence();
+            assert_eq!(*rep.borrow(), 100);
+        });
+    }
+}

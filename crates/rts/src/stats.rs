@@ -1,0 +1,87 @@
+//! Runtime counters used by tests and benchmarks to observe communication
+//! behavior (e.g., counting forwarding hops or aggregation effectiveness).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Default)]
+pub(crate) struct Stats {
+    /// RMI requests executed on the location that issued them (fast path).
+    pub local_invocations: AtomicU64,
+    /// RMI requests shipped to another location.
+    pub remote_requests: AtomicU64,
+    /// Message batches actually pushed into channels.
+    pub batches_sent: AtomicU64,
+    /// Synchronous / split-phase responses sent back.
+    pub responses_sent: AtomicU64,
+    /// Number of `rmi_fence` rounds executed (termination-detection loops).
+    pub fence_rounds: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            local_invocations: self.local_invocations.load(Ordering::Relaxed),
+            remote_requests: self.remote_requests.load(Ordering::Relaxed),
+            batches_sent: self.batches_sent.load(Ordering::Relaxed),
+            responses_sent: self.responses_sent.load(Ordering::Relaxed),
+            fence_rounds: self.fence_rounds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the global runtime counters (aggregated over all
+/// locations of one execution).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub local_invocations: u64,
+    pub remote_requests: u64,
+    pub batches_sent: u64,
+    pub responses_sent: u64,
+    pub fence_rounds: u64,
+}
+
+impl StatsSnapshot {
+    /// Requests per batch actually achieved; measures aggregation
+    /// effectiveness.
+    pub fn aggregation_ratio(&self) -> f64 {
+        if self.batches_sent == 0 {
+            0.0
+        } else {
+            self.remote_requests as f64 / self.batches_sent as f64
+        }
+    }
+
+    /// Fraction of element-wise invocations that were remote.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_invocations + self.remote_requests;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_requests as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero() {
+        let s = StatsSnapshot::default();
+        assert_eq!(s.aggregation_ratio(), 0.0);
+        assert_eq!(s.remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = StatsSnapshot {
+            local_invocations: 50,
+            remote_requests: 150,
+            batches_sent: 15,
+            ..Default::default()
+        };
+        assert!((s.aggregation_ratio() - 10.0).abs() < 1e-12);
+        assert!((s.remote_fraction() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,512 @@
+//! Views over 1-D indexed containers: `array_1d_view`,
+//! `array_1d_ro_view`, `balanced_pview`, `native_pview`,
+//! `strided_1D_pview`, `overlap_pview`, and `transform_pview` (Table II).
+
+use stapl_core::domain::{Domain, Range1d};
+use stapl_core::interfaces::IndexedContainer;
+use stapl_rts::Location;
+
+use crate::view::{balanced_chunk, ViewRead, ViewWrite};
+
+/// `array_1d_view`: identity-mapped view over a sub-range of an indexed
+/// container, with **native** alignment: this location's chunks are the
+/// intersection of the view's domain with the container's local
+/// sub-domains, so processing a native view touches only local storage.
+pub struct ArrayView<C: IndexedContainer> {
+    c: C,
+    dom: Range1d,
+}
+
+impl<C: IndexedContainer + Clone> Clone for ArrayView<C> {
+    fn clone(&self) -> Self {
+        ArrayView { c: self.c.clone(), dom: self.dom }
+    }
+}
+
+impl<C: IndexedContainer> ArrayView<C> {
+    /// View over the whole container (the container's native pView).
+    pub fn new(c: C) -> Self {
+        let dom = Range1d::with_size(c.global_size());
+        ArrayView { c, dom }
+    }
+
+    /// View over GIDs `[r.lo, r.hi)` of the container.
+    pub fn over(c: C, r: Range1d) -> Self {
+        assert!(r.hi <= c.global_size());
+        ArrayView { c, dom: r }
+    }
+
+    /// Restricts to a sub-range of *view* indices.
+    pub fn subview(&self, r: Range1d) -> Self
+    where
+        C: Clone,
+    {
+        assert!(r.hi <= self.dom.len());
+        ArrayView {
+            c: self.c.clone(),
+            dom: Range1d::new(self.dom.lo + r.lo, self.dom.lo + r.hi),
+        }
+    }
+
+    /// The mapping function `F`: view index → container GID.
+    pub fn gid_of(&self, k: usize) -> usize {
+        debug_assert!(k < self.dom.len());
+        self.dom.lo + k
+    }
+
+    pub fn container(&self) -> &C {
+        &self.c
+    }
+
+    pub fn domain(&self) -> Range1d {
+        self.dom
+    }
+}
+
+impl<C: IndexedContainer> ViewRead for ArrayView<C> {
+    type Value = C::Value;
+
+    fn len(&self) -> usize {
+        self.dom.len()
+    }
+
+    fn get(&self, k: usize) -> C::Value {
+        self.c.get_element(self.gid_of(k))
+    }
+
+    fn location(&self) -> &Location {
+        self.c.location()
+    }
+
+    fn local_chunks(&self) -> Vec<Range1d> {
+        // Native alignment: intersect local sub-domains with the view
+        // domain (block-cyclic sub-domains contribute their contiguous
+        // runs).
+        let mut chunks = Vec::new();
+        for (_, sd) in self.c.local_subdomains() {
+            match sd {
+                stapl_core::partition::IndexSubDomain::Contiguous(r) => {
+                    let i = r.intersect(&self.dom);
+                    if !i.is_empty() {
+                        chunks.push(Range1d::new(i.lo - self.dom.lo, i.hi - self.dom.lo));
+                    }
+                }
+                other => {
+                    // Strided sub-domain: emit per-block contiguous runs.
+                    let mut run_start: Option<usize> = None;
+                    let mut prev = 0usize;
+                    for g in other.iter() {
+                        if !self.dom.contains(&g) {
+                            continue;
+                        }
+                        match run_start {
+                            None => run_start = Some(g),
+                            Some(_) if g == prev + 1 => {}
+                            Some(s) => {
+                                chunks.push(Range1d::new(s - self.dom.lo, prev + 1 - self.dom.lo));
+                                run_start = Some(g);
+                            }
+                        }
+                        prev = g;
+                    }
+                    if let Some(s) = run_start {
+                        chunks.push(Range1d::new(s - self.dom.lo, prev + 1 - self.dom.lo));
+                    }
+                }
+            }
+        }
+        chunks
+    }
+}
+
+impl<C: IndexedContainer> ViewWrite for ArrayView<C> {
+    fn set(&self, k: usize, v: C::Value) {
+        self.c.set_element(self.gid_of(k), v);
+    }
+
+    fn apply<F>(&self, k: usize, f: F)
+    where
+        F: FnOnce(&mut C::Value) + Send + 'static,
+    {
+        self.c.apply_set(self.gid_of(k), f);
+    }
+}
+
+/// `array_1d_ro_view`: read-only wrapper (writes are simply not offered —
+/// the type system plays the role of the paper's RO interface table).
+pub struct RoView<V: ViewRead> {
+    inner: V,
+}
+
+impl<V: ViewRead> RoView<V> {
+    pub fn new(inner: V) -> Self {
+        RoView { inner }
+    }
+}
+
+impl<V: ViewRead> ViewRead for RoView<V> {
+    type Value = V::Value;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn get(&self, k: usize) -> V::Value {
+        self.inner.get(k)
+    }
+
+    fn location(&self) -> &Location {
+        self.inner.location()
+    }
+
+    fn local_chunks(&self) -> Vec<Range1d> {
+        self.inner.local_chunks()
+    }
+}
+
+/// `balanced_pview`: same data, but the domain is split into `parts`
+/// balanced chunks regardless of the underlying distribution — the
+/// load-balancing view of the paper (work balance over locality).
+pub struct BalancedView<V: ViewRead> {
+    inner: V,
+    parts: usize,
+}
+
+impl<V: ViewRead> BalancedView<V> {
+    /// One chunk per location.
+    pub fn new(inner: V) -> Self {
+        let parts = inner.location().nlocs();
+        BalancedView { inner, parts }
+    }
+
+    pub fn with_parts(inner: V, parts: usize) -> Self {
+        assert!(parts >= 1);
+        BalancedView { inner, parts }
+    }
+}
+
+impl<V: ViewRead> ViewRead for BalancedView<V> {
+    type Value = V::Value;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn get(&self, k: usize) -> V::Value {
+        self.inner.get(k)
+    }
+
+    fn location(&self) -> &Location {
+        self.inner.location()
+    }
+
+    fn local_chunks(&self) -> Vec<Range1d> {
+        let me = self.location().id();
+        let nlocs = self.location().nlocs();
+        // Chunks are dealt to locations round-robin.
+        (0..self.parts)
+            .filter(|p| p % nlocs == me)
+            .map(|p| balanced_chunk(self.inner.len(), self.parts, p))
+            .filter(|c| !c.is_empty())
+            .collect()
+    }
+}
+
+impl<V: ViewWrite> ViewWrite for BalancedView<V> {
+    fn set(&self, k: usize, v: V::Value) {
+        self.inner.set(k, v);
+    }
+
+    fn apply<F>(&self, k: usize, f: F)
+    where
+        F: FnOnce(&mut V::Value) + Send + 'static,
+    {
+        self.inner.apply(k, f);
+    }
+}
+
+/// `strided_1D_pview`: every `stride`-th element starting at `first`.
+pub struct StridedView<V: ViewRead> {
+    inner: V,
+    first: usize,
+    stride: usize,
+}
+
+impl<V: ViewRead> StridedView<V> {
+    pub fn new(inner: V, first: usize, stride: usize) -> Self {
+        assert!(stride >= 1);
+        StridedView { inner, first, stride }
+    }
+
+    fn map(&self, k: usize) -> usize {
+        self.first + k * self.stride
+    }
+}
+
+impl<V: ViewRead> ViewRead for StridedView<V> {
+    type Value = V::Value;
+
+    fn len(&self) -> usize {
+        let n = self.inner.len();
+        if self.first >= n {
+            0
+        } else {
+            (n - self.first).div_ceil(self.stride)
+        }
+    }
+
+    fn get(&self, k: usize) -> V::Value {
+        self.inner.get(self.map(k))
+    }
+
+    fn location(&self) -> &Location {
+        self.inner.location()
+    }
+
+    fn local_chunks(&self) -> Vec<Range1d> {
+        // Strided access breaks contiguity; deal view indices balanced.
+        let me = self.location().id();
+        let c = balanced_chunk(self.len(), self.location().nlocs(), me);
+        if c.is_empty() {
+            vec![]
+        } else {
+            vec![c]
+        }
+    }
+}
+
+impl<V: ViewWrite> ViewWrite for StridedView<V> {
+    fn set(&self, k: usize, v: V::Value) {
+        self.inner.set(self.map(k), v);
+    }
+
+    fn apply<F>(&self, k: usize, f: F)
+    where
+        F: FnOnce(&mut V::Value) + Send + 'static,
+    {
+        self.inner.apply(self.map(k), f);
+    }
+}
+
+/// `transform_pview`: overrides the read operation with a function of the
+/// underlying value (Table II's `O` note). Read-only.
+pub struct TransformView<V: ViewRead, W, F: Fn(V::Value) -> W> {
+    inner: V,
+    f: F,
+}
+
+impl<V: ViewRead, W, F: Fn(V::Value) -> W> TransformView<V, W, F> {
+    pub fn new(inner: V, f: F) -> Self {
+        TransformView { inner, f }
+    }
+}
+
+impl<V, W, F> ViewRead for TransformView<V, W, F>
+where
+    V: ViewRead,
+    W: Send + Clone + 'static,
+    F: Fn(V::Value) -> W,
+{
+    type Value = W;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn get(&self, k: usize) -> W {
+        (self.f)(self.inner.get(k))
+    }
+
+    fn location(&self) -> &Location {
+        self.inner.location()
+    }
+
+    fn local_chunks(&self) -> Vec<Range1d> {
+        self.inner.local_chunks()
+    }
+}
+
+/// `overlap_pview` (Fig. 2): element `i` is the window
+/// `A[c·i, c·i + l + c + r)`; consecutive windows overlap. The natural
+/// view for adjacent-difference and string matching.
+pub struct OverlapView<V: ViewRead> {
+    inner: V,
+    core: usize,
+    left: usize,
+    right: usize,
+}
+
+impl<V: ViewRead> OverlapView<V> {
+    pub fn new(inner: V, core: usize, left: usize, right: usize) -> Self {
+        assert!(core >= 1);
+        OverlapView { inner, core, left, right }
+    }
+
+    /// Window width `l + c + r`.
+    pub fn window_len(&self) -> usize {
+        self.left + self.core + self.right
+    }
+
+    /// Number of windows.
+    pub fn num_windows(&self) -> usize {
+        let n = self.inner.len();
+        let w = self.window_len();
+        if n < w {
+            0
+        } else {
+            (n - w) / self.core + 1
+        }
+    }
+
+    /// Reads window `i` (values are fetched through the underlying view;
+    /// remote elements at the seams are what the overlap view is for).
+    pub fn window(&self, i: usize) -> Vec<V::Value> {
+        let start = self.core * i;
+        (start..start + self.window_len()).map(|k| self.inner.get(k)).collect()
+    }
+
+    /// Window-index ranges for this location, derived from the inner
+    /// chunks so windows are processed near their core elements.
+    pub fn local_windows(&self) -> Vec<Range1d> {
+        let me = self.location().id();
+        let c = balanced_chunk(self.num_windows(), self.inner.location().nlocs(), me);
+        if c.is_empty() {
+            vec![]
+        } else {
+            vec![c]
+        }
+    }
+
+    pub fn location(&self) -> &Location {
+        self.inner.location()
+    }
+}
+
+/// Builds the native view of any indexed container (convenience matching
+/// the paper's `native_pview(container)`).
+pub fn native_view<C: IndexedContainer>(c: C) -> ArrayView<C> {
+    ArrayView::new(c)
+}
+
+/// Builds a balanced view over the whole container.
+pub fn balanced_view<C: IndexedContainer>(c: C) -> BalancedView<ArrayView<C>> {
+    BalancedView::new(ArrayView::new(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stapl_containers::array::PArray;
+    use stapl_core::interfaces::ElementRead;
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn array_view_reads_and_writes() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 10, |i| i as i64);
+            let v = ArrayView::new(a.clone());
+            assert_eq!(v.len(), 10);
+            assert_eq!(v.get(7), 7);
+            if loc.id() == 0 {
+                v.set(7, 70);
+            }
+            loc.rmi_fence();
+            assert_eq!(v.get(7), 70);
+        });
+    }
+
+    #[test]
+    fn native_chunks_are_local_and_cover() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let a = PArray::from_fn(loc, 21, |i| i);
+            let v = ArrayView::new(a.clone());
+            let mut count = 0u64;
+            for ch in v.local_chunks() {
+                for k in ch.iter() {
+                    assert!(a.is_local(v.gid_of(k)), "chunk element must be local");
+                    count += 1;
+                }
+            }
+            assert_eq!(loc.allreduce_sum(count), 21);
+        });
+    }
+
+    #[test]
+    fn subview_offsets_mapping() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 10, |i| i as i32);
+            let v = ArrayView::new(a).subview(Range1d::new(3, 8));
+            assert_eq!(v.len(), 5);
+            assert_eq!(v.get(0), 3);
+            assert_eq!(v.get(4), 7);
+            // Chunks cover exactly the subview.
+            let covered: u64 =
+                loc.allreduce_sum(v.local_chunks().iter().map(|c| c.len() as u64).sum());
+            assert_eq!(covered, 5);
+        });
+    }
+
+    #[test]
+    fn balanced_view_chunks_ignore_distribution() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let a = PArray::from_fn(loc, 10, |i| i);
+            let v = BalancedView::with_parts(ArrayView::new(a), 5);
+            let mine: usize = v.local_chunks().iter().map(|c| c.len()).sum();
+            let total = loc.allreduce_sum(mine as u64);
+            assert_eq!(total, 10);
+        });
+    }
+
+    #[test]
+    fn strided_view_selects_every_second() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 10, |i| i as u32);
+            let v = StridedView::new(ArrayView::new(a), 0, 2);
+            assert_eq!(v.len(), 5);
+            let vals: Vec<u32> = (0..5).map(|k| v.get(k)).collect();
+            assert_eq!(vals, vec![0, 2, 4, 6, 8]);
+            if loc.id() == 1 {
+                v.set(1, 99);
+            }
+            loc.rmi_fence();
+            assert_eq!(v.get(1), 99);
+        });
+    }
+
+    #[test]
+    fn transform_view_overrides_read() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 6, |i| i as i64);
+            let v = TransformView::new(ArrayView::new(a), |x| x * x);
+            assert_eq!(v.get(3), 9);
+            assert_eq!(v.len(), 6);
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn overlap_view_matches_fig2() {
+        // Fig. 2: A[0,10] (11 elements), c = 2, l = 2, r = 1 → windows
+        // A[0,4], A[2,6], A[4,8], A[6,10].
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 11, |i| i);
+            let v = OverlapView::new(ArrayView::new(a), 2, 2, 1);
+            assert_eq!(v.num_windows(), 4);
+            assert_eq!(v.window(0), vec![0, 1, 2, 3, 4]);
+            assert_eq!(v.window(1), vec![2, 3, 4, 5, 6]);
+            assert_eq!(v.window(3), vec![6, 7, 8, 9, 10]);
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn ro_view_reads() {
+        execute(RtsConfig::default(), 1, |loc| {
+            let a = PArray::from_fn(loc, 4, |i| i);
+            let v = RoView::new(ArrayView::new(a));
+            assert_eq!(v.get(2), 2);
+            assert_eq!(v.local_chunks().iter().map(|c| c.len()).sum::<usize>(), 4);
+            let _ = loc;
+        });
+    }
+}

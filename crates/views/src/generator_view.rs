@@ -1,0 +1,134 @@
+//! Storage-less views (Chapter III.A): "the user can define … pViews that
+//! generate values dynamically". A [`GeneratorView`] computes its elements
+//! from the index; a [`ZipView`] pairs two views element-wise. Both are
+//! read-only and communication-free on the generator side.
+
+use stapl_core::domain::Range1d;
+use stapl_rts::Location;
+
+use crate::view::{balanced_chunk, ViewRead};
+
+/// A view whose element `k` is `f(k)` — no container underneath.
+/// Useful as an algorithm input (e.g. `p_copy` from a generator view is
+/// the paper's `p_generate`).
+pub struct GeneratorView<T, F: Fn(usize) -> T> {
+    loc: Location,
+    len: usize,
+    f: F,
+}
+
+impl<T, F: Fn(usize) -> T> GeneratorView<T, F> {
+    pub fn new(loc: &Location, len: usize, f: F) -> Self {
+        GeneratorView { loc: loc.clone(), len, f }
+    }
+}
+
+impl<T, F> ViewRead for GeneratorView<T, F>
+where
+    T: Send + Clone + 'static,
+    F: Fn(usize) -> T,
+{
+    type Value = T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, k: usize) -> T {
+        debug_assert!(k < self.len);
+        (self.f)(k)
+    }
+
+    fn location(&self) -> &Location {
+        &self.loc
+    }
+
+    fn local_chunks(&self) -> Vec<Range1d> {
+        let c = balanced_chunk(self.len, self.loc.nlocs(), self.loc.id());
+        if c.is_empty() {
+            vec![]
+        } else {
+            vec![c]
+        }
+    }
+}
+
+/// Element-wise pairing of two equal-length views; chunking follows the
+/// first view's (possibly native) decomposition.
+pub struct ZipView<A: ViewRead, B: ViewRead> {
+    a: A,
+    b: B,
+}
+
+impl<A: ViewRead, B: ViewRead> ZipView<A, B> {
+    pub fn new(a: A, b: B) -> Self {
+        assert_eq!(a.len(), b.len(), "zipped views must have equal length");
+        ZipView { a, b }
+    }
+}
+
+impl<A, B> ViewRead for ZipView<A, B>
+where
+    A: ViewRead,
+    B: ViewRead,
+{
+    type Value = (A::Value, B::Value);
+
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    fn get(&self, k: usize) -> (A::Value, B::Value) {
+        (self.a.get(k), self.b.get(k))
+    }
+
+    fn location(&self) -> &Location {
+        self.a.location()
+    }
+
+    fn local_chunks(&self) -> Vec<Range1d> {
+        self.a.local_chunks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array_view::ArrayView;
+    use stapl_containers::array::PArray;
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn generator_view_computes_values() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let v = GeneratorView::new(loc, 10, |k| k * k);
+            assert_eq!(v.len(), 10);
+            assert_eq!(v.get(7), 49);
+            let covered: u64 =
+                loc.allreduce_sum(v.local_chunks().iter().map(|c| c.len() as u64).sum());
+            assert_eq!(covered, 10);
+        });
+    }
+
+    #[test]
+    fn zip_view_pairs_container_with_generator() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 8, |i| i as i64);
+            let z = ZipView::new(ArrayView::new(a), GeneratorView::new(loc, 8, |k| k as i64 * 10));
+            assert_eq!(z.get(3), (3, 30));
+            // Chunks come from the native view side.
+            let covered: u64 =
+                loc.allreduce_sum(z.local_chunks().iter().map(|c| c.len() as u64).sum());
+            assert_eq!(covered, 8);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn zip_rejects_length_mismatch() {
+        execute(RtsConfig::default(), 1, |loc| {
+            let a = PArray::new(loc, 4, 0u8);
+            let _ = ZipView::new(ArrayView::new(a), GeneratorView::new(loc, 5, |_| 0u8));
+        });
+    }
+}

@@ -1,0 +1,39 @@
+//! # stapl-views — the pView layer
+//!
+//! Reproduces Chapter III.A and Table II: abstract-data-type façades over
+//! pContainers that (a) decouple algorithms from storage and (b) enable
+//! parallelism by exposing a partition of the view's domain
+//! ([`view::ViewRead::local_chunks`]).
+//!
+//! | Paper pView | Here |
+//! |---|---|
+//! | `array_1d_pview` | [`array_view::ArrayView`] |
+//! | `array_1d_ro_pview` | [`array_view::RoView`] |
+//! | `balanced_pview` | [`array_view::BalancedView`] |
+//! | `native_pview` | [`array_view::native_view`] (alignment built into `ArrayView`) |
+//! | `strided_1D_pview` | [`array_view::StridedView`] |
+//! | `transform_pview` | [`array_view::TransformView`] |
+//! | `overlap_pview` | [`array_view::OverlapView`] |
+//! | `static_list_pview` / `list_pview` | [`list_view::StaticListView`] / [`list_view::ListView`] |
+//! | `matrix_pview` (rows/cols/linear) | [`matrix_view`] |
+//! | `graph_pview` (+ region/inner/boundary) | [`graph_view::GraphView`] |
+//! | "views that generate values dynamically" | [`generator_view::GeneratorView`], [`generator_view::ZipView`] |
+
+pub mod array_view;
+pub mod generator_view;
+pub mod graph_view;
+pub mod list_view;
+pub mod matrix_view;
+pub mod view;
+
+pub mod prelude {
+    pub use crate::array_view::{
+        balanced_view, native_view, ArrayView, BalancedView, OverlapView, RoView, StridedView,
+        TransformView,
+    };
+    pub use crate::generator_view::{GeneratorView, ZipView};
+    pub use crate::graph_view::{GraphRegion, GraphView};
+    pub use crate::list_view::{ListView, StaticListView};
+    pub use crate::matrix_view::{ColView, LinearView, RowView, RowsView};
+    pub use crate::view::{balanced_chunk, ViewRead, ViewWrite};
+}

@@ -1,0 +1,136 @@
+//! List views (Table II's `static_list_pview` / `list_pview`): concurrent
+//! access to *segments* of a pList, one or more per location, which is how
+//! the paper parallelizes list algorithms without random access.
+
+use stapl_containers::list::{ListGid, PList};
+use stapl_core::interfaces::{ElementRead, ElementWrite, LocalIteration, PContainer, SequenceContainer};
+use stapl_rts::Location;
+
+/// Read-only segmented view of a pList (`static_list_pview`).
+pub struct StaticListView<T: Send + Clone + 'static> {
+    list: PList<T>,
+}
+
+impl<T: Send + Clone + 'static> StaticListView<T> {
+    pub fn new(list: PList<T>) -> Self {
+        StaticListView { list }
+    }
+
+    /// Size as of the last commit.
+    pub fn len(&self) -> usize {
+        self.list.global_size()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates this location's segment in linearization order — the
+    /// native traversal the algorithms use.
+    pub fn for_each_local(&self, f: impl FnMut(ListGid, &T)) {
+        self.list.for_each_local(f);
+    }
+
+    pub fn read(&self, gid: ListGid) -> T {
+        self.list.get_element(gid)
+    }
+
+    pub fn location(&self) -> &Location {
+        self.list.location()
+    }
+}
+
+/// Mutable segmented view of a pList (`list_pview`): adds write, insert
+/// and erase.
+pub struct ListView<T: Send + Clone + 'static> {
+    list: PList<T>,
+}
+
+impl<T: Send + Clone + 'static> ListView<T> {
+    pub fn new(list: PList<T>) -> Self {
+        ListView { list }
+    }
+
+    pub fn len(&self) -> usize {
+        self.list.global_size()
+    }
+
+    pub fn for_each_local(&self, f: impl FnMut(ListGid, &T)) {
+        self.list.for_each_local(f);
+    }
+
+    pub fn for_each_local_mut(&self, f: impl FnMut(ListGid, &mut T)) {
+        self.list.for_each_local_mut(f);
+    }
+
+    pub fn read(&self, gid: ListGid) -> T {
+        self.list.get_element(gid)
+    }
+
+    pub fn write(&self, gid: ListGid, v: T) {
+        self.list.set_element(gid, v);
+    }
+
+    pub fn insert_before(&self, gid: ListGid, v: T) {
+        SequenceContainer::insert_before_async(&self.list, gid, v);
+    }
+
+    pub fn erase(&self, gid: ListGid) {
+        SequenceContainer::erase_async(&self.list, gid);
+    }
+
+    /// The paper's `insert_any`: position chosen for locality.
+    pub fn insert_any(&self, v: T) {
+        self.list.push_anywhere(v);
+    }
+
+    pub fn location(&self) -> &Location {
+        self.list.location()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn static_view_segments_cover_list() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let l = PList::new(loc);
+            for i in 0..4 {
+                l.push_anywhere(loc.id() * 10 + i);
+            }
+            l.commit();
+            let v = StaticListView::new(l);
+            assert_eq!(v.len(), 12);
+            let mut n = 0u64;
+            v.for_each_local(|gid, val| {
+                assert_eq!(v.read(gid), *val);
+                n += 1;
+            });
+            assert_eq!(loc.allreduce_sum(n), 12);
+        });
+    }
+
+    #[test]
+    fn list_view_mutation() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let l = PList::new(loc);
+            let g = l.push_anywhere(1i64);
+            loc.rmi_fence();
+            let v = ListView::new(l.clone());
+            v.write(g, 5);
+            v.for_each_local_mut(|_, x| *x *= 10);
+            loc.rmi_fence();
+            assert_eq!(v.read(g), 50);
+            v.insert_any(7);
+            v.insert_before(g, 3);
+            l.commit();
+            assert_eq!(v.len(), 6); // per location: anywhere(1)+any(7)+before(3)
+            v.erase(g);
+            l.commit();
+            assert_eq!(v.len(), 4);
+        });
+    }
+}

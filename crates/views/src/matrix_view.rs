@@ -1,0 +1,305 @@
+//! Matrix views (Table II's `matrix_pview` and the row/column/linearized
+//! views of Chapter III.A): the same pMatrix used as a collection of rows,
+//! of columns, or as a flat 1-D sequence.
+
+use stapl_containers::matrix::PMatrix;
+use stapl_core::domain::{Domain, Range1d};
+use stapl_core::interfaces::{ElementRead, ElementWrite, PContainer};
+use stapl_core::partition::MatrixLayout;
+use stapl_rts::Location;
+
+use crate::view::{balanced_chunk, ViewRead, ViewWrite};
+
+/// A single row of a pMatrix as a 1-D view (view index = column).
+pub struct RowView<T: Send + Clone + 'static> {
+    m: PMatrix<T>,
+    row: usize,
+}
+
+impl<T: Send + Clone + 'static> RowView<T> {
+    pub fn new(m: PMatrix<T>, row: usize) -> Self {
+        assert!(row < m.nrows());
+        RowView { m, row }
+    }
+}
+
+impl<T: Send + Clone + 'static> ViewRead for RowView<T> {
+    type Value = T;
+
+    fn len(&self) -> usize {
+        self.m.ncols()
+    }
+
+    fn get(&self, k: usize) -> T {
+        self.m.get_element((self.row, k))
+    }
+
+    fn location(&self) -> &Location {
+        self.m.location()
+    }
+
+    fn local_chunks(&self) -> Vec<Range1d> {
+        // Columns of this row owned locally.
+        self.m
+            .local_blocks()
+            .into_iter()
+            .filter(|(_, b)| b.rows.contains(&self.row))
+            .map(|(_, b)| b.cols)
+            .collect()
+    }
+}
+
+impl<T: Send + Clone + 'static> ViewWrite for RowView<T> {
+    fn set(&self, k: usize, v: T) {
+        self.m.set_element((self.row, k), v);
+    }
+
+    fn apply<F>(&self, k: usize, f: F)
+    where
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        self.m.apply_set((self.row, k), f);
+    }
+}
+
+/// A single column of a pMatrix as a 1-D view (view index = row).
+pub struct ColView<T: Send + Clone + 'static> {
+    m: PMatrix<T>,
+    col: usize,
+}
+
+impl<T: Send + Clone + 'static> ColView<T> {
+    pub fn new(m: PMatrix<T>, col: usize) -> Self {
+        assert!(col < m.ncols());
+        ColView { m, col }
+    }
+}
+
+impl<T: Send + Clone + 'static> ViewRead for ColView<T> {
+    type Value = T;
+
+    fn len(&self) -> usize {
+        self.m.nrows()
+    }
+
+    fn get(&self, k: usize) -> T {
+        self.m.get_element((k, self.col))
+    }
+
+    fn location(&self) -> &Location {
+        self.m.location()
+    }
+
+    fn local_chunks(&self) -> Vec<Range1d> {
+        self.m
+            .local_blocks()
+            .into_iter()
+            .filter(|(_, b)| b.cols.contains(&self.col))
+            .map(|(_, b)| b.rows)
+            .collect()
+    }
+}
+
+impl<T: Send + Clone + 'static> ViewWrite for ColView<T> {
+    fn set(&self, k: usize, v: T) {
+        self.m.set_element((k, self.col), v);
+    }
+
+    fn apply<F>(&self, k: usize, f: F)
+    where
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        self.m.apply_set((k, self.col), f);
+    }
+}
+
+/// The matrix as a collection of rows: supplies each location the row
+/// indices it should process (all-local rows for row-blocked layouts —
+/// the alignment Fig. 62's pMatrix row-min exploits).
+pub struct RowsView<T: Send + Clone + 'static> {
+    m: PMatrix<T>,
+}
+
+impl<T: Send + Clone + 'static> RowsView<T> {
+    pub fn new(m: PMatrix<T>) -> Self {
+        RowsView { m }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.m.nrows()
+    }
+
+    pub fn row(&self, r: usize) -> RowView<T> {
+        RowView::new(self.m.clone(), r)
+    }
+
+    /// Row indices this location processes.
+    pub fn local_rows(&self) -> Vec<Range1d> {
+        match self.m.partition().layout {
+            MatrixLayout::RowBlocked => {
+                self.m.local_blocks().into_iter().map(|(_, b)| b.rows).collect()
+            }
+            _ => {
+                let me = self.m.location().id();
+                let c = balanced_chunk(self.m.nrows(), self.m.location().nlocs(), me);
+                if c.is_empty() {
+                    vec![]
+                } else {
+                    vec![c]
+                }
+            }
+        }
+    }
+
+    /// Fast whole-row access when the row is entirely local (row-blocked
+    /// layout); falls back to element reads otherwise.
+    pub fn read_row(&self, r: usize) -> Vec<T> {
+        match self.m.local_row(r) {
+            Some(row) => row,
+            None => (0..self.m.ncols()).map(|c| self.m.get_element((r, c))).collect(),
+        }
+    }
+
+    pub fn location(&self) -> &Location {
+        self.m.location()
+    }
+}
+
+/// The matrix linearized row-major as a 1-D view — the "same pMatrix
+/// viewed as a vector" example of Chapter III.
+pub struct LinearView<T: Send + Clone + 'static> {
+    m: PMatrix<T>,
+}
+
+impl<T: Send + Clone + 'static> LinearView<T> {
+    pub fn new(m: PMatrix<T>) -> Self {
+        LinearView { m }
+    }
+
+    fn map(&self, k: usize) -> (usize, usize) {
+        (k / self.m.ncols(), k % self.m.ncols())
+    }
+}
+
+impl<T: Send + Clone + 'static> ViewRead for LinearView<T> {
+    type Value = T;
+
+    fn len(&self) -> usize {
+        self.m.global_size()
+    }
+
+    fn get(&self, k: usize) -> T {
+        self.m.get_element(self.map(k))
+    }
+
+    fn location(&self) -> &Location {
+        self.m.location()
+    }
+
+    fn local_chunks(&self) -> Vec<Range1d> {
+        let ncols = self.m.ncols();
+        match self.m.partition().layout {
+            MatrixLayout::RowBlocked => self
+                .m
+                .local_blocks()
+                .into_iter()
+                .map(|(_, b)| Range1d::new(b.rows.lo * ncols, b.rows.hi * ncols))
+                .collect(),
+            _ => {
+                let me = self.m.location().id();
+                let c = balanced_chunk(self.len(), self.m.location().nlocs(), me);
+                if c.is_empty() {
+                    vec![]
+                } else {
+                    vec![c]
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> ViewWrite for LinearView<T> {
+    fn set(&self, k: usize, v: T) {
+        self.m.set_element(self.map(k), v);
+    }
+
+    fn apply<F>(&self, k: usize, f: F)
+    where
+        F: FnOnce(&mut T) + Send + 'static,
+    {
+        self.m.apply_set(self.map(k), f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stapl_rts::{execute, RtsConfig};
+
+    #[test]
+    fn row_and_col_views_address_correctly() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m = PMatrix::from_fn(loc, 4, 5, MatrixLayout::RowBlocked, |r, c| (r * 10 + c) as i64);
+            let row2 = RowView::new(m.clone(), 2);
+            assert_eq!(row2.len(), 5);
+            assert_eq!(row2.get(3), 23);
+            let col4 = ColView::new(m.clone(), 4);
+            assert_eq!(col4.len(), 4);
+            assert_eq!(col4.get(1), 14);
+            if loc.id() == 0 {
+                row2.set(0, -1);
+                col4.apply(0, |v| *v += 100);
+            }
+            loc.rmi_fence();
+            assert_eq!(m.get_element((2, 0)), -1);
+            assert_eq!(m.get_element((0, 4)), 104);
+        });
+    }
+
+    #[test]
+    fn rows_view_gives_whole_local_rows() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m = PMatrix::from_fn(loc, 6, 3, MatrixLayout::RowBlocked, |r, c| r * 3 + c);
+            let rows = RowsView::new(m);
+            let mine: Vec<usize> = rows.local_rows().iter().flat_map(|r| r.iter()).collect();
+            assert_eq!(mine.len(), 3);
+            for r in mine {
+                let vals = rows.read_row(r);
+                assert_eq!(vals, (0..3).map(|c| r * 3 + c).collect::<Vec<_>>());
+            }
+            assert_eq!(loc.allreduce_sum(rows.local_rows().iter().map(|r| r.len() as u64).sum()), 6);
+        });
+    }
+
+    #[test]
+    fn read_row_works_for_column_layout_too() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m = PMatrix::from_fn(loc, 3, 4, MatrixLayout::ColumnBlocked, |r, c| r * 4 + c);
+            let rows = RowsView::new(m);
+            // No row is whole-local under column blocking; remote reads.
+            assert_eq!(rows.read_row(1), vec![4, 5, 6, 7]);
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn linear_view_is_row_major() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m = PMatrix::from_fn(loc, 3, 4, MatrixLayout::RowBlocked, |r, c| r * 4 + c);
+            let v = LinearView::new(m);
+            assert_eq!(v.len(), 12);
+            for k in 0..12 {
+                assert_eq!(v.get(k), k);
+            }
+            // Native chunks cover the linearization exactly.
+            let covered: u64 =
+                loc.allreduce_sum(v.local_chunks().iter().map(|c| c.len() as u64).sum());
+            assert_eq!(covered, 12);
+            if loc.id() == 1 {
+                v.set(5, 500);
+            }
+            loc.rmi_fence();
+            assert_eq!(v.get(5), 500);
+        });
+    }
+}

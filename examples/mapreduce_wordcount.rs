@@ -1,0 +1,40 @@
+//! MapReduce word count (Fig. 59): counts word occurrences in a
+//! Zipf-distributed synthetic corpus using the hash-partitioned
+//! associative pContainer with owner-side combining.
+//!
+//! Run with: `cargo run --release --example mapreduce_wordcount [nlocs] [words-per-loc]`
+
+use stapl::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let nlocs = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let words = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+
+    println!("word count over {} locations, {} words/location", nlocs, words);
+    execute(RtsConfig::default(), nlocs, move |loc| {
+        let text = synthetic_corpus(loc, words, 10_000, 2024);
+        let t = Instant::now();
+        let counts = word_count(loc, &text);
+        let elapsed = loc.allreduce_max_f64(t.elapsed().as_secs_f64());
+
+        // Top-10 words by count (gather local tops, merge at location 0).
+        let mut local_top: Vec<(u64, String)> = Vec::new();
+        counts.for_each_local(|w, c| local_top.push((*c, w.clone())));
+        local_top.sort_unstable_by(|a, b| b.cmp(a));
+        local_top.truncate(10);
+        let mut merged = loc.allreduce(local_top, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+        merged.sort_unstable_by(|a, b| b.cmp(a));
+        if loc.id() == 0 {
+            println!("distinct words: {}", counts.global_size());
+            println!("time: {elapsed:.3}s");
+            println!("top words:");
+            for (c, w) in merged.iter().take(10) {
+                println!("  {w:>10}  {c}");
+            }
+        }
+    });
+}

@@ -1,0 +1,252 @@
+//! Property-based tests: distributed containers against sequential
+//! reference models, and algebraic invariants of the PCF concepts.
+
+use proptest::prelude::*;
+use stapl::containers::list::PList;
+use stapl::core::domain::{FiniteDomain, Range1d, Range2d};
+use stapl::core::interfaces::{AssociativeContainer, ElementRead, ElementWrite, PContainer};
+use stapl::core::partition::{
+    BalancedPartition, BlockCyclicPartition, BlockedPartition, IndexPartition, SplitterPartition,
+};
+use stapl::core::partition::KeyPartition;
+use stapl::prelude::*;
+
+fn cover_exactly_once(p: &dyn IndexPartition) {
+    let n = p.global_size();
+    let mut seen = vec![0u8; n];
+    for b in 0..p.num_subdomains() {
+        for g in p.subdomain(b).iter() {
+            seen[g] += 1;
+            assert_eq!(p.find(g), b);
+        }
+    }
+    assert!(seen.iter().all(|&c| c == 1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Definition 9: every 1-D partition family covers the domain with
+    /// disjoint sub-domains, and `find` inverts `subdomain`.
+    #[test]
+    fn partitions_are_partitions(n in 1usize..400, p in 1usize..12, block in 1usize..17) {
+        cover_exactly_once(&BalancedPartition::new(n, p));
+        cover_exactly_once(&BlockedPartition::new(n, block));
+        cover_exactly_once(&BlockCyclicPartition::new(n, p, block));
+    }
+
+    /// Ordered partitions preserve the element order across sub-domains
+    /// (Definition 10) for contiguous families.
+    #[test]
+    fn ordered_partition_preserves_order(n in 1usize..300, p in 1usize..10) {
+        let part = BalancedPartition::new(n, p);
+        let mut last: Option<usize> = None;
+        for b in 0..part.num_subdomains() {
+            for g in part.subdomain(b).iter() {
+                if let Some(prev) = last {
+                    prop_assert!(g == prev + 1, "linearization must be contiguous");
+                }
+                last = Some(g);
+            }
+        }
+    }
+
+    /// Range1d: offset/nth round-trip and next/prev inversion.
+    #[test]
+    fn range1d_navigation(lo in 0usize..50, len in 1usize..60) {
+        let d = Range1d::new(lo, lo + len);
+        for g in d.iter() {
+            prop_assert_eq!(d.nth(d.offset(&g)), Some(g));
+            if let Some(nx) = d.next(g) {
+                prop_assert_eq!(d.prev(nx), Some(g));
+            }
+        }
+        prop_assert_eq!(d.size(), len);
+    }
+
+    /// Range2d row-major linearization: enumerate() agrees with offset().
+    #[test]
+    fn range2d_linearization(r in 1usize..8, c in 1usize..8) {
+        let d = Range2d::with_shape(r, c);
+        for (k, g) in d.enumerate().into_iter().enumerate() {
+            prop_assert_eq!(d.offset(&g), k);
+            prop_assert_eq!(d.nth(k), Some(g));
+        }
+    }
+
+    /// Splitter partitions map keys monotonically (Fig. 58's order
+    /// preservation).
+    #[test]
+    fn splitter_partition_monotone(mut splitters in proptest::collection::vec(0i64..1000, 0..6)) {
+        splitters.sort_unstable();
+        splitters.dedup();
+        let p = SplitterPartition::new(splitters);
+        for k in (-50i64..1050).step_by(7) {
+            prop_assert!(p.find(&k) <= p.find(&(k + 1)));
+            prop_assert!(p.find(&k) < p.num_subdomains());
+        }
+    }
+}
+
+proptest! {
+    // Distributed model checks spawn threads per case; keep cases modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// pArray under a random sequence of scattered writes equals a Vec
+    /// written with the same final values.
+    #[test]
+    fn parray_matches_vec_model(
+        n in 4usize..64,
+        writes in proptest::collection::vec((0usize..64, 0u64..1000), 1..40),
+    ) {
+        let writes: Vec<(usize, u64)> =
+            writes.into_iter().map(|(i, v)| (i % n, v)).collect();
+        let mut model = vec![0u64; n];
+        // Last-writer-wins in program order: location 0 performs all
+        // writes in order (same-source same-element ordering guarantee).
+        for (i, v) in &writes {
+            model[*i] = *v;
+        }
+        let w2 = writes.clone();
+        let got = stapl::rts::execute_collect(RtsConfig::default(), 2, move |loc| {
+            let a = PArray::new(loc, n, 0u64);
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                for (i, v) in &w2 {
+                    a.set_element(*i, *v);
+                }
+            }
+            loc.rmi_fence();
+            (0..n).map(|i| a.get_element(i)).collect::<Vec<_>>()
+        });
+        prop_assert_eq!(&got[0], &model);
+        prop_assert_eq!(&got[1], &model);
+    }
+
+    /// pList: per-location appends preserve FIFO order inside each
+    /// location's segment and concatenate by location order.
+    #[test]
+    fn plist_matches_segmented_model(
+        counts in proptest::collection::vec(0usize..12, 2..4)
+    ) {
+        let nlocs = counts.len();
+        let c2 = counts.clone();
+        let got = stapl::rts::execute_collect(RtsConfig::default(), nlocs, move |loc| {
+            let l: PList<usize> = PList::new(loc);
+            for k in 0..c2[loc.id()] {
+                l.push_anywhere(loc.id() * 100 + k);
+            }
+            l.commit();
+            l.collect_ordered()
+        });
+        let mut model = Vec::new();
+        for (id, c) in counts.iter().enumerate() {
+            for k in 0..*c {
+                model.push(id * 100 + k);
+            }
+        }
+        prop_assert_eq!(&got[0], &model);
+    }
+
+    /// pHashMap equals a HashMap given single-writer keys.
+    #[test]
+    fn phashmap_matches_hashmap_model(
+        pairs in proptest::collection::vec((0u32..100, 0u64..1000), 1..50),
+        erases in proptest::collection::vec(0u32..100, 0..20),
+    ) {
+        let mut model = std::collections::HashMap::new();
+        for (k, v) in &pairs {
+            model.insert(*k, *v);
+        }
+        for k in &erases {
+            model.remove(k);
+        }
+        let p2 = pairs.clone();
+        let e2 = erases.clone();
+        let model2 = model.clone();
+        let sizes = stapl::rts::execute_collect(RtsConfig::default(), 2, move |loc| {
+            let model = &model2;
+            let m: stapl::containers::associative::PHashMap<u32, u64> =
+                stapl::containers::associative::PHashMap::new(loc);
+            if loc.id() == 0 {
+                for (k, v) in &p2 {
+                    m.insert_async(*k, *v);
+                }
+            }
+            m.commit();
+            if loc.id() == 1 {
+                for k in &e2 {
+                    m.erase_async(*k);
+                }
+            }
+            m.commit();
+            for k in 0..100u32 {
+                let got = m.find(k);
+                assert_eq!(got, model.get(&k).copied(), "key {k}");
+            }
+            m.global_size()
+        });
+        prop_assert_eq!(sizes[0], model.len());
+    }
+
+    /// p_sort equals the std sort of the same multiset.
+    #[test]
+    fn psort_matches_std_sort(mut vals in proptest::collection::vec(0u64..500, 1..80)) {
+        let input = vals.clone();
+        vals.sort_unstable();
+        let n = input.len();
+        let got = stapl::rts::execute_collect(RtsConfig::default(), 2, move |loc| {
+            let a = PArray::new(loc, n, 0u64);
+            p_generate(&a, |i| input[i]);
+            p_sort(&a);
+            (0..n).map(|i| a.get_element(i)).collect::<Vec<_>>()
+        });
+        prop_assert_eq!(&got[0], &vals);
+    }
+
+    /// p_prefix_sum equals the sequential inclusive scan.
+    #[test]
+    fn prefix_sum_matches_scan(vals in proptest::collection::vec(0u64..100, 1..60)) {
+        let n = vals.len();
+        let mut expect = vals.clone();
+        for i in 1..n {
+            expect[i] += expect[i - 1];
+        }
+        let v2 = vals.clone();
+        let got = stapl::rts::execute_collect(RtsConfig::default(), 3, move |loc| {
+            let a = PArray::new(loc, n, 0u64);
+            p_generate(&a, |i| v2[i]);
+            p_prefix_sum_u64(&a);
+            (0..n).map(|i| a.get_element(i)).collect::<Vec<_>>()
+        });
+        prop_assert_eq!(&got[0], &expect);
+    }
+
+    /// List ranking positions are the inverse of the successor chain for
+    /// an arbitrary permutation list.
+    #[test]
+    fn list_ranking_inverts_permutation(seed in 0u64..10_000) {
+        let n = 24usize;
+        // Deterministic permutation from the seed.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        for i in (1..n).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            order.swap(i, (s as usize) % (i + 1));
+        }
+        let ord2 = order.clone();
+        let got = stapl::rts::execute_collect(RtsConfig::default(), 2, move |loc| {
+            let succ = PArray::from_fn(loc, n, |i| {
+                let at = ord2.iter().position(|&x| x == i).unwrap();
+                if at + 1 < n { ord2[at + 1] } else { stapl::algorithms::list_ranking::NIL }
+            });
+            let pos = list_positions(&succ, n);
+            (0..n).map(|i| pos.get_element(i)).collect::<Vec<_>>()
+        });
+        for (expect, &elem) in order.iter().enumerate() {
+            prop_assert_eq!(got[0][elem], expect as u64);
+        }
+    }
+}
