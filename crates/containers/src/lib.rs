@@ -6,7 +6,7 @@
 //!
 //! | Container | Taxonomy (Fig. 5) | Module |
 //! |---|---|---|
-//! | [`array::PArray`] | static, indexed | [`array`] |
+//! | [`array::PArray`] | static, indexed | [`mod@array`] |
 //! | [`vector::PVector`] | dynamic, indexed + sequence | [`vector`] |
 //! | [`list::PList`] | dynamic, sequence | [`list`] |
 //! | [`matrix::PMatrix`] | static, indexed (2-D) | [`matrix`] |

@@ -1,6 +1,6 @@
 //! pList (Chapter X): a distributed doubly-linked sequence.
 //!
-//! Each location owns one or more [`SlabList`](crate::slab_list::SlabList)
+//! Each location owns one or more [`SlabList`]
 //! base containers; the global linearization is base-container order
 //! (an ordered partition, Fig. 37) × within-list order. Element GIDs are
 //! stable `(bcid, seq)` pairs, so — unlike pVector — inserts and erases

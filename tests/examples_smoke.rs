@@ -1,0 +1,47 @@
+//! Smoke test: every example in `examples/` must run to completion on a
+//! small input (2 locations, reduced problem sizes where the example
+//! takes a size argument). Guards against examples rotting while the
+//! library moves on.
+
+use std::process::Command;
+
+/// Runs `cargo run --example <name> -- <args>` with the same cargo that
+/// is running this test and asserts a zero exit status.
+fn run_example(name: &str, args: &[&str]) {
+    let cargo = env!("CARGO");
+    let mut cmd = Command::new(cargo);
+    cmd.args(["run", "--example", name, "--"]).args(args);
+    let out = cmd.output().unwrap_or_else(|e| panic!("failed to spawn cargo for {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart", &["2"]);
+}
+
+#[test]
+fn composition_rowmin_runs() {
+    run_example("composition_rowmin", &["2"]);
+}
+
+#[test]
+fn euler_tour_runs() {
+    run_example("euler_tour", &["2", "63"]);
+}
+
+#[test]
+fn graph_pagerank_runs() {
+    run_example("graph_pagerank", &["2"]);
+}
+
+#[test]
+fn mapreduce_wordcount_runs() {
+    run_example("mapreduce_wordcount", &["2", "5000"]);
+}

@@ -1,0 +1,256 @@
+//! Offline stand-in for the subset of
+//! [`criterion`](https://docs.rs/criterion) this workspace uses. Keeps
+//! the calling convention (`criterion_group!` / `criterion_main!`,
+//! groups, `Bencher::iter`) but measures with a plain wall-clock loop:
+//! a short warm-up, then `sample_size` samples whose mean and minimum
+//! are printed. No statistics, plots, or CLI; `cargo bench` runs every
+//! target and prints one line per benchmark. See `vendor/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working; prefer
+/// `std::hint::black_box` in new code.
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter,
+/// printed as `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("ctor", 1024)` prints as `ctor/1024`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on time spent measuring one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// No-op (the real crate disables gnuplot/plotters output).
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// No-op (the real crate reads CLI filters); kept for
+    /// call-compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: self.settings, _parent: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into().id, self.settings, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().id, self.settings, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into().id, self.settings, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (nothing to flush in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, then up to `sample_size` samples
+    /// bounded by `measurement_time`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.settings.warm_up_time {
+            black_box(routine());
+        }
+        let budget = Instant::now();
+        for _ in 0..self.settings.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if budget.elapsed() > self.settings.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(group: &str, id: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let mut b = Bencher { settings, samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<60} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label:<60} mean {:>12?}  min {:>12?}  ({} samples)",
+        mean,
+        min,
+        b.samples.len()
+    );
+}
+
+/// Defines a function that runs the listed targets, either with a
+/// custom `config = ...` expression or the default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Defines `main` to run the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("t");
+        let mut runs = 0u32;
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        g.finish();
+        assert!(runs >= 3);
+    }
+}

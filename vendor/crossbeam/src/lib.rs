@@ -1,0 +1,79 @@
+//! Offline stand-in for the [`crossbeam`](https://docs.rs/crossbeam)
+//! channel API used by this workspace (`unbounded`, `Sender`,
+//! `Receiver`), implemented over `std::sync::mpsc`. See
+//! `vendor/README.md` for why this exists.
+
+pub mod channel {
+    //! Multi-producer channels with the `crossbeam-channel` calling
+    //! convention (`Sender` is `Clone + Sync`, `try_recv` returns a
+    //! `Result`).
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel; cheap to clone, shareable
+    /// across threads by reference.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `t`; fails only if the receiver was dropped.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            self.0.send(t)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Dequeues a message if one is ready, without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+    }
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+
+    #[test]
+    fn send_try_recv_round_trip() {
+        let (tx, rx) = unbounded::<u32>();
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn senders_shared_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(t).unwrap());
+            }
+        });
+        let mut got: Vec<usize> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for the raw-lock subset of
+//! [`parking_lot`](https://docs.rs/parking_lot): `RawMutex` and
+//! `RawRwLock` plus the `lock_api` traits that give them their methods.
+//! Spin-based with `yield_now` backoff — adequate for the short critical
+//! sections the thread-safety managers guard. See `vendor/README.md`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod lock_api {
+    //! The trait layer of the real `lock_api` crate, reduced to the
+    //! methods this workspace calls. `INIT` is a const so locks can be
+    //! created in const contexts and collected into `Vec`s.
+
+    /// A raw (unowned, manually paired) mutual-exclusion lock.
+    pub trait RawMutex {
+        /// An unlocked lock.
+        const INIT: Self;
+
+        /// Acquires the lock, blocking until available.
+        fn lock(&self);
+
+        /// Attempts to acquire without blocking; `true` on success.
+        fn try_lock(&self) -> bool;
+
+        /// Releases the lock.
+        ///
+        /// # Safety
+        /// Must be paired with a successful [`RawMutex::lock`] or
+        /// [`RawMutex::try_lock`] by the current context.
+        unsafe fn unlock(&self);
+    }
+
+    /// A raw readers-writer lock.
+    pub trait RawRwLock {
+        /// An unlocked lock.
+        const INIT: Self;
+
+        /// Acquires a shared (read) lock.
+        fn lock_shared(&self);
+
+        /// Acquires an exclusive (write) lock.
+        fn lock_exclusive(&self);
+
+        /// Releases a shared lock.
+        ///
+        /// # Safety
+        /// Must be paired with [`RawRwLock::lock_shared`].
+        unsafe fn unlock_shared(&self);
+
+        /// Releases an exclusive lock.
+        ///
+        /// # Safety
+        /// Must be paired with [`RawRwLock::lock_exclusive`].
+        unsafe fn unlock_exclusive(&self);
+    }
+}
+
+/// Test-and-test-and-set spinlock with yield backoff.
+pub struct RawMutex {
+    state: AtomicUsize,
+}
+
+impl lock_api::RawMutex for RawMutex {
+    const INIT: RawMutex = RawMutex { state: AtomicUsize::new(0) };
+
+    fn lock(&self) {
+        let mut spins = 0u32;
+        loop {
+            if self
+                .state
+                .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            backoff(&mut spins);
+            while self.state.load(Ordering::Relaxed) != 0 {
+                backoff(&mut spins);
+            }
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        self.state
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    unsafe fn unlock(&self) {
+        self.state.store(0, Ordering::Release);
+    }
+}
+
+const WRITER: usize = usize::MAX;
+
+/// Spin-based readers-writer lock: the state counts readers, with
+/// `usize::MAX` marking an exclusive writer. Writers CAS `0 -> WRITER`;
+/// readers increment when no writer holds the lock. Writers announce
+/// themselves in `writers_waiting`, which blocks *new* readers — without
+/// this, sustained reader traffic would livelock writers (the real
+/// parking_lot blocks new readers the same way once a writer queues).
+pub struct RawRwLock {
+    state: AtomicUsize,
+    writers_waiting: AtomicUsize,
+}
+
+impl lock_api::RawRwLock for RawRwLock {
+    const INIT: RawRwLock =
+        RawRwLock { state: AtomicUsize::new(0), writers_waiting: AtomicUsize::new(0) };
+
+    fn lock_shared(&self) {
+        let mut spins = 0u32;
+        loop {
+            if self.writers_waiting.load(Ordering::Relaxed) == 0 {
+                let s = self.state.load(Ordering::Relaxed);
+                if s != WRITER
+                    && self
+                        .state
+                        .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return;
+                }
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    fn lock_exclusive(&self) {
+        self.writers_waiting.fetch_add(1, Ordering::Relaxed);
+        let mut spins = 0u32;
+        loop {
+            if self
+                .state
+                .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.writers_waiting.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    unsafe fn unlock_shared(&self) {
+        self.state.fetch_sub(1, Ordering::Release);
+    }
+
+    unsafe fn unlock_exclusive(&self) {
+        self.state.store(0, Ordering::Release);
+    }
+}
+
+fn backoff(spins: &mut u32) {
+    if *spins < 6 {
+        for _ in 0..(1u32 << *spins) {
+            std::hint::spin_loop();
+        }
+        *spins += 1;
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::{RawMutex as _, RawRwLock as _};
+    use super::*;
+    use std::sync::atomic::AtomicI64;
+
+    #[test]
+    fn mutex_excludes() {
+        let m = RawMutex::INIT;
+        let inside = AtomicI64::new(0);
+        let viol = AtomicI64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        m.lock();
+                        if inside.fetch_add(1, Ordering::SeqCst) != 0 {
+                            viol.fetch_add(1, Ordering::SeqCst);
+                        }
+                        std::thread::yield_now();
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        unsafe { m.unlock() }
+                    }
+                });
+            }
+        });
+        assert_eq!(viol.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let m = RawMutex::INIT;
+        m.lock();
+        assert!(!m.try_lock());
+        unsafe { m.unlock() }
+        assert!(m.try_lock());
+        unsafe { m.unlock() }
+    }
+
+    #[test]
+    fn rwlock_counts_readers_and_excludes_writer() {
+        let l = RawRwLock::INIT;
+        l.lock_shared();
+        l.lock_shared();
+        // A writer cannot sneak in while readers hold the lock.
+        assert_eq!(l.state.load(Ordering::SeqCst), 2);
+        unsafe { l.unlock_shared() }
+        unsafe { l.unlock_shared() }
+        l.lock_exclusive();
+        assert_eq!(l.state.load(Ordering::SeqCst), WRITER);
+        unsafe { l.unlock_exclusive() }
+    }
+
+    #[test]
+    fn writer_not_starved_by_reader_churn() {
+        use std::sync::atomic::AtomicBool;
+        let l = RawRwLock::INIT;
+        let got_write = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // 4 reader threads churn: there is almost always a reader
+            // holding the lock unless new readers are being blocked.
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while !got_write.load(Ordering::Relaxed) {
+                        l.lock_shared();
+                        std::hint::spin_loop();
+                        unsafe { l.unlock_shared() }
+                    }
+                });
+            }
+            s.spawn(|| {
+                l.lock_exclusive();
+                got_write.store(true, Ordering::Relaxed);
+                unsafe { l.unlock_exclusive() }
+            });
+        });
+        assert!(got_write.load(Ordering::Relaxed));
+    }
+}

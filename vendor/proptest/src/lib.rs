@@ -1,0 +1,299 @@
+//! Offline stand-in for the subset of
+//! [`proptest`](https://docs.rs/proptest) this workspace uses: the
+//! [`proptest!`] macro over integer-range, tuple, and
+//! [`collection::vec`] strategies, with `prop_assert!`-style assertions
+//! and [`test_runner::ProptestConfig`] controlling the case count.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (test name + case index), and failing
+//! inputs are **not shrunk** — the panic message reports the case seed
+//! so a failure is reproducible by rerunning the test. See
+//! `vendor/README.md`.
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Controls how many random cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SampleRange};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates one random value per case.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws a value from `rng`.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Copy,
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Copy,
+        RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// Admissible length specifications for [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_excl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(
+                r.start < r.end,
+                "proptest stand-in: empty vec size range {}..{}",
+                r.start,
+                r.end
+            );
+            SizeRange { lo: r.start, hi_excl: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_excl: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(0u64..100, 1..40)`: vectors of 1..40 draws from the element
+    /// strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.lo + 1 >= self.size.hi_excl {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi_excl)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-case seed: FNV-1a over the test name, mixed with
+/// the case index. Printed on failure so a case can be re-examined.
+#[doc(hidden)]
+pub fn __case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+#[doc(hidden)]
+pub fn __rng_for(seed: u64) -> rand::rngs::StdRng {
+    <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// Reports which case failed when a property panics: the assertion
+/// unwinds through this guard's `Drop`, which prints the test name,
+/// case index, and seed to stderr next to the panic message.
+#[doc(hidden)]
+pub struct __CaseGuard {
+    pub test: &'static str,
+    pub case: u32,
+    pub seed: u64,
+}
+
+impl Drop for __CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest stand-in: property '{}' failed at case {} (seed {:#x})",
+                self.test, self.case, self.seed
+            );
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` that generates inputs for `cases` seeds and runs
+/// the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($p:pat in $s:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            for __case in 0..__config.cases {
+                let __seed = $crate::__case_seed(stringify!($name), __case);
+                let __guard = $crate::__CaseGuard {
+                    test: stringify!($name),
+                    case: __case,
+                    seed: __seed,
+                };
+                let mut __rng = $crate::__rng_for(__seed);
+                $(let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng);)*
+                // One scope per case so non-Copy inputs drop before the
+                // next generation round.
+                {
+                    $body
+                }
+                drop(__guard);
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under the name property-test bodies use.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under the name property-test bodies use.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under the name property-test bodies use.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs in scope.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let s = crate::collection::vec(0u64..10, 2..5);
+        let mut rng = crate::__rng_for(1);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, tuples, trailing strategies.
+        #[test]
+        fn macro_generates_in_range(n in 1usize..50, (a, b) in (0u32..10, 0i64..5)) {
+            prop_assert!(n >= 1 && n < 50);
+            prop_assert!(a < 10);
+            prop_assert!(b < 5);
+        }
+
+        #[test]
+        fn mut_patterns_work(mut v in crate::collection::vec(0u64..100, 0..6)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}
