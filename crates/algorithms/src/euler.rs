@@ -211,7 +211,7 @@ where
             let pos_up = tour.pos.get_element(id_up);
             let d = weights.get_element(pos_down as usize);
             depth.set_element(*v, d);
-            subtree.set_element(*v, (pos_up - pos_down + 1) / 2);
+            subtree.set_element(*v, (pos_up - pos_down).div_ceil(2));
         }
     }
     loc.rmi_fence();

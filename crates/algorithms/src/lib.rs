@@ -12,7 +12,11 @@
 //! * [`euler`] — the Euler-tour technique and its applications
 //!   (rooting, depth, subtree size);
 //! * [`graph_algos`] — find-sources, BFS, connected components, PageRank;
-//! * [`mapreduce`] — MapReduce with owner-side combining + word count.
+//! * [`mapreduce`] — MapReduce with owner-side combining + word count;
+//! * [`paragraph_algos`] — the `_pg` entry points: the same algorithms
+//!   scheduled through the PARAGRAPH task-graph executor
+//!   (`stapl-paragraph`), with optional work stealing for skewed
+//!   workloads.
 
 pub mod euler;
 pub mod graph_algos;
@@ -20,6 +24,7 @@ pub mod list_ranking;
 pub mod map_func;
 pub mod mapreduce;
 pub mod numeric;
+pub mod paragraph_algos;
 pub mod sorting;
 
 pub mod prelude {
@@ -35,5 +40,8 @@ pub mod prelude {
     };
     pub use crate::mapreduce::{map_reduce, synthetic_corpus, word_count};
     pub use crate::numeric::{p_partial_sum, p_prefix_sum_i64, p_prefix_sum_u64};
+    pub use crate::paragraph_algos::{
+        map_reduce_pg, p_for_each_pg, p_generate_pg, p_reduce_pg,
+    };
     pub use crate::sorting::{p_is_sorted, p_sort};
 }

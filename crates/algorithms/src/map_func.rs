@@ -51,9 +51,15 @@ where
     C::Value: Send + Clone + 'static,
     F: Fn(C::Value, &C::Value) -> C::Value,
 {
-    let mut acc = init.clone();
-    c.for_each_local(|_, v| acc = op(acc.clone(), v));
-    let partials = c.location().allgather(acc);
+    // Fold by value: move the accumulator through `op` instead of cloning
+    // it on every element (an `Option` dance because the closure cannot
+    // move out of the captured slot directly).
+    let mut acc = Some(init.clone());
+    c.for_each_local(|_, v| {
+        let a = acc.take().expect("accumulator is always replaced");
+        acc = Some(op(a, v));
+    });
+    let partials = c.location().allgather(acc.expect("accumulator present"));
     partials.into_iter().fold(init, |a, b| op(a, &b))
 }
 
@@ -339,7 +345,7 @@ mod tests {
             l.commit();
             p_for_each(&l, |v| *v *= 2);
             let sum = p_reduce(&l, |_, v| *v, |a, b| a + b).unwrap();
-            let expect: u64 = (0..10).map(|i| (i + 0) * 2).sum::<u64>()
+            let expect: u64 = (0..10).map(|i| i * 2).sum::<u64>()
                 + (0..10).map(|i| (i + 100) * 2).sum::<u64>();
             assert_eq!(sum, expect);
         });
@@ -361,7 +367,7 @@ mod tests {
     #[test]
     fn count_find_min_max() {
         execute(RtsConfig::default(), 4, |loc| {
-            let a = PArray::from_fn(loc, 40, |i| (i as i64 - 20).abs() as u64);
+            let a = PArray::from_fn(loc, 40, |i| (i as i64 - 20).unsigned_abs());
             assert_eq!(p_count_if(&a, |v| *v == 0), 1);
             let f = p_find_if(&a, |v| *v == 0);
             assert_eq!(f, Some(20));
@@ -424,7 +430,7 @@ mod tests {
         execute(RtsConfig::default(), 2, |loc| {
             let a = PArray::new(loc, 9, 0i64);
             let v = ArrayView::new(a.clone());
-            p_generate_view(&v, |k| k as i64 * -1);
+            p_generate_view(&v, |k| -(k as i64));
             assert_eq!(a.get_element(8), -8);
             let _ = loc;
         });

@@ -42,10 +42,12 @@ fn aggregation(c: &mut Criterion) {
     g.finish();
 }
 
+type ManagerFactory = fn() -> std::sync::Arc<dyn ThreadSafetyManager>;
+
 /// Thread-safety manager overhead on the owner-side fast path.
 fn thread_safety(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_thread_safety");
-    let cases: Vec<(&str, fn() -> std::sync::Arc<dyn ThreadSafetyManager>)> = vec![
+    let cases: Vec<(&str, ManagerFactory)> = vec![
         ("nolock", || std::sync::Arc::new(NoLockManager)),
         ("global_mutex", || std::sync::Arc::new(GlobalMutexManager::default())),
         ("hashed_64", || std::sync::Arc::new(HashedLockManager::new(64))),

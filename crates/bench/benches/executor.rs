@@ -1,0 +1,73 @@
+//! PARAGRAPH executor benches: the skewed-workload scenario (SPMD
+//! lock-step vs executor vs executor-with-stealing) plus the executor's
+//! scheduling overhead on a uniform CPU-bound workload.
+//!
+//! See `experiments executor` for the paper-style table over a larger
+//! instance.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stapl_algorithms::paragraph_algos::p_for_each_pg;
+use stapl_bench::{skewed_generate, ExecMode};
+use stapl_containers::array::PArray;
+use stapl_paragraph::executor::ExecPolicy;
+use stapl_rts::{execute, RtsConfig};
+use stapl_views::array_view::ArrayView;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(150))
+        .without_plots()
+}
+
+/// The skewed latency-bound scenario at bench scale: 64 elements, the
+/// heavy quarter 10x the light cost.
+fn skewed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_skewed");
+    for mode in [ExecMode::Spmd, ExecMode::Executor, ExecMode::Steal] {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| skewed_generate(4, 64, 20, 200, mode));
+        });
+    }
+    g.finish();
+}
+
+/// Scheduling overhead: a uniform, cheap, CPU-bound p_for_each where the
+/// SPMD loop is the fast path — how much the task graph costs when it
+/// buys nothing.
+fn overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_overhead_uniform");
+    let run = |stealing: bool| {
+        execute(RtsConfig::default(), 2, move |loc| {
+            let a = PArray::from_fn(loc, 4096, |i| i as u64);
+            let v = ArrayView::new(a);
+            let policy =
+                if stealing { ExecPolicy::default() } else { ExecPolicy::no_stealing() };
+            p_for_each_pg(&v, policy, |x| *x = x.wrapping_mul(2654435761).rotate_left(7));
+        });
+    };
+    g.bench_function("executor", |b| b.iter(|| run(false)));
+    g.bench_function("executor+steal", |b| b.iter(|| run(true)));
+    g.bench_function("spmd", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 2, |loc| {
+                let a = PArray::from_fn(loc, 4096, |i| i as u64);
+                let v = ArrayView::new(a);
+                stapl_algorithms::map_func::p_for_each_view(&v, |x| {
+                    *x = x.wrapping_mul(2654435761).rotate_left(7)
+                });
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = skewed, overhead
+}
+criterion_main!(benches);

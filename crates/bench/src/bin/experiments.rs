@@ -7,12 +7,14 @@
 //!
 //! Figure ids: fig27 fig28 fig30 fig31 fig32 fig33 fig34 fig39 fig40
 //!             fig41 fig42 fig43 fig44 fig49 fig51 fig52 fig53 fig56
-//!             fig59 fig60 fig62 agg ths
+//!             fig59 fig60 fig62 agg ths executor
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use stapl_algorithms::prelude::*;
-use stapl_bench::{fmt_per_op, fmt_time, time_kernel, time_kernel_nofence, Table};
+use stapl_bench::{
+    fmt_per_op, fmt_time, skewed_generate, time_kernel, time_kernel_nofence, ExecMode, Table,
+};
 use stapl_containers::associative::PHashMap;
 use stapl_containers::composed::LocalArray;
 use stapl_containers::generators::*;
@@ -839,6 +841,42 @@ fn ths() {
     t.print();
 }
 
+/// PARAGRAPH executor on the skewed-workload scenario: lock-step SPMD vs
+/// executor vs executor-with-stealing. The per-element work is a
+/// simulated service latency (sleep), skewed 16x onto the last quarter
+/// of the index space — the trailing location's block under the balanced
+/// distribution. Stealing lets idle locations overlap that latency, so
+/// it wins even on a single-core host; the uniform rows show the
+/// executor's scheduling overhead when there is no skew to exploit.
+fn executor_exp() {
+    let mut t = Table::new(
+        "PARAGRAPH executor: skewed vs uniform workload (P=4, n=256)",
+        &["workload", "mode", "time", "speedup vs spmd", "stolen", "steal reqs", "steal %"],
+    );
+    for (workload, light, heavy) in [("skewed 16x", 50u64, 800u64), ("uniform", 50, 50)] {
+        let mut spmd_time = None;
+        for mode in [ExecMode::Spmd, ExecMode::Executor, ExecMode::Steal] {
+            // Best of three: single runs of a sleep-based workload carry
+            // timer-slack jitter.
+            let (secs, stats) = (0..3)
+                .map(|_| skewed_generate(4, 256, light, heavy, mode))
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("three runs");
+            let base = *spmd_time.get_or_insert(secs);
+            t.row(vec![
+                workload.into(),
+                mode.label().into(),
+                fmt_time(secs),
+                format!("{:.2}x", base / secs),
+                stats.tasks_stolen.to_string(),
+                stats.steal_requests.to_string(),
+                format!("{:.0}%", stats.steal_fraction() * 100.0),
+            ]);
+        }
+    }
+    t.print();
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let all = which == "all";
@@ -872,6 +910,7 @@ fn main() {
     run_if("fig62", &fig62);
     run_if("agg", &agg);
     run_if("ths", &ths);
+    run_if("executor", &executor_exp);
     if !ran {
         eprintln!("unknown experiment id: {which}");
         std::process::exit(1);

@@ -286,26 +286,30 @@ impl<T: Send + Clone + 'static> PArray<T> {
             "redistribution must preserve the domain"
         );
         // Phase 1 (collective): build empty staging bContainers for the new
-        // distribution. The staging init value is cloned from any local
-        // element or deferred: we lazily fill staging with moved values, so
-        // we need a placeholder — reuse the first local element or fall
-        // back to filling on arrival.
+        // distribution. Vec construction needs *some* placeholder T before
+        // the moved values arrive and overwrite it; a location that holds
+        // no elements under the old distribution may still gain some under
+        // the new one, so the placeholder is agreed on collectively (any
+        // location's first element — Some whenever the array is nonempty).
+        let placeholder = {
+            let rep = self.obj.local();
+            let mut first = None;
+            for (_, bc) in rep.lm.iter() {
+                bc.for_each(|_, v| {
+                    if first.is_none() {
+                        first = Some(v.clone());
+                    }
+                });
+                if first.is_some() {
+                    break;
+                }
+            }
+            drop(rep);
+            loc.allreduce(first, |a, b| a.or(b))
+        };
         let new_dist = IndexDistribution::new(new_partition, new_mapper);
         {
             let mut rep = self.obj.local_mut();
-            let placeholder = rep
-                .lm
-                .iter()
-                .flat_map(|(_, bc)| {
-                    let mut first = None;
-                    bc.for_each(|_, v| {
-                        if first.is_none() {
-                            first = Some(v.clone());
-                        }
-                    });
-                    first
-                })
-                .next();
             let mut staging = LocationManager::new();
             for (bcid, sd) in new_dist.local_subdomains(loc.id()) {
                 // Empty sub-domains need no placeholder.
@@ -314,19 +318,7 @@ impl<T: Send + Clone + 'static> PArray<T> {
                 }
                 let init = placeholder
                     .clone()
-                    .or_else(|| {
-                        // This location had no data under the old
-                        // distribution; values will arrive via RMI and
-                        // overwrite, but Vec construction needs *some* T.
-                        None
-                    })
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "redistribute: location {} gained elements but holds none to clone; \
-                             use redistribute_with_default",
-                            loc.id()
-                        )
-                    });
+                    .expect("nonempty sub-domain implies a nonempty array, so a placeholder exists");
                 staging.add_bcontainer(bcid, ArrayBc::new(sd, &init, rep.storage));
             }
             rep.staging = Some((staging, new_dist.clone()));

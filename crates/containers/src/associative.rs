@@ -31,6 +31,9 @@ pub trait KvStore<K, V>: Default + 'static {
     fn get(&self, k: &K) -> Option<&V>;
     fn get_mut(&mut self, k: &K) -> Option<&mut V>;
     fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     fn clear(&mut self);
     fn for_each(&self, f: &mut dyn FnMut(&K, &V));
 }

@@ -145,7 +145,7 @@ mod tests {
         assert_eq!(*a.get(3), 99);
         a.resize(7, 0);
         assert_eq!(a.len(), 7);
-        assert_eq!(a.iter().copied().sum::<usize>(), 0 + 2 + 4 + 99 + 8);
+        assert_eq!(a.iter().copied().sum::<usize>(), 2 + 4 + 99 + 8);
     }
 
     #[test]

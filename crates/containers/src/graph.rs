@@ -599,7 +599,7 @@ mod tests {
             for vd in 0..10 {
                 assert!(g.find_vertex(vd));
             }
-            assert!(!g.find_vertex(10) || false); // vd==10 out of range asserted below
+            assert!(!g.find_vertex(10), "vd 10 is out of range");
         });
     }
 

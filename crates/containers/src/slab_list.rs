@@ -345,18 +345,18 @@ mod tests {
         for step in 0..2000 {
             match next() % 4 {
                 0 => {
-                    let id = l.push_back(step as i32);
-                    model.push((id, step as i32));
+                    let id = l.push_back(step);
+                    model.push((id, step));
                 }
                 1 => {
-                    let id = l.push_front(step as i32);
-                    model.insert(0, (id, step as i32));
+                    let id = l.push_front(step);
+                    model.insert(0, (id, step));
                 }
                 2 if !model.is_empty() => {
                     let k = (next() as usize) % model.len();
                     let (anchor, _) = model[k];
-                    let id = l.insert_before(anchor, step as i32).unwrap();
-                    model.insert(k, (id, step as i32));
+                    let id = l.insert_before(anchor, step).unwrap();
+                    model.insert(k, (id, step));
                 }
                 3 if !model.is_empty() => {
                     let k = (next() as usize) % model.len();

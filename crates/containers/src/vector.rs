@@ -29,6 +29,8 @@ pub struct VectorRep<T> {
     /// Replicated cumulative sizes: location `l` owns global indices
     /// `[bounds[l-1], bounds[l])` as of the last commit.
     bounds: Vec<usize>,
+    /// (global index, value) pairs arriving during a [`PVector::rebalance`].
+    staging: Vec<(usize, T)>,
     ths: ThreadSafety,
 }
 
@@ -80,6 +82,7 @@ impl<T: Send + Clone + 'static> PVector<T> {
         let rep = VectorRep {
             data: vec![init; mine],
             bounds,
+            staging: Vec::new(),
             ths: ThreadSafety::new(
                 LockingPolicyTable::dynamic_default(),
                 std::sync::Arc::new(stapl_core::thread_safety::NoLockManager),
@@ -159,6 +162,73 @@ impl<T: Send + Clone + 'static> PVector<T> {
             let _g = rep.ths.guard(methods::POP_BACK, 0, last);
             rep.data.pop();
         });
+    }
+
+    /// **Collective.** Restores a balanced distribution after skewed
+    /// `insert`/`erase` bursts — pVector's counterpart of
+    /// [`PArray::rebalance`](crate::array::PArray::rebalance) (Section
+    /// V.G's redistribution for the dynamic case).
+    ///
+    /// Drains pending structural operations (fence), computes balanced
+    /// target block sizes from the *current* global size, ships every
+    /// element whose global index now belongs to another location, and
+    /// rebuilds the replicated bounds. Afterwards local block sizes
+    /// differ by at most one and index resolution is exact again.
+    pub fn rebalance(&self) {
+        let loc = self.obj.location().clone();
+        let me = loc.id();
+        let nlocs = loc.nlocs();
+        // Drain in-flight inserts/erases so sizes are stable.
+        loc.rmi_fence();
+        let lens = loc.allgather(self.obj.local().data.len());
+        let total: usize = lens.iter().sum();
+        // Balanced target: like `new`, the first `total % nlocs`
+        // locations hold one extra element.
+        let base = total / nlocs;
+        let extra = total % nlocs;
+        let mut target = Vec::with_capacity(nlocs);
+        let mut acc = 0;
+        for l in 0..nlocs {
+            acc += base + usize::from(l < extra);
+            target.push(acc);
+        }
+        let owner_of = |g: usize| target.partition_point(|&b| b <= g).min(nlocs - 1);
+        let my_lo: usize = lens[..me].iter().sum();
+        // Partition the local block: keepers stage locally, movers ship to
+        // their new owner with their global index.
+        let mut outgoing: Vec<Vec<(usize, T)>> = (0..nlocs).map(|_| Vec::new()).collect();
+        {
+            let mut rep = self.obj.local_mut();
+            let block = std::mem::take(&mut rep.data);
+            for (k, v) in block.into_iter().enumerate() {
+                let g = my_lo + k;
+                let dest = owner_of(g);
+                if dest == me {
+                    rep.staging.push((g, v));
+                } else {
+                    outgoing[dest].push((g, v));
+                }
+            }
+        }
+        for (dest, batch) in outgoing.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            self.obj.invoke_at(dest, move |cell, _| {
+                cell.borrow_mut().staging.extend(batch);
+            });
+        }
+        loc.rmi_fence();
+        // Reassemble the local block in global-index order.
+        {
+            let mut rep = self.obj.local_mut();
+            let mut staged = std::mem::take(&mut rep.staging);
+            staged.sort_unstable_by_key(|(g, _)| *g);
+            debug_assert!(staged.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+            rep.data = staged.into_iter().map(|(_, v)| v).collect();
+            rep.bounds = target;
+        }
+        loc.barrier();
     }
 
     /// **Collective.** All elements in index order (test/debug helper).
@@ -497,6 +567,64 @@ mod tests {
             assert_eq!(v.get_element(0), -7);
             let nines = v.collect_ordered().iter().filter(|x| **x == 9).count();
             assert_eq!(nines, 2);
+        });
+    }
+
+    #[test]
+    fn rebalance_restores_balance_after_skewed_inserts() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let v = PVector::from_fn(loc, 9, |i| i as i64);
+            // Location 0 bloats its own block with 12 extra elements.
+            if loc.id() == 0 {
+                for k in 0..12 {
+                    v.insert_async(0, 100 + k);
+                }
+            }
+            v.commit();
+            let before = v.collect_ordered();
+            assert_eq!(v.global_size(), 21);
+            v.rebalance();
+            // Same elements in the same order...
+            assert_eq!(v.collect_ordered(), before);
+            assert_eq!(v.global_size(), 21);
+            // ...but block sizes now differ by at most one.
+            let sizes = loc.allgather(v.local_size());
+            assert_eq!(sizes.iter().sum::<usize>(), 21);
+            assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1, "{sizes:?}");
+            // Index resolution is exact again.
+            for (i, x) in before.iter().enumerate() {
+                assert_eq!(v.get_element(i), *x);
+            }
+        });
+    }
+
+    #[test]
+    fn rebalance_handles_emptied_locations() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let v = PVector::from_fn(loc, 8, |i| i as u32);
+            // Erase location 1's whole block.
+            if loc.id() == 0 {
+                for _ in 0..4 {
+                    v.erase_async(4);
+                }
+            }
+            v.commit();
+            assert_eq!(v.global_size(), 4);
+            v.rebalance();
+            assert_eq!(v.collect_ordered(), vec![0, 1, 2, 3]);
+            let sizes = loc.allgather(v.local_size());
+            assert_eq!(sizes, vec![2, 2]);
+        });
+    }
+
+    #[test]
+    fn rebalance_of_balanced_vector_is_identity() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let v = PVector::from_fn(loc, 17, |i| i as u64 * 3);
+            let before = v.collect_ordered();
+            v.rebalance();
+            assert_eq!(v.collect_ordered(), before);
+            let _ = loc;
         });
     }
 

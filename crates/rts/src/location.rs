@@ -44,7 +44,7 @@ pub struct ReplyToken<R> {
 
 impl<R> Clone for ReplyToken<R> {
     fn clone(&self) -> Self {
-        ReplyToken { src: self.src, slot: self.slot, _marker: std::marker::PhantomData }
+        *self
     }
 }
 
@@ -124,6 +124,25 @@ impl Location {
     /// Snapshot of the global communication counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.shared.stats.snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // Executor instrumentation (used by `stapl-paragraph`)
+    // ------------------------------------------------------------------
+
+    /// Records one executed PARAGRAPH task in the global counters.
+    pub fn note_task_executed(&self) {
+        self.inner.shared.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one PARAGRAPH task that ran away from its home location.
+    pub fn note_task_stolen(&self) {
+        self.inner.shared.stats.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one steal probe issued by an idle executor.
+    pub fn note_steal_request(&self) {
+        self.inner.shared.stats.steal_requests.fetch_add(1, Ordering::Relaxed);
     }
 
     // ------------------------------------------------------------------

@@ -15,6 +15,13 @@ pub(crate) struct Stats {
     pub responses_sent: AtomicU64,
     /// Number of `rmi_fence` rounds executed (termination-detection loops).
     pub fence_rounds: AtomicU64,
+    /// PARAGRAPH tasks executed (on any location, home or thief).
+    pub tasks_executed: AtomicU64,
+    /// PARAGRAPH tasks that ran on a location other than their home
+    /// because an idle location stole them.
+    pub tasks_stolen: AtomicU64,
+    /// Steal probes issued by idle executors (successful or not).
+    pub steal_requests: AtomicU64,
 }
 
 impl Stats {
@@ -25,6 +32,9 @@ impl Stats {
             batches_sent: self.batches_sent.load(Ordering::Relaxed),
             responses_sent: self.responses_sent.load(Ordering::Relaxed),
             fence_rounds: self.fence_rounds.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            steal_requests: self.steal_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -38,6 +48,9 @@ pub struct StatsSnapshot {
     pub batches_sent: u64,
     pub responses_sent: u64,
     pub fence_rounds: u64,
+    pub tasks_executed: u64,
+    pub tasks_stolen: u64,
+    pub steal_requests: u64,
 }
 
 impl StatsSnapshot {
@@ -48,6 +61,16 @@ impl StatsSnapshot {
             0.0
         } else {
             self.remote_requests as f64 / self.batches_sent as f64
+        }
+    }
+
+    /// Fraction of executed PARAGRAPH tasks that were stolen (migrated to
+    /// an idle location); measures how much the work-stealing path fires.
+    pub fn steal_fraction(&self) -> f64 {
+        if self.tasks_executed == 0 {
+            0.0
+        } else {
+            self.tasks_stolen as f64 / self.tasks_executed as f64
         }
     }
 
@@ -71,6 +94,13 @@ mod tests {
         let s = StatsSnapshot::default();
         assert_eq!(s.aggregation_ratio(), 0.0);
         assert_eq!(s.remote_fraction(), 0.0);
+        assert_eq!(s.steal_fraction(), 0.0);
+    }
+
+    #[test]
+    fn steal_fraction_computes() {
+        let s = StatsSnapshot { tasks_executed: 8, tasks_stolen: 2, ..Default::default() };
+        assert!((s.steal_fraction() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -55,6 +55,10 @@ impl<T: Send + Clone + 'static> ListView<T> {
         self.list.global_size()
     }
 
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     pub fn for_each_local(&self, f: impl FnMut(ListGid, &T)) {
         self.list.for_each_local(f);
     }

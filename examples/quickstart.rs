@@ -40,7 +40,7 @@ fn main() {
         let fut = pa.split_get_element(0);
         let local_work: i64 = (0..1000).sum();
         let first = fut.get();
-        assert_eq!(first + local_work, 0 + 499500);
+        assert_eq!(first + local_work, 499500);
 
         // A generic pAlgorithm runs identically on either distribution.
         let total = p_reduce(&pa, |_, v| *v, |a, b| a + b).unwrap();

@@ -2,14 +2,16 @@
 //!
 //! This is the umbrella crate: it re-exports the runtime system
 //! ([`rts`]), the parallel container framework ([`core`]), the container
-//! library ([`containers`]), the view layer ([`views`]), and the parallel
-//! algorithms ([`algorithms`]).
+//! library ([`containers`]), the view layer ([`views`]), the PARAGRAPH
+//! task-graph executor ([`paragraph`]), and the parallel algorithms
+//! ([`algorithms`]).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the paper-to-module map.
 
 pub use stapl_algorithms as algorithms;
 pub use stapl_containers as containers;
 pub use stapl_core as core;
+pub use stapl_paragraph as paragraph;
 pub use stapl_rts as rts;
 pub use stapl_views as views;
 
@@ -18,6 +20,7 @@ pub mod prelude {
     pub use stapl_algorithms::prelude::*;
     pub use stapl_containers::prelude::*;
     pub use stapl_core::prelude::*;
+    pub use stapl_paragraph::prelude::*;
     pub use stapl_rts::{execute, execute_collect, Location, RtsConfig};
     pub use stapl_views::prelude::*;
 }

@@ -285,7 +285,7 @@ mod tests {
         /// The macro itself: patterns, tuples, trailing strategies.
         #[test]
         fn macro_generates_in_range(n in 1usize..50, (a, b) in (0u32..10, 0i64..5)) {
-            prop_assert!(n >= 1 && n < 50);
+            prop_assert!((1..50).contains(&n));
             prop_assert!(a < 10);
             prop_assert!(b < 5);
         }
