@@ -1,0 +1,102 @@
+//! Directory-locality benches: the hot-key workload on a dynamic pGraph
+//! swept over owner-cache on/off × RMI aggregation factor, plus the cost
+//! of a stale self-heal after vertex migration.
+//!
+//! See `experiments directory` for the paper-style table with the rts
+//! stats (remote requests, hit rate) over a larger instance.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stapl_containers::graph::{Directedness, GraphPartitionKind, PGraph};
+use stapl_core::interfaces::PContainer;
+use stapl_rts::{execute, RtsConfig};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(150))
+        .without_plots()
+}
+
+/// Every location hammers a few vertices owned by its neighbor.
+fn run_hot_key(dir_cache: bool, aggregation: usize, accesses: usize) {
+    let cfg = RtsConfig { dir_cache, aggregation, ..RtsConfig::base() };
+    execute(cfg, 4, move |loc| {
+        let g: PGraph<u64, ()> =
+            PGraph::new_dynamic(loc, Directedness::Directed, GraphPartitionKind::DynamicFwd);
+        for vd in 0..32 {
+            if vd % loc.nlocs() == loc.id() {
+                g.add_vertex_with_descriptor(vd, vd as u64);
+            }
+        }
+        g.commit();
+        let base = (loc.id() + 1) % loc.nlocs();
+        for k in 0..accesses {
+            let vd = base + (k % 4) * loc.nlocs();
+            std::hint::black_box(g.vertex_property(vd));
+        }
+        loc.rmi_fence();
+    });
+}
+
+/// Cache on/off × aggregation sweep on the hot-key scenario.
+fn hot_key(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("directory_hot_key");
+    for aggregation in [1usize, 16, 64] {
+        for dir_cache in [true, false] {
+            let label = format!(
+                "cache_{}/agg{}",
+                if dir_cache { "on" } else { "off" },
+                aggregation
+            );
+            grp.bench_function(label.as_str(), |b| {
+                b.iter(|| run_hot_key(dir_cache, aggregation, 200))
+            });
+        }
+    }
+    grp.finish();
+}
+
+/// The price of churn: migrate a vertex, then have every location re-read
+/// it — each read after a move takes the stale path (re-forward through
+/// the home) exactly once before the cache re-fills.
+fn migration_churn(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("directory_migration_churn");
+    for dir_cache in [true, false] {
+        let label = if dir_cache { "cache_on" } else { "cache_off" };
+        grp.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = RtsConfig { dir_cache, ..RtsConfig::base() };
+                execute(cfg, 4, |loc| {
+                    let g: PGraph<u64, ()> = PGraph::new_dynamic(
+                        loc,
+                        Directedness::Directed,
+                        GraphPartitionKind::DynamicFwd,
+                    );
+                    let vd = g.add_vertex(loc.id() as u64);
+                    g.commit();
+                    let all = loc.allgather(vd);
+                    for round in 0..8 {
+                        let victim = all[round % all.len()];
+                        if loc.id() == 0 {
+                            g.migrate_vertex(victim, (round + 1) % loc.nlocs());
+                        }
+                        loc.rmi_fence();
+                        std::hint::black_box(g.vertex_property(victim));
+                        loc.rmi_fence();
+                    }
+                });
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = hot_key, migration_churn
+}
+criterion_main!(benches);

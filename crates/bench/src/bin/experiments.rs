@@ -7,7 +7,7 @@
 //!
 //! Figure ids: fig27 fig28 fig30 fig31 fig32 fig33 fig34 fig39 fig40
 //!             fig41 fig42 fig43 fig44 fig49 fig51 fig52 fig53 fig56
-//!             fig59 fig60 fig62 agg ths executor
+//!             fig59 fig60 fig62 agg ths executor directory
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -877,6 +877,79 @@ fn executor_exp() {
     t.print();
 }
 
+/// Directory locality: per-location owner caches on the dynamic-pGraph
+/// resolution path, hot-key and traversal scenarios, cache on vs off.
+/// With the cache off every access pays the home hop (2 remote requests
+/// per read under forwarding); with it on, repeated accesses route
+/// straight to the cached owner (1 request) — the remote-request column
+/// is the proof.
+fn directory_exp() {
+    let mut t = Table::new(
+        "Directory locality: owner cache on/off (P=4, dynamic pGraph, forwarding)",
+        &["scenario", "cache", "time", "remote reqs", "hits", "stale", "hit rate"],
+    );
+    let mut hot_reqs = [0u64; 2]; // [on, off] for the closing summary
+    for (scenario, hot) in [("hot-key", true), ("traversal", false)] {
+        for cache in [true, false] {
+            let cfg = RtsConfig { dir_cache: cache, ..RtsConfig::base() };
+            let (secs, reqs, stats) = run(cfg, 4, move |loc| {
+                let g: PGraph<u64, ()> = PGraph::new_dynamic(
+                    loc,
+                    Directedness::Directed,
+                    GraphPartitionKind::DynamicFwd,
+                );
+                let n = 64usize;
+                for vd in 0..n {
+                    if vd % loc.nlocs() == loc.id() {
+                        g.add_vertex_with_descriptor(vd, vd as u64);
+                    }
+                }
+                g.commit();
+                let before = loc.stats().remote_requests;
+                let secs = time_kernel_nofence(loc, || {
+                    if hot {
+                        // Four hot vertices owned by the next location,
+                        // hammered — the regime the cache is built for.
+                        let base = (loc.id() + 1) % loc.nlocs();
+                        for k in 0..2000 {
+                            let vd = base + (k % 4) * loc.nlocs();
+                            std::hint::black_box(g.vertex_property(vd));
+                        }
+                    } else {
+                        // Repeated full sweeps over the vertex set.
+                        for _ in 0..40 {
+                            for vd in 0..n {
+                                std::hint::black_box(g.vertex_property(vd));
+                            }
+                        }
+                    }
+                });
+                loc.rmi_fence();
+                (secs, loc.stats().remote_requests - before, loc.stats())
+            });
+            if hot {
+                hot_reqs[usize::from(!cache)] = reqs;
+            }
+            t.row(vec![
+                scenario.into(),
+                if cache { "on" } else { "off" }.into(),
+                fmt_time(secs),
+                reqs.to_string(),
+                stats.dir_cache_hits.to_string(),
+                stats.dir_cache_stale.to_string(),
+                format!("{:.0}%", stats.dir_cache_hit_rate() * 100.0),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "hot-key remote requests: {} cached vs {} uncached ({:.2}x reduction)",
+        hot_reqs[0],
+        hot_reqs[1],
+        hot_reqs[1] as f64 / hot_reqs[0].max(1) as f64
+    );
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let all = which == "all";
@@ -911,6 +984,7 @@ fn main() {
     run_if("agg", &agg);
     run_if("ths", &ths);
     run_if("executor", &executor_exp);
+    run_if("directory", &directory_exp);
     if !ran {
         eprintln!("unknown experiment id: {which}");
         std::process::exit(1);

@@ -146,6 +146,11 @@ pub struct AssocRep<K: 'static, V: 'static, S: 'static> {
     lm: LocationManager<AssocBc<K, V, S>>,
     dist: KeyDistribution<K>,
     cached_size: usize,
+    /// Set on every size-changing mutation — at the issuing location when
+    /// the op is sent, and at the owning location when it lands — so a
+    /// `global_size()` read can tell that `cached_size` may be stale.
+    /// Cleared only by `commit()`/`clear()` (the collective refreshes).
+    size_dirty: bool,
     _marker: std::marker::PhantomData<fn() -> V>,
 }
 
@@ -198,7 +203,8 @@ where
         for bcid in dist.bcids_of(loc.id()) {
             lm.add_bcontainer(bcid, AssocBc::default());
         }
-        let rep = AssocRep { lm, dist, cached_size: 0, _marker: std::marker::PhantomData };
+        let rep =
+            AssocRep { lm, dist, cached_size: 0, size_dirty: false, _marker: std::marker::PhantomData };
         let obj = PObject::register(loc, rep);
         loc.barrier();
         PAssoc { obj }
@@ -221,6 +227,7 @@ where
     {
         let (bcid, owner) = self.locate(&k);
         let run = move |rep: &mut AssocRep<K, V, S>| {
+            rep.size_dirty = true;
             let store = &mut rep.lm.get_mut(bcid).expect("assoc bcid").store;
             if store.get(&k).is_none() {
                 store.insert(k.clone(), default);
@@ -230,6 +237,7 @@ where
         if owner == self.me() {
             run(&mut self.obj.local_mut());
         } else {
+            self.obj.local_mut().size_dirty = true;
             self.obj.invoke_at(owner, move |cell, _| run(&mut cell.borrow_mut()));
         }
     }
@@ -251,8 +259,11 @@ where
     /// Synchronous insert that reports whether the key was new.
     pub fn insert(&self, k: K, v: V) -> bool {
         let (bcid, owner) = self.locate(&k);
+        self.obj.local_mut().size_dirty = true;
         self.obj.invoke_ret_at(owner, move |cell, _| {
-            cell.borrow_mut().lm.get_mut(bcid).expect("assoc bcid").store.insert(k, v)
+            let mut rep = cell.borrow_mut();
+            rep.size_dirty = true;
+            rep.lm.get_mut(bcid).expect("assoc bcid").store.insert(k, v)
         })
     }
 
@@ -298,8 +309,25 @@ where
         self.obj.location()
     }
 
+    /// The committed size when clean; after uncommitted mutations (the
+    /// local `size_dirty` flag is set) the count is recomputed with a
+    /// one-sided sweep over all locations, so a location always observes
+    /// at least its *own* earlier inserts/erases without a collective
+    /// `commit()` (per-pair FIFO orders the count query behind them).
+    /// Mutations still in flight from *other* locations may be missed;
+    /// only `commit()` yields the globally agreed count — and restores
+    /// O(1) reads.
     fn global_size(&self) -> usize {
-        self.obj.local().cached_size
+        if !self.obj.local().size_dirty {
+            return self.obj.local().cached_size;
+        }
+        let nlocs = self.obj.location().nlocs();
+        let futs: Vec<_> = (0..nlocs)
+            .map(|l| self.obj.invoke_split_at(l, |cell, _| cell.borrow().lm.local_len() as u64))
+            .collect();
+        let total: u64 = futs.into_iter().map(|f| f.get()).sum();
+        self.obj.local_mut().cached_size = total as usize;
+        total as usize
     }
 
     fn local_size(&self) -> usize {
@@ -310,7 +338,11 @@ where
         let loc = self.obj.location().clone();
         loc.rmi_fence();
         let total = loc.allreduce_sum(self.local_size() as u64);
-        self.obj.local_mut().cached_size = total as usize;
+        {
+            let mut rep = self.obj.local_mut();
+            rep.cached_size = total as usize;
+            rep.size_dirty = false;
+        }
         loc.barrier();
     }
 
@@ -333,6 +365,7 @@ where
             let mut rep = self.obj.local_mut();
             rep.lm.clear();
             rep.cached_size = 0;
+            rep.size_dirty = false;
         }
         loc.barrier();
     }
@@ -349,18 +382,26 @@ where
     fn insert_async(&self, k: K, v: V) {
         let (bcid, owner) = self.locate(&k);
         if owner == self.me() {
-            self.obj.local_mut().lm.get_mut(bcid).expect("assoc bcid").store.insert(k, v);
+            let mut rep = self.obj.local_mut();
+            rep.size_dirty = true;
+            rep.lm.get_mut(bcid).expect("assoc bcid").store.insert(k, v);
         } else {
+            self.obj.local_mut().size_dirty = true;
             self.obj.invoke_at(owner, move |cell, _| {
-                cell.borrow_mut().lm.get_mut(bcid).expect("assoc bcid").store.insert(k, v);
+                let mut rep = cell.borrow_mut();
+                rep.size_dirty = true;
+                rep.lm.get_mut(bcid).expect("assoc bcid").store.insert(k, v);
             });
         }
     }
 
     fn erase_async(&self, k: K) {
         let (bcid, owner) = self.locate(&k);
+        self.obj.local_mut().size_dirty = true;
         self.obj.invoke_at(owner, move |cell, _| {
-            cell.borrow_mut().lm.get_mut(bcid).expect("assoc bcid").store.remove(&k);
+            let mut rep = cell.borrow_mut();
+            rep.size_dirty = true;
+            rep.lm.get_mut(bcid).expect("assoc bcid").store.remove(&k);
         });
     }
 
@@ -709,6 +750,45 @@ mod tests {
             vals.sort_unstable();
             assert_eq!(vals, vec![0, 1, 2]);
             assert_eq!(m.find_all(42), Vec::<usize>::new());
+        });
+    }
+
+    #[test]
+    fn global_size_sees_own_uncommitted_mutations() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let m: PHashMap<u64, u64> = PHashMap::new(loc);
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                for k in 0..16 {
+                    m.insert_async(k, k);
+                }
+                // Regression: this used to return the stale cached 0 until
+                // an explicit commit().
+                assert_eq!(m.global_size(), 16, "must observe own uncommitted inserts");
+                m.erase_async(3);
+                assert_eq!(m.global_size(), 15, "must observe own uncommitted erase");
+                // Overwrites do not change the size.
+                m.insert_async(5, 99);
+                assert_eq!(m.global_size(), 15);
+            }
+            m.commit();
+            // After commit every location agrees, and reads are O(1) again.
+            assert_eq!(m.global_size(), 15);
+        });
+    }
+
+    #[test]
+    fn global_size_via_sync_insert_and_apply_or_insert() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m: PHashMap<u32, u32> = PHashMap::new(loc);
+            loc.rmi_fence();
+            if loc.id() == 1 {
+                assert!(m.insert(7, 1));
+                m.apply_or_insert(8, 0, |v| *v += 1);
+                assert_eq!(m.global_size(), 2);
+            }
+            m.commit();
+            assert_eq!(m.global_size(), 2);
         });
     }
 

@@ -21,7 +21,10 @@
 use std::collections::BTreeMap;
 
 use stapl_core::bcontainer::{BaseContainer, MemSize};
-use stapl_core::directory::{dir_insert, dir_remove, dir_route, dir_route_ret, DirectoryShard, HasDirectory, Resolution};
+use stapl_core::directory::{
+    dir_insert, dir_migrate, dir_remove, dir_route, dir_route_ret, DirectoryShard, HasDirectory,
+    OwnerCache, Resolution,
+};
 use stapl_core::interfaces::{PContainer, RelationalContainer};
 use stapl_core::partition::{BalancedPartition, IndexPartition};
 use stapl_core::pobject::PObject;
@@ -100,6 +103,9 @@ impl<VP: 'static, EP: 'static> BaseContainer for GraphBc<VP, EP> {
 pub struct GraphRep<VP, EP> {
     bc: GraphBc<VP, EP>,
     dir: DirectoryShard<VertexDesc>,
+    /// This location's cached `vd → owner` resolutions (the locality
+    /// layer); stale entries self-heal through the home location.
+    cache: OwnerCache<VertexDesc>,
     kind: GraphPartitionKind,
     directedness: Directedness,
     /// Balanced vertex partition for static graphs.
@@ -118,6 +124,14 @@ impl<VP: 'static, EP: 'static> HasDirectory<VertexDesc> for GraphRep<VP, EP> {
 
     fn directory_mut(&mut self) -> &mut DirectoryShard<VertexDesc> {
         &mut self.dir
+    }
+
+    fn owner_cache(&self) -> Option<&OwnerCache<VertexDesc>> {
+        Some(&self.cache)
+    }
+
+    fn owns_gid(&self, vd: &VertexDesc) -> bool {
+        self.bc.vertices.contains_key(vd)
     }
 }
 
@@ -189,6 +203,7 @@ where
         let rep = GraphRep {
             bc: GraphBc { vertices },
             dir: DirectoryShard::new(),
+            cache: OwnerCache::from_config(loc.config()),
             kind: GraphPartitionKind::Static,
             directedness,
             static_partition: Some(partition),
@@ -213,6 +228,7 @@ where
         let rep = GraphRep {
             bc: GraphBc { vertices: BTreeMap::new() },
             dir: DirectoryShard::new(),
+            cache: OwnerCache::from_config(loc.config()),
             kind,
             directedness,
             static_partition: None,
@@ -287,7 +303,7 @@ where
     ) -> RmiFuture<R> {
         if self.obj.local().vertices().contains_key(&vd) {
             let r = f(&mut self.obj.local_mut(), self.obj.location());
-            return ready_future(self.obj.location(), r);
+            return RmiFuture::ready(r);
         }
         match self.resolution() {
             None => {
@@ -356,6 +372,33 @@ where
             rep.vertices_mut().remove(&vd);
         });
         dir_remove(&self.obj, vd);
+    }
+
+    /// Asynchronously moves vertex `vd` — property and out-edges — to
+    /// location `dest`, re-registering it in the directory (dynamic graphs
+    /// only). The move is visible after the next fence; operations on `vd`
+    /// concurrent with the migration re-forward through the home until the
+    /// new registration lands. Peers' cached owners for `vd` go stale and
+    /// self-heal on their next access.
+    pub fn migrate_vertex(&self, vd: VertexDesc, dest: LocId) {
+        assert_ne!(
+            self.obj.local().kind,
+            GraphPartitionKind::Static,
+            "pGraph: migrate_vertex on a static pGraph"
+        );
+        let policy = self.resolution().expect("dynamic graph");
+        // bcid == owning location for the single per-location graph bc.
+        dir_migrate(
+            &self.obj,
+            policy,
+            vd,
+            dest,
+            dest,
+            move |rep| rep.vertices_mut().remove(&vd),
+            move |rep, v| {
+                rep.vertices_mut().insert(vd, v);
+            },
+        );
     }
 
     /// Synchronous existence check.
@@ -530,11 +573,6 @@ where
     }
 }
 
-fn ready_future<R: Send + 'static>(loc: &Location, r: R) -> RmiFuture<R> {
-    let (token, fut) = loc.make_reply_slot::<R>();
-    loc.reply(token, r);
-    fut
-}
 
 impl<VP, EP> PContainer for PGraph<VP, EP>
 where
@@ -570,7 +608,7 @@ where
         let local = {
             let rep = self.obj.local();
             let mut m = rep.bc.memory_size();
-            m.metadata += rep.dir.memory_size();
+            m.metadata += rep.dir.memory_size() + rep.cache.memory_size();
             m
         };
         self.obj.location().allreduce(local, |a, b| a + b)
@@ -774,6 +812,102 @@ mod tests {
             assert_eq!(loc.allreduce_sum(n as u64), 20);
             assert_eq!(g.local_vertices().len(), n);
         });
+    }
+
+    #[test]
+    fn migrate_vertex_moves_data_and_stale_caches_self_heal() {
+        for kind in [GraphPartitionKind::DynamicFwd, GraphPartitionKind::DynamicTwoPhase] {
+            execute(RtsConfig::default(), 3, |loc| {
+                let g: PGraph<u32, u8> = PGraph::new_dynamic(loc, Directedness::Directed, kind);
+                let vd = g.add_vertex(loc.id() as u32 * 10);
+                g.commit();
+                let all = loc.allgather(vd);
+                if loc.id() == 1 {
+                    g.add_edge_async(all[1], all[0], 7);
+                }
+                g.commit();
+                // Everyone reads location 1's vertex — warming every cache.
+                assert_eq!(g.vertex_property(all[1]), 10);
+                loc.barrier();
+                // Location 0 migrates location 1's vertex to location 2.
+                if loc.id() == 0 {
+                    g.migrate_vertex(all[1], 2);
+                }
+                g.commit();
+                let expect = match loc.id() {
+                    1 => 0, // its only vertex migrated away
+                    2 => 2, // its own plus the migrated one
+                    _ => 1,
+                };
+                assert_eq!(g.local_num_vertices(), expect);
+                if loc.id() == 2 {
+                    assert!(g.is_local_vertex(all[1]));
+                }
+                // Every location still resolves the vertex — through a now
+                // stale cache entry, which must self-heal via the home.
+                assert_eq!(g.vertex_property(all[1]), 10);
+                assert_eq!(g.out_degree(all[1]), 1, "edges must migrate with the vertex");
+                g.commit();
+                assert_eq!(g.num_vertices(), 3);
+                assert_eq!(g.num_edges(), 1);
+            });
+        }
+    }
+
+    #[test]
+    fn read_racing_migration_self_heals_without_fence() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let g: PGraph<u32, ()> =
+                PGraph::new_dynamic(loc, Directedness::Directed, GraphPartitionKind::DynamicFwd);
+            let vd = g.add_vertex(loc.id() as u32 + 1);
+            g.commit();
+            let all = loc.allgather(vd);
+            loc.barrier();
+            if loc.id() == 0 {
+                g.migrate_vertex(all[1], 2);
+            }
+            // Deliberately no fence: reads race the in-flight migration and
+            // must re-forward through the home until the payload lands,
+            // never observing a missing vertex.
+            assert_eq!(g.vertex_property(all[1]), 2);
+            g.commit();
+            assert_eq!(g.num_vertices(), 3);
+        });
+    }
+
+    #[test]
+    fn hot_vertex_access_uses_cache_and_cuts_traffic() {
+        let run = |dir_cache: bool| {
+            stapl_rts::execute_collect(
+                RtsConfig { dir_cache, ..RtsConfig::base() },
+                4,
+                |loc| {
+                    let g: PGraph<u64, ()> = PGraph::new_dynamic(
+                        loc,
+                        Directedness::Directed,
+                        GraphPartitionKind::DynamicFwd,
+                    );
+                    let vd = g.add_vertex(loc.id() as u64);
+                    g.commit();
+                    let all = loc.allgather(vd);
+                    let hot = all[(loc.id() + 1) % loc.nlocs()];
+                    let before = loc.stats().remote_requests;
+                    for _ in 0..40 {
+                        let _ = g.vertex_property(hot);
+                    }
+                    loc.rmi_fence();
+                    (loc.stats().remote_requests - before, loc.stats())
+                },
+            )
+            .remove(0)
+        };
+        let (cached, stats) = run(true);
+        let (uncached, _) = run(false);
+        assert!(stats.dir_cache_hits > 0, "hot accesses must hit the cache: {stats:?}");
+        assert!(
+            cached < uncached,
+            "owner cache must reduce remote requests: {cached} !< {uncached}"
+        );
     }
 
     #[test]

@@ -7,8 +7,22 @@
 //! are O(1) and never invalidate other elements' GIDs. The
 //! [`PList::push_anywhere`] method is the paper's scalable insertion: it
 //! appends to a local base container with **no communication at all**.
+//!
+//! Base-container *placement* is directory-backed: a distributed
+//! `bcid → owner` directory (plus the per-location owner cache of the
+//! locality layer) resolves where each base container currently lives, so
+//! [`PList::migrate_bcontainer`] can move whole slabs between locations —
+//! the pList load-balancing primitive. Accesses route optimistically to
+//! the *birth* owner (`bcid / bpl`) as a static hint; after a migration
+//! the stale hint or cache entry self-heals through the home location.
+
+use std::cell::RefCell;
 
 use stapl_core::bcontainer::{BaseContainer, MemSize};
+use stapl_core::directory::{
+    dir_insert, dir_migrate, dir_route_hinted, dir_route_ret_hinted, DirectoryShard, HasDirectory,
+    OwnerCache, Resolution,
+};
 use stapl_core::gid::Bcid;
 use stapl_core::interfaces::{
     DynamicPContainer, ElementRead, ElementWrite, LocalIteration, PContainer, SequenceContainer,
@@ -53,7 +67,8 @@ impl<T: 'static> BaseContainer for ListBc<T> {
 /// Per-location representative.
 pub struct ListRep<T> {
     lm: LocationManager<ListBc<T>>,
-    /// Base containers per location; global bcid = loc * bpl + k.
+    /// Base containers per location at construction; bcid `loc * bpl + k`
+    /// is *born* on `loc` (the static routing hint) but may migrate.
     bpl: usize,
     nlocs: usize,
     ths: ThreadSafety,
@@ -61,6 +76,28 @@ pub struct ListRep<T> {
     cached_size: usize,
     /// Round-robin cursor for `push_anywhere` across local bContainers.
     anywhere_cursor: usize,
+    /// This location's shard of the `bcid → owner` directory.
+    dir: DirectoryShard<Bcid>,
+    /// Cached `bcid → owner` resolutions (the locality layer).
+    cache: OwnerCache<Bcid>,
+}
+
+impl<T: 'static> HasDirectory<Bcid> for ListRep<T> {
+    fn directory(&self) -> &DirectoryShard<Bcid> {
+        &self.dir
+    }
+
+    fn directory_mut(&mut self) -> &mut DirectoryShard<Bcid> {
+        &mut self.dir
+    }
+
+    fn owner_cache(&self) -> Option<&OwnerCache<Bcid>> {
+        Some(&self.cache)
+    }
+
+    fn owns_gid(&self, bcid: &Bcid) -> bool {
+        self.lm.get(*bcid).is_some()
+    }
 }
 
 impl<T: Send + Clone + 'static> ListRep<T> {
@@ -120,30 +157,75 @@ impl<T: Send + Clone + 'static> PList<T> {
             ths: ThreadSafety::unlocked(),
             cached_size: 0,
             anywhere_cursor: 0,
+            dir: DirectoryShard::new(),
+            cache: OwnerCache::from_config(loc.config()),
         };
         let obj = PObject::register(loc, rep);
         loc.barrier();
-        PList { obj }
-    }
-
-    fn owner_of(&self, bcid: Bcid) -> LocId {
-        let rep = self.obj.local();
-        bcid / rep.bpl
+        let list = PList { obj };
+        // Register this location's base containers at their homes; the
+        // fence makes the directory authoritative before any routing.
+        for k in 0..bpl {
+            let bcid = loc.id() * bpl + k;
+            dir_insert(&list.obj, bcid, bcid, loc.id());
+        }
+        loc.rmi_fence();
+        list
     }
 
     fn me(&self) -> LocId {
         self.obj.location().id()
     }
 
-    /// Appends at the global end (last base container of the last
-    /// location). Asynchronous.
+    /// Routes `f` to the location currently owning base container `bcid`
+    /// (asynchronous): local fast path, then owner cache, then the birth
+    /// owner `bcid / bpl` as a static hint, then the directory home. `f`
+    /// receives the representative's cell so read-only operations can take
+    /// a shared borrow (nested reads from local iteration stay legal).
+    fn route(&self, bcid: Bcid, f: impl FnOnce(&RefCell<ListRep<T>>, &Location) + Send + 'static) {
+        if self.obj.local().lm.get(bcid).is_some() {
+            f(self.obj.rep_cell(), self.obj.location());
+            return;
+        }
+        let hint = (bcid, bcid / self.obj.local().bpl);
+        dir_route_hinted(&self.obj, Resolution::Forwarding, bcid, Some(hint), move |cell, loc, found| {
+            assert!(found.is_some(), "pList: base container {bcid} is not registered");
+            f(cell, loc);
+        });
+    }
+
+    /// Routing with a returned value; see [`PList::route`].
+    fn route_ret<R: Send + 'static>(
+        &self,
+        bcid: Bcid,
+        f: impl FnOnce(&RefCell<ListRep<T>>, &Location) -> R + Send + 'static,
+    ) -> RmiFuture<R> {
+        if self.obj.local().lm.get(bcid).is_some() {
+            let r = f(self.obj.rep_cell(), self.obj.location());
+            return RmiFuture::ready(r);
+        }
+        let hint = (bcid, bcid / self.obj.local().bpl);
+        dir_route_ret_hinted(
+            &self.obj,
+            Resolution::Forwarding,
+            bcid,
+            Some(hint),
+            move |cell, loc, found| {
+                assert!(found.is_some(), "pList: base container {bcid} is not registered");
+                f(cell, loc)
+            },
+        )
+    }
+
+    /// Appends at the global end (last base container of the global
+    /// linearization, wherever it currently lives). Asynchronous.
     pub fn push_back(&self, v: T) {
         let (nlocs, bpl) = {
             let rep = self.obj.local();
             (rep.nlocs, rep.bpl)
         };
         let bcid = nlocs * bpl - 1;
-        self.obj.invoke_at(nlocs - 1, move |cell, _| {
+        self.route(bcid, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
             let ths = rep.ths.clone();
@@ -154,7 +236,7 @@ impl<T: Send + Clone + 'static> PList<T> {
 
     /// Prepends at the global front. Asynchronous.
     pub fn push_front(&self, v: T) {
-        self.obj.invoke_at(0, move |cell, _| {
+        self.route(0, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
             let ths = rep.ths.clone();
@@ -165,24 +247,41 @@ impl<T: Send + Clone + 'static> PList<T> {
 
     /// Adds the element at an unspecified position — into a local base
     /// container, with no communication (the paper's `push_anywhere`).
-    /// Returns the new element's GID immediately.
+    /// Returns the new element's GID immediately. When every local base
+    /// container has been migrated away, falls back to a synchronous
+    /// append through this location's birth container.
     pub fn push_anywhere(&self, v: T) -> ListGid {
-        let mut rep = self.obj.local_mut();
-        let rep = &mut *rep;
-        let k = rep.anywhere_cursor % rep.bpl;
-        rep.anywhere_cursor = rep.anywhere_cursor.wrapping_add(1);
-        let bcid = self.obj.location().id() * rep.bpl + k;
-        let ths = rep.ths.clone();
-        let _g = ths.guard(methods::PUSH_ANYWHERE, 0, bcid);
-        let seq = rep.bc_mut(bcid).push_back(v);
+        {
+            let mut rep = self.obj.local_mut();
+            let rep = &mut *rep;
+            let nbc = rep.lm.num_bcontainers();
+            if nbc > 0 {
+                let k = rep.anywhere_cursor % nbc;
+                rep.anywhere_cursor = rep.anywhere_cursor.wrapping_add(1);
+                let bcid = rep.lm.bcids().nth(k).expect("nbc > 0");
+                let ths = rep.ths.clone();
+                let _g = ths.guard(methods::PUSH_ANYWHERE, 0, bcid);
+                let seq = rep.bc_mut(bcid).push_back(v);
+                return ListGid { bcid, seq };
+            }
+        }
+        let bcid = self.me() * self.obj.local().bpl;
+        let seq = self
+            .route_ret(bcid, move |cell, _| {
+                let mut rep = cell.borrow_mut();
+                let rep = &mut *rep;
+                let ths = rep.ths.clone();
+                let _g = ths.guard(methods::PUSH_ANYWHERE, 0, bcid);
+                rep.bc_mut(bcid).push_back(v)
+            })
+            .get();
         ListGid { bcid, seq }
     }
 
     /// Synchronously inserts before `gid`, returning the new GID, or
     /// `None` when `gid` no longer exists.
     pub fn insert_before(&self, gid: ListGid, v: T) -> Option<ListGid> {
-        let owner = self.owner_of(gid.bcid);
-        self.obj.invoke_ret_at(owner, move |cell, _| {
+        self.route_ret(gid.bcid, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
             let ths = rep.ths.clone();
@@ -191,6 +290,25 @@ impl<T: Send + Clone + 'static> PList<T> {
                 .insert_before(gid.seq, v)
                 .map(|seq| ListGid { bcid: gid.bcid, seq })
         })
+        .get()
+    }
+
+    /// Asynchronously moves base container `bcid` — the whole slab — to
+    /// location `dest` and re-registers it in the directory: the pList
+    /// load-balancing primitive. Visible after the next fence; operations
+    /// on the container's elements concurrent with the move re-forward
+    /// through the home until the new registration lands. Peers' stale
+    /// hints and cached owners self-heal on their next access.
+    pub fn migrate_bcontainer(&self, bcid: Bcid, dest: LocId) {
+        dir_migrate(
+            &self.obj,
+            Resolution::Forwarding,
+            bcid,
+            dest,
+            bcid,
+            move |rep| rep.lm.remove_bcontainer(bcid),
+            move |rep, bc| rep.lm.add_bcontainer(bcid, bc),
+        );
     }
 
     /// Front/back GIDs of the global linearization (synchronous scans over
@@ -201,9 +319,8 @@ impl<T: Send + Clone + 'static> PList<T> {
             (rep.nlocs, rep.bpl)
         };
         for bcid in 0..nlocs * bpl {
-            let owner = bcid / bpl;
             let found: Option<u64> =
-                self.obj.invoke_ret_at(owner, move |cell, _| cell.borrow().bc(bcid).front_id());
+                self.route_ret(bcid, move |cell, _| cell.borrow().bc(bcid).front_id()).get();
             if let Some(seq) = found {
                 return Some(ListGid { bcid, seq });
             }
@@ -217,9 +334,8 @@ impl<T: Send + Clone + 'static> PList<T> {
             (rep.nlocs, rep.bpl)
         };
         for bcid in (0..nlocs * bpl).rev() {
-            let owner = bcid / bpl;
             let found: Option<u64> =
-                self.obj.invoke_ret_at(owner, move |cell, _| cell.borrow().bc(bcid).back_id());
+                self.route_ret(bcid, move |cell, _| cell.borrow().bc(bcid).back_id()).get();
             if let Some(seq) = found {
                 return Some(ListGid { bcid, seq });
             }
@@ -229,9 +345,9 @@ impl<T: Send + Clone + 'static> PList<T> {
 
     /// GID following `gid` in the global linearization (synchronous).
     pub fn next_gid(&self, gid: ListGid) -> Option<ListGid> {
-        let owner = self.owner_of(gid.bcid);
-        let within: Option<u64> =
-            self.obj.invoke_ret_at(owner, move |cell, _| cell.borrow().bc(gid.bcid).next_id(gid.seq));
+        let within: Option<u64> = self
+            .route_ret(gid.bcid, move |cell, _| cell.borrow().bc(gid.bcid).next_id(gid.seq))
+            .get();
         if let Some(seq) = within {
             return Some(ListGid { bcid: gid.bcid, seq });
         }
@@ -241,9 +357,8 @@ impl<T: Send + Clone + 'static> PList<T> {
             (rep.nlocs, rep.bpl)
         };
         for bcid in gid.bcid + 1..nlocs * bpl {
-            let owner = bcid / bpl;
             let found: Option<u64> =
-                self.obj.invoke_ret_at(owner, move |cell, _| cell.borrow().bc(bcid).front_id());
+                self.route_ret(bcid, move |cell, _| cell.borrow().bc(bcid).front_id()).get();
             if let Some(seq) = found {
                 return Some(ListGid { bcid, seq });
             }
@@ -253,15 +368,13 @@ impl<T: Send + Clone + 'static> PList<T> {
 
     /// Synchronous existence check.
     pub fn contains(&self, gid: ListGid) -> bool {
-        let owner = self.owner_of(gid.bcid);
-        self.obj.invoke_ret_at(owner, move |cell, _| cell.borrow().bc(gid.bcid).contains(gid.seq))
+        self.route_ret(gid.bcid, move |cell, _| cell.borrow().bc(gid.bcid).contains(gid.seq)).get()
     }
 
     /// Fallible synchronous read.
     pub fn try_get(&self, gid: ListGid) -> Option<T> {
-        let owner = self.owner_of(gid.bcid);
-        self.obj
-            .invoke_ret_at(owner, move |cell, _| cell.borrow().bc(gid.bcid).get(gid.seq).cloned())
+        self.route_ret(gid.bcid, move |cell, _| cell.borrow().bc(gid.bcid).get(gid.seq).cloned())
+            .get()
     }
 
     /// **Collective.** All elements in global linearization order —
@@ -307,7 +420,12 @@ impl<T: Send + Clone + 'static> PContainer for PList<T> {
     }
 
     fn memory_size(&self) -> MemSize {
-        let local = self.obj.local().lm.memory_size();
+        let local = {
+            let rep = self.obj.local();
+            let mut m = rep.lm.memory_size();
+            m.metadata += rep.dir.memory_size() + rep.cache.memory_size();
+            m
+        };
         self.obj.location().allreduce(local, |a, b| a + b)
     }
 }
@@ -333,8 +451,7 @@ impl<T: Send + Clone + 'static> ElementRead<ListGid> for PList<T> {
     }
 
     fn split_get_element(&self, gid: ListGid) -> RmiFuture<T> {
-        let owner = self.owner_of(gid.bcid);
-        self.obj.invoke_split_at(owner, move |cell, _| {
+        self.route_ret(gid.bcid, move |cell, _| {
             cell.borrow()
                 .bc(gid.bcid)
                 .get(gid.seq)
@@ -344,14 +461,13 @@ impl<T: Send + Clone + 'static> ElementRead<ListGid> for PList<T> {
     }
 
     fn is_local(&self, gid: ListGid) -> bool {
-        self.owner_of(gid.bcid) == self.me()
+        self.obj.local().lm.get(gid.bcid).is_some()
     }
 }
 
 impl<T: Send + Clone + 'static> ElementWrite<ListGid> for PList<T> {
     fn set_element(&self, gid: ListGid, v: T) {
-        let owner = self.owner_of(gid.bcid);
-        self.obj.invoke_at(owner, move |cell, _| {
+        self.route(gid.bcid, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
             let ths = rep.ths.clone();
@@ -366,8 +482,7 @@ impl<T: Send + Clone + 'static> ElementWrite<ListGid> for PList<T> {
     where
         F: FnOnce(&mut T) + Send + 'static,
     {
-        let owner = self.owner_of(gid.bcid);
-        self.obj.invoke_at(owner, move |cell, _| {
+        self.route(gid.bcid, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
             let ths = rep.ths.clone();
@@ -383,14 +498,14 @@ impl<T: Send + Clone + 'static> ElementWrite<ListGid> for PList<T> {
         R: Send + 'static,
         F: FnOnce(&mut T) -> R + Send + 'static,
     {
-        let owner = self.owner_of(gid.bcid);
-        self.obj.invoke_ret_at(owner, move |cell, _| {
+        self.route_ret(gid.bcid, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
             let ths = rep.ths.clone();
             let _g = ths.guard(methods::APPLY, gid.seq, gid.bcid);
             f(rep.bc_mut(gid.bcid).get_mut(gid.seq).expect("pList: GID does not name a live element"))
         })
+        .get()
     }
 }
 
@@ -437,8 +552,7 @@ impl<T: Send + Clone + 'static> SequenceContainer<ListGid> for PList<T> {
     }
 
     fn insert_before_async(&self, gid: ListGid, v: T) {
-        let owner = self.owner_of(gid.bcid);
-        self.obj.invoke_at(owner, move |cell, _| {
+        self.route(gid.bcid, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
             let ths = rep.ths.clone();
@@ -448,8 +562,7 @@ impl<T: Send + Clone + 'static> SequenceContainer<ListGid> for PList<T> {
     }
 
     fn erase_async(&self, gid: ListGid) {
-        let owner = self.owner_of(gid.bcid);
-        self.obj.invoke_at(owner, move |cell, _| {
+        self.route(gid.bcid, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
             let ths = rep.ths.clone();
@@ -632,6 +745,85 @@ mod tests {
             assert_eq!(l.insert_before(g, 2), None);
             assert_eq!(l.try_get(g), None);
             assert!(!l.contains(g));
+        });
+    }
+
+    #[test]
+    fn migrate_bcontainer_moves_slab_and_access_self_heals() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let l: PList<u64> = PList::new(loc);
+            let mine: Vec<ListGid> =
+                (0..4).map(|i| l.push_anywhere(loc.id() as u64 * 10 + i)).collect();
+            l.commit();
+            assert_eq!(l.global_size(), 12);
+            let all: Vec<Vec<ListGid>> = loc.allgather(mine.clone());
+            let g1 = all[1][0]; // first element of location 1's slab
+            // Warm caches/hints: everyone reads location 1's element.
+            assert_eq!(l.try_get(g1), Some(10));
+            loc.barrier();
+            // Location 0 migrates location 1's base container to location 2.
+            if loc.id() == 0 {
+                l.migrate_bcontainer(1, 2);
+            }
+            loc.rmi_fence();
+            assert_eq!(l.local_size(), if loc.id() == 2 { 8 } else if loc.id() == 1 { 0 } else { 4 });
+            // Stale hints and cached owners must self-heal.
+            assert_eq!(l.try_get(g1), Some(10));
+            assert!(l.contains(g1));
+            // Separate the read phase from the write phase: without this a
+            // fast location's set below could race a slow one's read above.
+            loc.barrier();
+            l.set_element(g1, 99);
+            loc.rmi_fence();
+            assert_eq!(l.try_get(g1), Some(99));
+            l.commit();
+            assert_eq!(l.global_size(), 12);
+            // Migration never changes the global linearization (bcid order).
+            assert_eq!(
+                l.collect_ordered(),
+                vec![0, 1, 2, 3, 99, 11, 12, 13, 20, 21, 22, 23]
+            );
+        });
+    }
+
+    #[test]
+    fn push_back_follows_migrated_tail_bcontainer() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let l: PList<i32> = PList::new(loc);
+            // Migrate the tail base container (bcid 1, born on loc 1) to 0.
+            if loc.id() == 0 {
+                l.migrate_bcontainer(1, 0);
+            }
+            loc.rmi_fence();
+            if loc.id() == 1 {
+                l.push_back(42);
+            }
+            l.commit();
+            assert_eq!(l.collect_ordered(), vec![42]);
+            let back = l.back_gid().unwrap();
+            assert_eq!(back.bcid, 1);
+            if loc.id() == 0 {
+                assert!(l.is_local(back), "the tail slab now lives on location 0");
+            }
+        });
+    }
+
+    #[test]
+    fn push_anywhere_falls_back_when_all_local_bcontainers_migrated() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let l: PList<u32> = PList::new(loc);
+            if loc.id() == 0 {
+                l.migrate_bcontainer(1, 0);
+            }
+            loc.rmi_fence();
+            if loc.id() == 1 {
+                let gid = l.push_anywhere(7);
+                assert_eq!(gid.bcid, 1, "falls back to the birth container");
+                assert!(!l.is_local(gid));
+                assert_eq!(l.try_get(gid), Some(7));
+            }
+            l.commit();
+            assert_eq!(l.global_size(), 1);
         });
     }
 }

@@ -13,7 +13,10 @@ const NIL: usize = usize::MAX;
 
 struct Node<T> {
     seq: u64,
-    val: T,
+    /// `None` only while the slot sits on the free list: erase moves the
+    /// value out so it drops immediately instead of lingering until the
+    /// slot is reused.
+    val: Option<T>,
     prev: usize,
     next: usize,
 }
@@ -57,7 +60,7 @@ impl<T> SlabList<T> {
     fn alloc(&mut self, val: T) -> (u64, usize) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let node = Node { seq, val, prev: NIL, next: NIL };
+        let node = Node { seq, val: Some(val), prev: NIL, next: NIL };
         let slot = match self.free.pop() {
             Some(s) => {
                 self.nodes[s] = node;
@@ -117,11 +120,9 @@ impl<T> SlabList<T> {
         Some(seq)
     }
 
-    /// Removes the element with id `seq`, returning its value.
-    pub fn erase(&mut self, seq: u64) -> Option<T>
-    where
-        T: Clone,
-    {
+    /// Removes the element with id `seq`, returning its value (moved out,
+    /// so it drops as soon as the caller is done with it).
+    pub fn erase(&mut self, seq: u64) -> Option<T> {
         let slot = self.index.remove(&seq)?;
         let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
         if prev == NIL {
@@ -135,16 +136,16 @@ impl<T> SlabList<T> {
             self.nodes[next].prev = prev;
         }
         self.free.push(slot);
-        Some(self.nodes[slot].val.clone())
+        self.nodes[slot].val.take()
     }
 
     pub fn get(&self, seq: u64) -> Option<&T> {
-        self.index.get(&seq).map(|&s| &self.nodes[s].val)
+        self.index.get(&seq).and_then(|&s| self.nodes[s].val.as_ref())
     }
 
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut T> {
         let &slot = self.index.get(&seq)?;
-        Some(&mut self.nodes[slot].val)
+        self.nodes[slot].val.as_mut()
     }
 
     pub fn contains(&self, seq: u64) -> bool {
@@ -188,11 +189,11 @@ impl<T> SlabList<T> {
 
     /// Bytes used: slab + index (metadata) and values (data).
     pub fn memory_bytes(&self) -> (usize, usize) {
-        let node_overhead = std::mem::size_of::<Node<T>>() - std::mem::size_of::<T>();
+        let node_overhead = std::mem::size_of::<Node<T>>() - std::mem::size_of::<Option<T>>();
         let meta = self.nodes.capacity() * node_overhead
             + self.free.capacity() * std::mem::size_of::<usize>()
             + self.index.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<usize>() * 2);
-        let data = self.nodes.capacity() * std::mem::size_of::<T>();
+        let data = self.nodes.capacity() * std::mem::size_of::<Option<T>>();
         (meta, data)
     }
 }
@@ -211,7 +212,7 @@ impl<'a, T> Iterator for SlabIter<'a, T> {
         }
         let node = &self.list.nodes[self.cur];
         self.cur = node.next;
-        Some((node.seq, &node.val))
+        Some((node.seq, node.val.as_ref().expect("linked node is live")))
     }
 }
 
@@ -289,6 +290,30 @@ mod tests {
         assert_eq!(l.nodes.len(), 1, "slab slot must be reused");
         assert!(!l.contains(a));
         assert!(l.contains(b));
+    }
+
+    #[test]
+    fn erase_drops_the_value_immediately() {
+        use std::rc::Rc;
+        let probe = Rc::new(5);
+        let mut l = SlabList::new();
+        let id = l.push_back(probe.clone());
+        assert_eq!(Rc::strong_count(&probe), 2);
+        let out = l.erase(id).unwrap();
+        drop(out);
+        // The erased value must not linger inside the freed slab slot.
+        assert_eq!(Rc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn erase_works_without_clone() {
+        // Regression: erase used to require `T: Clone` and clone the value
+        // out of the slab.
+        struct NoClone(#[allow(dead_code)] u8);
+        let mut l = SlabList::new();
+        let id = l.push_back(NoClone(3));
+        assert!(l.erase(id).is_some());
+        assert!(l.is_empty());
     }
 
     #[test]

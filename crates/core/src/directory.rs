@@ -14,12 +14,43 @@
 //!   owner — one-way traffic, work migrates to the data.
 //! * **Two-phase** ("no forwarding"): the requester synchronously asks the
 //!   home for the owner, then ships the operation — an extra round trip.
+//!
+//! ## The locality layer: per-location owner caches
+//!
+//! Both protocols pay the home hop on *every* access, including for keys a
+//! location touches thousands of times in a row. The locality layer caches
+//! resolved `gid → (bcid, owner)` mappings at the requesting location (an
+//! [`OwnerCache`] embedded in the representative via
+//! [`HasDirectory::owner_cache`]) and routes straight to the cached owner:
+//!
+//! * a **hit** skips the home hop entirely — O(1) messages per access;
+//! * a **stale hit** (the element migrated since the entry was cached) is
+//!   detected at the target with [`HasDirectory::owns_gid`] and
+//!   *self-heals*: the target re-forwards the request through the
+//!   authoritative home (the paper's forwarding chain makes executing a
+//!   request after extra hops indistinguishable from executing it after
+//!   one), and piggybacks an invalidation back to the requester;
+//! * a **miss** resolves through the home as before, and the home sends
+//!   the authoritative mapping back to the requester (a cache fill).
+//!
+//! Delivery through the home is verified the same way: if the
+//! directory-recorded owner no longer stores the element (a
+//! [`dir_migrate`] in flight), the request bounces back through the home
+//! — boundedly — instead of executing against a missing element.
+//!
+//! Invalidation is three-tier: [`dir_insert`]/[`dir_remove`] update the
+//! caller's own cache eagerly; stale hits invalidate point-wise; and bulk
+//! moves (redistribute / rebalance) call [`dir_invalidate_all`], which
+//! bumps the cache *epoch* — a collective O(1) drop-everything (dead
+//! entries are evicted lazily). Stale entries are never a correctness
+//! problem, only a latency one, which is what makes the protocol safe
+//! without any coherence traffic.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use stapl_rts::{LocId, Location, RmiFuture};
+use stapl_rts::{Handle, LocId, Location, RmiFuture, RtsConfig};
 
 use crate::gid::{Bcid, Gid};
 use crate::pobject::PObject;
@@ -76,10 +107,141 @@ impl<G: Gid> DirectoryShard<G> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Owner cache
+// ---------------------------------------------------------------------
+
+/// A per-location cache of resolved `gid → (bcid, owner)` mappings with
+/// epoch-based bulk invalidation, consulted by [`dir_route`] /
+/// [`dir_route_ret`] before falling back to home-forwarding.
+///
+/// Entries are only ever *hints*: a stale entry routes the request to a
+/// location that no longer owns the element, which re-forwards it through
+/// the home (self-healing). The cache therefore needs no coherence
+/// protocol — point-wise invalidations and the epoch are pure latency
+/// optimizations.
+#[derive(Debug)]
+pub struct OwnerCache<G: Gid> {
+    enabled: bool,
+    capacity: usize,
+    epoch: Cell<u64>,
+    entries: RefCell<HashMap<G, (Bcid, LocId, u64)>>,
+}
+
+impl<G: Gid> OwnerCache<G> {
+    /// A cache holding at most `capacity` entries; `enabled = false` makes
+    /// every operation a no-op (the container then always home-routes).
+    pub fn new(enabled: bool, capacity: usize) -> Self {
+        OwnerCache {
+            enabled: enabled && capacity > 0,
+            capacity,
+            epoch: Cell::new(0),
+            entries: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// A cache configured from the runtime's `dir_cache` /
+    /// `dir_cache_capacity` knobs.
+    pub fn from_config(cfg: &RtsConfig) -> Self {
+        Self::new(cfg.dir_cache, cfg.dir_cache_capacity)
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current epoch; entries recorded under an older epoch are dead.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// The cached owner of `g`, if fresh.
+    pub fn lookup(&self, g: &G) -> Option<(Bcid, LocId)> {
+        if !self.enabled {
+            return None;
+        }
+        let mut entries = self.entries.borrow_mut();
+        match entries.get(g) {
+            Some(&(bcid, owner, epoch)) if epoch == self.epoch.get() => Some((bcid, owner)),
+            Some(_) => {
+                entries.remove(g);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Records an authoritative mapping. When the cache is full, entries
+    /// from dead epochs are purged first; if it is still full, an
+    /// arbitrary entry is evicted.
+    pub fn record(&self, g: G, bcid: Bcid, owner: LocId) {
+        if !self.enabled {
+            return;
+        }
+        let epoch = self.epoch.get();
+        let mut entries = self.entries.borrow_mut();
+        if entries.len() >= self.capacity && !entries.contains_key(&g) {
+            entries.retain(|_, &mut (_, _, e)| e == epoch);
+            if entries.len() >= self.capacity {
+                if let Some(&victim) = entries.keys().next() {
+                    entries.remove(&victim);
+                }
+            }
+        }
+        entries.insert(g, (bcid, owner, epoch));
+    }
+
+    /// Drops the entry for `g`, if any.
+    pub fn invalidate(&self, g: &G) {
+        if self.enabled {
+            self.entries.borrow_mut().remove(g);
+        }
+    }
+
+    /// Invalidates every entry by advancing the epoch — O(1), the bulk
+    /// invalidation used by redistribute / rebalance. Dead entries are
+    /// evicted lazily: on lookup, and wholesale when an insert finds the
+    /// cache full.
+    pub fn bump_epoch(&self) {
+        self.epoch.set(self.epoch.get() + 1);
+    }
+
+    /// Entries currently stored (stale ones are evicted lazily, so this
+    /// may count entries a lookup would reject).
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+
+    /// Approximate bytes used — counted as container metadata.
+    pub fn memory_size(&self) -> usize {
+        self.entries.borrow().len()
+            * (std::mem::size_of::<G>() + std::mem::size_of::<(Bcid, LocId, u64)>())
+    }
+}
+
 /// Representatives that embed a directory shard for GID type `G`.
 pub trait HasDirectory<G: Gid>: 'static {
     fn directory(&self) -> &DirectoryShard<G>;
     fn directory_mut(&mut self) -> &mut DirectoryShard<G>;
+
+    /// The caller-side owner cache, when this container participates in the
+    /// locality layer. The default (`None`) disables caching entirely.
+    fn owner_cache(&self) -> Option<&OwnerCache<G>> {
+        None
+    }
+
+    /// Whether the element `g` is currently stored on this representative.
+    /// This is the delivery check of the locality layer: every routed
+    /// request — optimistic (cached/hinted) *and* home-forwarded — is
+    /// verified at its target, and a request landing where `g` no longer
+    /// lives re-forwards through the home instead of executing against a
+    /// missing element. Answer honestly; a blanket `true` opts out of
+    /// verification (acceptable only for replicated state).
+    fn owns_gid(&self, g: &G) -> bool;
 }
 
 /// GID resolution protocol for dynamic containers (Fig. 51's comparison).
@@ -92,27 +254,98 @@ pub enum Resolution {
 }
 
 /// Records `g` → (`bcid`, `owner`) at `g`'s home location. Asynchronous;
-/// visible after the next fence.
+/// visible after the next fence. The caller's own owner cache is primed
+/// eagerly (it just learned the authoritative mapping).
 pub fn dir_insert<Rep, G>(obj: &PObject<Rep>, g: G, bcid: Bcid, owner: LocId)
 where
     Rep: HasDirectory<G>,
     G: Gid,
 {
+    if let Some(c) = obj.rep_cell().borrow().owner_cache() {
+        c.record(g, bcid, owner);
+    }
     let home = home_of(&g, obj.location().nlocs());
     obj.invoke_at(home, move |rep, _| {
         rep.borrow_mut().directory_mut().insert(g, bcid, owner);
     });
 }
 
-/// Deletes `g`'s directory entry. Asynchronous.
+/// Deletes `g`'s directory entry. Asynchronous. The caller's own cached
+/// owner for `g` is dropped eagerly.
 pub fn dir_remove<Rep, G>(obj: &PObject<Rep>, g: G)
 where
     Rep: HasDirectory<G>,
     G: Gid,
 {
+    if let Some(c) = obj.rep_cell().borrow().owner_cache() {
+        c.invalidate(&g);
+    }
     let home = home_of(&g, obj.location().nlocs());
     obj.invoke_at(home, move |rep, _| {
         rep.borrow_mut().directory_mut().remove(&g);
+    });
+}
+
+/// Drops every cached owner this location holds for `obj` by bumping the
+/// cache epoch. Call from every location of a collective bulk move
+/// (redistribute / rebalance): each location invalidates its own cache in
+/// O(1), no messages.
+pub fn dir_invalidate_all<Rep, G>(obj: &PObject<Rep>)
+where
+    Rep: HasDirectory<G>,
+    G: Gid,
+{
+    if let Some(c) = obj.rep_cell().borrow().owner_cache() {
+        c.bump_epoch();
+    }
+}
+
+/// Asynchronously migrates the element (or whole base container) behind
+/// `g` to location `dest`: routes to the current owner, `extract`s the
+/// payload there, ships it to `dest`, `install`s it, and only then
+/// re-registers `(g → dest_bcid, dest)` at the home — so the directory
+/// never points at a location the payload has not reached. The caches on
+/// the old owner and (on their next access) every peer self-heal.
+///
+/// The move is visible after the next fence; operations on `g` concurrent
+/// with the migration re-forward through the home (bounded) until the new
+/// registration lands.
+pub fn dir_migrate<Rep, G, P>(
+    obj: &PObject<Rep>,
+    policy: Resolution,
+    g: G,
+    dest: LocId,
+    dest_bcid: Bcid,
+    extract: impl FnOnce(&mut Rep) -> Option<P> + Send + 'static,
+    install: impl FnOnce(&mut Rep, P) + Send + 'static,
+) where
+    Rep: HasDirectory<G>,
+    G: Gid,
+    P: Send + 'static,
+{
+    let handle = obj.handle();
+    dir_route(obj, policy, g, move |cell, loc, found| {
+        assert!(found.is_some(), "dir_migrate: {g:?} is not registered in the directory");
+        if loc.id() == dest {
+            return;
+        }
+        let payload = extract(&mut cell.borrow_mut());
+        let Some(payload) = payload else { return };
+        if let Some(c) = cell.borrow().owner_cache() {
+            c.invalidate(&g);
+        }
+        loc.async_rmi(dest, handle, move |cell2: &RefCell<Rep>, loc2| {
+            let me = loc2.id();
+            install(&mut cell2.borrow_mut(), payload);
+            if let Some(c) = cell2.borrow().owner_cache() {
+                c.record(g, dest_bcid, me);
+            }
+            // Authoritative re-registration, strictly after landing.
+            let home = home_of(&g, loc2.nlocs());
+            loc2.async_rmi(home, handle, move |cell3: &RefCell<Rep>, _| {
+                cell3.borrow_mut().directory_mut().insert(g, dest_bcid, me);
+            });
+        });
     });
 }
 
@@ -126,41 +359,235 @@ where
     obj.invoke_ret_at(home, move |rep, _| rep.borrow().directory().get(&g))
 }
 
+/// Consults the owner cache (with hit/miss accounting), falling back to a
+/// caller-supplied static hint. Returns the guess — `(bcid, owner,
+/// guess-came-from-cache)` — and whether caching is active for `obj`.
+fn take_guess<Rep, G>(
+    obj: &PObject<Rep>,
+    g: &G,
+    hint: Option<(Bcid, LocId)>,
+) -> (Option<(Bcid, LocId, bool)>, bool)
+where
+    Rep: HasDirectory<G>,
+    G: Gid,
+{
+    let rep = obj.rep_cell().borrow();
+    let cache = rep.owner_cache().filter(|c| c.enabled());
+    let cache_on = cache.is_some();
+    if let Some(c) = cache {
+        if let Some((bcid, owner)) = c.lookup(g) {
+            obj.location().note_dir_cache_hit();
+            return (Some((bcid, owner, true)), cache_on);
+        }
+        // A hinted route is still one-hop; only count a miss when the
+        // request actually pays the home-location trip.
+        if hint.is_none() {
+            obj.location().note_dir_cache_miss();
+        }
+    }
+    (hint.map(|(b, o)| (b, o, false)), cache_on)
+}
+
+/// Re-forward budget for requests that land where `g` no longer lives
+/// (a migration in flight): each bounce goes back through the home, whose
+/// pending ownership update is delivered as the bouncing locations drain
+/// their queues. When the budget is exhausted the request executes at the
+/// directory-recorded owner anyway (the pre-locality-layer behavior).
+const FORWARD_RETRIES: u8 = 16;
+
+/// Where a home-resolved request is headed: everything needed to verify
+/// delivery and, on a mismatch, bounce back through the home.
+#[derive(Clone, Copy)]
+struct Delivery<G> {
+    handle: Handle,
+    g: G,
+    bcid: Bcid,
+    fill_to: Option<LocId>,
+    retries: u8,
+}
+
+/// Executes `f` at a location the directory believes owns the GID, after
+/// verifying with [`HasDirectory::owns_gid`] that it still does. On a
+/// mismatch (migration in flight) the request re-forwards through the
+/// home, `d.retries` more times at most; an exhausted budget executes `f`
+/// where the directory pointed, as the un-verified protocol did.
+fn deliver_verified<Rep, G, F>(rep: &RefCell<Rep>, loc: &Location, d: Delivery<G>, f: F)
+where
+    Rep: HasDirectory<G>,
+    G: Gid,
+    F: FnOnce(&RefCell<Rep>, &Location, Option<Bcid>) + Send + 'static,
+{
+    let owns = rep.borrow().owns_gid(&d.g);
+    if owns || d.retries == 0 {
+        f(rep, loc, Some(d.bcid));
+    } else {
+        send_via_home(loc, d.handle, d.g, d.fill_to, d.retries - 1, f);
+    }
+}
+
+/// Ships `f` through `g`'s home location: the home resolves the
+/// authoritative owner, optionally sends a cache fill to `fill_to`, and
+/// forwards `f` to the owner — where delivery is verified (see
+/// [`deliver_verified`]). `f` runs at the home with `None` when `g` is
+/// unknown.
+fn send_via_home<Rep, G, F>(
+    loc: &Location,
+    handle: Handle,
+    g: G,
+    fill_to: Option<LocId>,
+    retries: u8,
+    f: F,
+) where
+    Rep: HasDirectory<G>,
+    G: Gid,
+    F: FnOnce(&RefCell<Rep>, &Location, Option<Bcid>) + Send + 'static,
+{
+    let home = home_of(&g, loc.nlocs());
+    loc.async_rmi(home, handle, move |rep: &RefCell<Rep>, hloc| {
+        let entry = { rep.borrow().directory().get(&g) };
+        match entry {
+            None => f(rep, hloc, None),
+            Some((bcid, owner)) => {
+                match fill_to {
+                    Some(req) if req == hloc.id() => {
+                        if let Some(c) = rep.borrow().owner_cache() {
+                            c.record(g, bcid, owner);
+                        }
+                    }
+                    Some(req) => {
+                        hloc.async_rmi(req, handle, move |r2: &RefCell<Rep>, _| {
+                            if let Some(c) = r2.borrow().owner_cache() {
+                                c.record(g, bcid, owner);
+                            }
+                        });
+                    }
+                    None => {}
+                }
+                let d = Delivery { handle, g, bcid, fill_to, retries };
+                if owner == hloc.id() {
+                    deliver_verified(rep, hloc, d, f);
+                } else {
+                    // Method forwarding: migrate the computation.
+                    hloc.async_rmi(owner, handle, move |rep2: &RefCell<Rep>, loc2| {
+                        deliver_verified(rep2, loc2, d, f);
+                    });
+                }
+            }
+        }
+    });
+}
+
+/// Ships `f` straight to a guessed owner. The target confirms ownership
+/// with [`HasDirectory::owns_gid`]; a stale guess self-heals by
+/// re-forwarding through the home, piggybacking an invalidation back to
+/// the requester when the guess came from its cache.
+fn route_optimistic<Rep, G, F>(
+    obj: &PObject<Rep>,
+    g: G,
+    bcid: Bcid,
+    owner: LocId,
+    from_cache: bool,
+    fill_requester: bool,
+    f: F,
+) where
+    Rep: HasDirectory<G>,
+    G: Gid,
+    F: FnOnce(&RefCell<Rep>, &Location, Option<Bcid>) + Send + 'static,
+{
+    let handle = obj.handle();
+    let requester = obj.location().id();
+    obj.invoke_at(owner, move |rep: &RefCell<Rep>, tloc| {
+        let owns = rep.borrow().owns_gid(&g);
+        if owns {
+            f(rep, tloc, Some(bcid));
+            return;
+        }
+        tloc.note_dir_cache_stale();
+        if from_cache {
+            if requester == tloc.id() {
+                if let Some(c) = rep.borrow().owner_cache() {
+                    c.invalidate(&g);
+                }
+            } else {
+                tloc.async_rmi(requester, handle, move |r2: &RefCell<Rep>, _| {
+                    if let Some(c) = r2.borrow().owner_cache() {
+                        c.invalidate(&g);
+                    }
+                });
+            }
+        }
+        send_via_home::<Rep, G, F>(
+            tloc,
+            handle,
+            g,
+            fill_requester.then_some(requester),
+            FORWARD_RETRIES,
+            f,
+        );
+    });
+}
+
 /// Executes `f` on the location owning `g` (asynchronously), resolving
 /// through the directory with the chosen protocol. `f` receives
-/// `Some(bcid)` at the owner, or `None` (executed at the home for
-/// `Forwarding`, at the caller for `TwoPhase`) when `g` is unknown.
+/// `Some(bcid)` at the owner, or `None` when `g` is unknown (executed at
+/// the home for `Forwarding`, at the caller for `TwoPhase` — but see
+/// [`dir_route_hinted`] for how optimistic routes shift this to the home).
 pub fn dir_route<Rep, G, F>(obj: &PObject<Rep>, policy: Resolution, g: G, f: F)
 where
     Rep: HasDirectory<G>,
     G: Gid,
     F: FnOnce(&RefCell<Rep>, &Location, Option<Bcid>) + Send + 'static,
 {
+    dir_route_hinted(obj, policy, g, None, f)
+}
+
+/// [`dir_route`] with a caller-supplied *static hint* — the container's
+/// default (birth) owner of `g`, tried when the owner cache has no entry.
+/// A wrong hint self-heals exactly like a stale cache hit, so containers
+/// whose elements rarely move (e.g. pList base containers) get one-hop
+/// routing without any cache warm-up.
+///
+/// With a guess in hand (cached or hinted) both policies route
+/// identically; on a stale guess even `TwoPhase` heals through the
+/// forwarding chain, and `f` runs at the *home* with `None` when `g` is
+/// unknown.
+pub fn dir_route_hinted<Rep, G, F>(
+    obj: &PObject<Rep>,
+    policy: Resolution,
+    g: G,
+    hint: Option<(Bcid, LocId)>,
+    f: F,
+) where
+    Rep: HasDirectory<G>,
+    G: Gid,
+    F: FnOnce(&RefCell<Rep>, &Location, Option<Bcid>) + Send + 'static,
+{
+    let (guess, cache_on) = take_guess(obj, &g, hint);
+    if let Some((bcid, owner, from_cache)) = guess {
+        route_optimistic(obj, g, bcid, owner, from_cache, cache_on, f);
+        return;
+    }
     match policy {
         Resolution::Forwarding => {
-            let home = home_of(&g, obj.location().nlocs());
-            let handle = obj.handle();
-            obj.invoke_at(home, move |rep, loc| {
-                let entry = { rep.borrow().directory().get(&g) };
-                match entry {
-                    None => f(rep, loc, None),
-                    Some((bcid, owner)) => {
-                        if owner == loc.id() {
-                            f(rep, loc, Some(bcid));
-                        } else {
-                            // Method forwarding: migrate the computation.
-                            loc.async_rmi(owner, handle, move |rep2: &RefCell<Rep>, loc2| {
-                                f(rep2, loc2, Some(bcid));
-                            });
-                        }
-                    }
-                }
-            });
+            let me = obj.location().id();
+            send_via_home(
+                obj.location(),
+                obj.handle(),
+                g,
+                cache_on.then_some(me),
+                FORWARD_RETRIES,
+                f,
+            );
         }
         Resolution::TwoPhase => match dir_lookup(obj, g) {
             None => f(obj.rep_cell(), obj.location(), None),
             Some((bcid, owner)) => {
-                obj.invoke_at(owner, move |rep, loc| f(rep, loc, Some(bcid)));
+                if let Some(c) = obj.rep_cell().borrow().owner_cache() {
+                    c.record(g, bcid, owner);
+                }
+                // Delivery is verified like any optimistic route: the
+                // owner may have changed between the lookup and arrival.
+                route_optimistic(obj, g, bcid, owner, cache_on, cache_on, f);
             }
         },
     }
@@ -181,23 +608,65 @@ where
     R: Send + 'static,
     F: FnOnce(&RefCell<Rep>, &Location, Option<Bcid>) -> R + Send + 'static,
 {
+    dir_route_ret_hinted(obj, policy, g, None, f)
+}
+
+/// [`dir_route_ret`] with a static default-owner hint; see
+/// [`dir_route_hinted`].
+pub fn dir_route_ret_hinted<Rep, G, R, F>(
+    obj: &PObject<Rep>,
+    policy: Resolution,
+    g: G,
+    hint: Option<(Bcid, LocId)>,
+    f: F,
+) -> RmiFuture<R>
+where
+    Rep: HasDirectory<G>,
+    G: Gid,
+    R: Send + 'static,
+    F: FnOnce(&RefCell<Rep>, &Location, Option<Bcid>) -> R + Send + 'static,
+{
+    let (guess, cache_on) = take_guess(obj, &g, hint);
+    if let Some((bcid, owner, from_cache)) = guess {
+        let (token, fut) = obj.location().make_reply_slot::<R>();
+        route_optimistic(obj, g, bcid, owner, from_cache, cache_on, move |rep, loc, b| {
+            let r = f(rep, loc, b);
+            loc.reply(token, r);
+        });
+        return fut;
+    }
     match policy {
         Resolution::Forwarding => {
+            let me = obj.location().id();
             let (token, fut) = obj.location().make_reply_slot::<R>();
-            dir_route(obj, policy, g, move |rep, loc, bcid| {
-                let r = f(rep, loc, bcid);
-                loc.reply(token, r);
-            });
+            send_via_home(
+                obj.location(),
+                obj.handle(),
+                g,
+                cache_on.then_some(me),
+                FORWARD_RETRIES,
+                move |rep, loc, b| {
+                    let r = f(rep, loc, b);
+                    loc.reply(token, r);
+                },
+            );
             fut
         }
         Resolution::TwoPhase => match dir_lookup(obj, g) {
-            None => {
-                let r = f(obj.rep_cell(), obj.location(), None);
+            None => RmiFuture::ready(f(obj.rep_cell(), obj.location(), None)),
+            Some((bcid, owner)) => {
+                if let Some(c) = obj.rep_cell().borrow().owner_cache() {
+                    c.record(g, bcid, owner);
+                }
+                // Delivery is verified like any optimistic route: the
+                // owner may have changed between the lookup and arrival.
                 let (token, fut) = obj.location().make_reply_slot::<R>();
-                obj.location().reply(token, r);
+                route_optimistic(obj, g, bcid, owner, cache_on, cache_on, move |rep, loc, b| {
+                    let r = f(rep, loc, b);
+                    loc.reply(token, r);
+                });
                 fut
             }
-            Some((bcid, owner)) => obj.invoke_split_at(owner, move |rep, loc| f(rep, loc, Some(bcid))),
         },
     }
 }
@@ -205,10 +674,11 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stapl_rts::{execute, RtsConfig};
+    use stapl_rts::{execute, execute_collect, RtsConfig};
 
     struct Rep {
         dir: DirectoryShard<u64>,
+        cache: OwnerCache<u64>,
         values: HashMap<u64, i64>, // elements living on this location
     }
 
@@ -220,10 +690,25 @@ mod tests {
         fn directory_mut(&mut self) -> &mut DirectoryShard<u64> {
             &mut self.dir
         }
+
+        fn owner_cache(&self) -> Option<&OwnerCache<u64>> {
+            Some(&self.cache)
+        }
+
+        fn owns_gid(&self, g: &u64) -> bool {
+            self.values.contains_key(g)
+        }
     }
 
     fn setup(loc: &Location) -> PObject<Rep> {
-        let obj = PObject::register(loc, Rep { dir: DirectoryShard::new(), values: HashMap::new() });
+        let obj = PObject::register(
+            loc,
+            Rep {
+                dir: DirectoryShard::new(),
+                cache: OwnerCache::from_config(loc.config()),
+                values: HashMap::new(),
+            },
+        );
         loc.rmi_fence();
         // Each location owns gids congruent to its id mod nlocs, with
         // value gid*10; ownership is registered in the directory.
@@ -255,6 +740,47 @@ mod tests {
             assert!(h < 7);
             assert_eq!(h, home_of(&g, 7));
         }
+    }
+
+    #[test]
+    fn cache_basics_epoch_and_eviction() {
+        let c = OwnerCache::<u64>::new(true, 2);
+        assert!(c.is_empty());
+        c.record(1, 0, 0);
+        c.record(2, 1, 1);
+        assert_eq!(c.lookup(&1), Some((0, 0)));
+        assert_eq!(c.lookup(&2), Some((1, 1)));
+        // Capacity bound: a third entry evicts one of the existing two.
+        c.record(3, 2, 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(&3), Some((2, 2)));
+        // Point invalidation.
+        c.invalidate(&3);
+        assert_eq!(c.lookup(&3), None);
+        // Epoch bump kills every entry (lazily: the stale entry is evicted
+        // on its next lookup).
+        c.record(4, 3, 3);
+        c.bump_epoch();
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.lookup(&4), None);
+        // Dead-epoch entries also yield to capacity pressure.
+        c.record(5, 0, 0);
+        c.record(6, 1, 1);
+        c.bump_epoch();
+        c.record(7, 2, 2);
+        c.record(8, 3, 3);
+        assert_eq!(c.lookup(&7), Some((2, 2)));
+        assert_eq!(c.lookup(&8), Some((3, 3)));
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let c = OwnerCache::<u64>::new(false, 64);
+        c.record(1, 0, 0);
+        assert_eq!(c.lookup(&1), None);
+        assert!(c.is_empty());
+        let zero_cap = OwnerCache::<u64>::new(true, 0);
+        assert!(!zero_cap.enabled());
     }
 
     #[test]
@@ -351,6 +877,138 @@ mod tests {
             })
             .get();
             assert_eq!(v, 30);
+        });
+    }
+
+    #[test]
+    fn repeated_access_hits_cache_and_cuts_messages() {
+        let run = |dir_cache: bool| {
+            execute_collect(RtsConfig { dir_cache, ..RtsConfig::base() }, 4, |loc| {
+                let obj = setup(loc);
+                // Pick a hot gid owned by the next location and hammer it.
+                let hot = (loc.id() as u64 + 1) % loc.nlocs() as u64;
+                let before = loc.stats().remote_requests;
+                for _ in 0..50 {
+                    let v = dir_route_ret(&obj, Resolution::Forwarding, hot, move |rep, _, _| {
+                        rep.borrow().values[&hot]
+                    })
+                    .get();
+                    assert_eq!(v, hot as i64 * 10);
+                }
+                loc.rmi_fence();
+                (loc.stats().remote_requests - before, loc.stats())
+            })
+            .remove(0)
+        };
+        let (cached_reqs, stats) = run(true);
+        let (uncached_reqs, _) = run(false);
+        // The fill arrives asynchronously, so the first few accesses may
+        // miss; the vast majority must hit.
+        assert!(stats.dir_cache_hits >= 40 * 4, "hot key must hit: {stats:?}");
+        assert_eq!(stats.dir_cache_stale, 0);
+        assert!(
+            cached_reqs < uncached_reqs,
+            "cached routing must send fewer remote requests: {cached_reqs} !< {uncached_reqs}"
+        );
+    }
+
+    #[test]
+    fn stale_cache_hit_self_heals_and_invalidates() {
+        let snaps = execute_collect(RtsConfig { dir_cache: true, ..RtsConfig::base() }, 3, |loc| {
+            let obj = setup(loc);
+            // Location 0 warms its cache for gid 7 (owned by location 1).
+            if loc.id() == 0 {
+                let v =
+                    dir_route_ret(&obj, Resolution::Forwarding, 7, |rep, _, _| rep.borrow().values[&7])
+                        .get();
+                assert_eq!(v, 70);
+            }
+            loc.rmi_fence();
+            // Location 2 steals gid 7 from its owner.
+            if loc.id() == 2 {
+                let owner = dir_lookup(&obj, 7).unwrap().1;
+                let v = obj.invoke_ret_at(owner, |rep, _| rep.borrow_mut().values.remove(&7).unwrap());
+                obj.local_mut().values.insert(7, v);
+                dir_insert(&obj, 7, 2, 2);
+            }
+            loc.rmi_fence();
+            // Location 0's cached owner is now stale; the access must
+            // self-heal through the home and still observe the value.
+            if loc.id() == 0 {
+                let v = dir_route_ret(&obj, Resolution::Forwarding, 7, |rep, loc2, _| {
+                    assert_eq!(loc2.id(), 2, "must execute at the new owner");
+                    rep.borrow().values[&7]
+                })
+                .get();
+                assert_eq!(v, 70);
+                // The stale entry was invalidated and re-filled by the
+                // home; the next access goes straight to the new owner.
+                let v2 = dir_route_ret(&obj, Resolution::Forwarding, 7, |rep, loc2, _| {
+                    assert_eq!(loc2.id(), 2);
+                    rep.borrow().values[&7]
+                })
+                .get();
+                assert_eq!(v2, 70);
+            }
+            loc.rmi_fence();
+            loc.stats()
+        });
+        assert!(snaps[0].dir_cache_stale >= 1, "the stale path must have fired: {:?}", snaps[0]);
+    }
+
+    #[test]
+    fn hinted_route_skips_home_and_heals_wrong_hints() {
+        execute(RtsConfig { dir_cache: false, ..RtsConfig::base() }, 2, |loc| {
+            let obj = setup(loc);
+            // Correct hint: straight to the owner, works with caching off.
+            let owner1 = 1 % loc.nlocs();
+            let v = dir_route_ret_hinted(
+                &obj,
+                Resolution::Forwarding,
+                1,
+                Some((owner1, owner1)),
+                |rep, _, _| rep.borrow().values[&1],
+            )
+            .get();
+            assert_eq!(v, 10);
+            // Wrong hint: self-heals through the home.
+            let wrong = (owner1 + 1) % loc.nlocs();
+            let v = dir_route_ret_hinted(
+                &obj,
+                Resolution::Forwarding,
+                1,
+                Some((wrong, wrong)),
+                |rep, loc2, _| {
+                    assert_eq!(loc2.id(), 1 % loc2.nlocs());
+                    rep.borrow().values[&1]
+                },
+            )
+            .get();
+            assert_eq!(v, 10);
+        });
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_collectively() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let obj = setup(loc);
+            let peer_gid = (loc.id() as u64 + 1) % 2;
+            let _ = dir_route_ret(&obj, Resolution::Forwarding, peer_gid, move |rep, _, _| {
+                rep.borrow().values[&peer_gid]
+            })
+            .get();
+            loc.rmi_fence();
+            dir_invalidate_all(&obj);
+            assert!(
+                obj.local().cache.lookup(&peer_gid).is_none(),
+                "bump must invalidate this location's cached owners"
+            );
+            // Routing still works after the bulk invalidation.
+            let v = dir_route_ret(&obj, Resolution::Forwarding, peer_gid, move |rep, _, _| {
+                rep.borrow().values[&peer_gid]
+            })
+            .get();
+            assert_eq!(v, peer_gid as i64 * 10);
         });
     }
 }

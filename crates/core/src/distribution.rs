@@ -16,17 +16,31 @@ use crate::partition::{IndexPartition, IndexSubDomain, KeyPartition};
 pub struct IndexDistribution {
     partition: Box<dyn IndexPartition>,
     mapper: Box<dyn PartitionMapper>,
+    /// Incremented by every [`IndexDistribution::replace`]. Locality layers
+    /// (owner caches, views that memoize placement) compare epochs to
+    /// detect that a redistribute/rebalance invalidated their copies.
+    epoch: u64,
 }
 
 impl Clone for IndexDistribution {
     fn clone(&self) -> Self {
-        IndexDistribution { partition: self.partition.clone(), mapper: self.mapper.clone() }
+        IndexDistribution {
+            partition: self.partition.clone(),
+            mapper: self.mapper.clone(),
+            epoch: self.epoch,
+        }
     }
 }
 
 impl IndexDistribution {
     pub fn new(partition: Box<dyn IndexPartition>, mapper: Box<dyn PartitionMapper>) -> Self {
-        IndexDistribution { partition, mapper }
+        IndexDistribution { partition, mapper, epoch: 0 }
+    }
+
+    /// The distribution epoch: how many times this distribution has been
+    /// replaced since construction.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     pub fn partition(&self) -> &dyn IndexPartition {
@@ -66,10 +80,12 @@ impl IndexDistribution {
     }
 
     /// Replaces partition and mapper — the redistribution entry point
-    /// (Section V.G); the caller moves the data.
+    /// (Section V.G); the caller moves the data. Bumps the epoch so stale
+    /// placement copies can be detected.
     pub fn replace(&mut self, partition: Box<dyn IndexPartition>, mapper: Box<dyn PartitionMapper>) {
         self.partition = partition;
         self.mapper = mapper;
+        self.epoch += 1;
     }
 
     /// Approximate metadata bytes of the replicated distribution.
@@ -163,9 +179,12 @@ mod tests {
             Box::new(CyclicMapper::new(2)),
         );
         assert_eq!(d.locate(9).0, 1);
+        assert_eq!(d.epoch(), 0);
         d.replace(Box::new(BalancedPartition::new(10, 5)), Box::new(CyclicMapper::new(2)));
         assert_eq!(d.locate(9).0, 4);
         assert_eq!(d.locate(9).1, 0); // bcid 4 -> loc 0 cyclic over 2
+        assert_eq!(d.epoch(), 1, "replace must bump the distribution epoch");
+        assert_eq!(d.clone().epoch(), 1, "clones carry the epoch");
     }
 
     #[test]

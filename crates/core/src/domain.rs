@@ -386,15 +386,21 @@ impl<K: Ord + Clone> KeyDomain<K> {
 
 /// A domain restricted by a predicate, e.g. "every second element"
 /// (paper's filtered domain). Linearization order is inherited.
+///
+/// [`FiniteDomain::offset`] memoizes the last `(gid, offset)` it resolved
+/// and resumes the walk from there when the queried GID is not before it,
+/// so traversal-order offset queries — the common case in loops — cost
+/// O(n) in total instead of O(n²).
 #[derive(Clone)]
-pub struct FilteredDomain<D, F> {
+pub struct FilteredDomain<D: Domain, F> {
     pub base: D,
     pub filter: F,
+    cursor: std::cell::Cell<Option<(D::Gid, usize)>>,
 }
 
 impl<D: FiniteDomain, F: Fn(&D::Gid) -> bool> FilteredDomain<D, F> {
     pub fn new(base: D, filter: F) -> Self {
-        FilteredDomain { base, filter }
+        FilteredDomain { base, filter, cursor: std::cell::Cell::new(None) }
     }
 }
 
@@ -462,16 +468,40 @@ impl<D: FiniteDomain, F: Fn(&D::Gid) -> bool> FiniteDomain for FilteredDomain<D,
     }
 
     fn offset(&self, g: &Self::Gid) -> usize {
-        let mut n = 0;
-        let mut cur = self.first();
+        // Fast reject: a GID outside the domain would otherwise cost a
+        // full O(n) walk before panicking.
+        if !self.contains(g) {
+            self.not_in_domain(g);
+        }
+        // Resume from the memoized cursor when `g` is at or after it;
+        // restart from the front for backward queries.
+        let (mut cur, mut n) = match self.cursor.get() {
+            Some((cg, cn)) if cg == *g => return cn,
+            Some((cg, cn)) if self.base.less(&cg, g) => (Some(cg), cn),
+            _ => (self.first(), 0),
+        };
         while let Some(x) = cur {
             if x == *g {
+                self.cursor.set(Some((x, n)));
                 return n;
             }
             n += 1;
             cur = self.next(x);
         }
-        panic!("gid not in filtered domain");
+        self.not_in_domain(g);
+    }
+}
+
+impl<D: FiniteDomain, F: Fn(&D::Gid) -> bool> FilteredDomain<D, F> {
+    fn not_in_domain(&self, g: &D::Gid) -> ! {
+        panic!(
+            "gid {g:?} is not in the filtered domain (base holds {} gids, {} pass the filter; \
+             filtered range {:?}..={:?})",
+            self.base.size(),
+            self.size(),
+            self.first(),
+            self.last()
+        );
     }
 }
 
@@ -683,6 +713,63 @@ mod tests {
         assert_eq!(d.prev(4), Some(2));
         assert_eq!(d.offset(&6), 3);
         assert!(!d.contains(&3));
+    }
+
+    #[test]
+    fn filtered_offset_agrees_with_enumeration_in_any_order() {
+        let d = FilteredDomain::new(Range1d::new(0, 300), |g: &usize| g % 3 == 0);
+        // Forward traversal: offsets must agree with enumeration order.
+        let mut cur = d.first();
+        let mut n = 0;
+        while let Some(g) = cur {
+            assert_eq!(d.offset(&g), n);
+            n += 1;
+            cur = d.next(g);
+        }
+        assert_eq!(n, d.size());
+        // Backward and repeated queries after the cursor moved past them.
+        assert_eq!(d.offset(&0), 0);
+        assert_eq!(d.offset(&297), d.size() - 1);
+        assert_eq!(d.offset(&150), 50);
+        assert_eq!(d.offset(&0), 0);
+    }
+
+    #[test]
+    fn filtered_offset_loop_is_linear_not_quadratic() {
+        // Count predicate evaluations across a full traversal-order offset
+        // scan: the memoizing cursor keeps the total linear in the base
+        // size, where the old restart-from-first walk was quadratic.
+        let calls = std::cell::Cell::new(0usize);
+        let n = 2000usize;
+        let d = FilteredDomain::new(Range1d::new(0, n), |g: &usize| {
+            calls.set(calls.get() + 1);
+            g % 2 == 0
+        });
+        let mut cur = d.first();
+        while let Some(g) = cur {
+            std::hint::black_box(d.offset(&g));
+            cur = d.next(g);
+        }
+        // ~3n with the cursor; the quadratic walk needs ~n²/4 ≈ 1e6.
+        assert!(
+            calls.get() < 10 * n,
+            "offset loop evaluated the filter {} times for n = {n} — quadratic walk is back",
+            calls.get()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gid 3 is not in the filtered domain")]
+    fn filtered_offset_panic_names_filtered_out_gid() {
+        let d = FilteredDomain::new(Range1d::new(0, 10), |g: &usize| g % 2 == 0);
+        d.offset(&3);
+    }
+
+    #[test]
+    #[should_panic(expected = "gid 42 is not in the filtered domain (base holds 10 gids")]
+    fn filtered_offset_panic_describes_the_domain() {
+        let d = FilteredDomain::new(Range1d::new(0, 10), |g: &usize| g % 2 == 0);
+        d.offset(&42);
     }
 
     #[test]

@@ -57,8 +57,9 @@ pub mod thread_safety;
 pub mod prelude {
     pub use crate::bcontainer::{BaseContainer, MemSize};
     pub use crate::directory::{
-        dir_insert, dir_lookup, dir_remove, dir_route, dir_route_ret, home_of, DirectoryShard,
-        HasDirectory, Resolution,
+        dir_insert, dir_invalidate_all, dir_lookup, dir_migrate, dir_remove, dir_route,
+        dir_route_hinted, dir_route_ret, dir_route_ret_hinted, home_of, DirectoryShard,
+        HasDirectory, OwnerCache, Resolution,
     };
     pub use crate::distribution::{IndexDistribution, KeyDistribution};
     pub use crate::domain::{

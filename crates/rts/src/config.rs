@@ -1,9 +1,27 @@
-//! Runtime configuration: aggregation and the simulated machine model.
+//! Runtime configuration: aggregation, directory caching, adaptive
+//! flushing, and the simulated machine model.
 
 /// Configuration for one SPMD execution.
 ///
 /// The defaults model a single shared-memory node with moderate request
 /// aggregation, matching the paper's default ARMI settings.
+///
+/// ## Environment overrides
+///
+/// [`RtsConfig::default`] starts from [`RtsConfig::base`] and then applies
+/// environment overrides, so a whole test run can be swept without touching
+/// code (the CI test matrix drives these):
+///
+/// | variable                    | field                |
+/// |-----------------------------|----------------------|
+/// | `STAPL_AGGREGATION`         | `aggregation`        |
+/// | `STAPL_DIR_CACHE`           | `dir_cache` (0/1)    |
+/// | `STAPL_DIR_CACHE_CAPACITY`  | `dir_cache_capacity` |
+/// | `STAPL_FLUSH_AGE_US`        | `flush_age_us`       |
+///
+/// Explicit constructors ([`RtsConfig::unbuffered`],
+/// [`RtsConfig::with_aggregation`]) still win over the environment for the
+/// field they set.
 #[derive(Clone, Debug)]
 pub struct RtsConfig {
     /// Maximum number of RMI requests buffered per destination before the
@@ -23,20 +41,68 @@ pub struct RtsConfig {
     /// Additional busy-wait per *request* inside a cross-node batch, in
     /// nanoseconds (models serialization / bandwidth cost).
     pub internode_per_msg_delay_ns: u64,
+    /// Enables the per-location directory owner caches consulted by
+    /// `dir_route`/`dir_route_ret` before falling back to home-forwarding
+    /// (the BCL-style locality optimization for dynamic containers).
+    pub dir_cache: bool,
+    /// Maximum number of cached `gid → (bcid, owner)` entries per location
+    /// *per container*. When full, an arbitrary entry is evicted.
+    pub dir_cache_capacity: usize,
+    /// Adaptive flush age in microseconds. `0` (the default) flushes every
+    /// aggregation buffer as soon as a location goes idle — maximum
+    /// responsiveness, minimum batching. A non-zero age lets buffers for
+    /// cold destinations keep filling across brief waits: an idle location
+    /// only force-flushes buffers whose *oldest* request has waited longer
+    /// than this, so batching survives the frequent micro-waits of
+    /// synchronous methods while staleness stays bounded.
+    pub flush_age_us: u64,
 }
 
 impl Default for RtsConfig {
     fn default() -> Self {
+        Self::base().with_env_overrides()
+    }
+}
+
+impl RtsConfig {
+    /// The built-in defaults, with *no* environment overrides applied.
+    pub fn base() -> Self {
         RtsConfig {
             aggregation: 16,
             node_size: 0,
             internode_batch_delay_ns: 0,
             internode_per_msg_delay_ns: 0,
+            dir_cache: true,
+            dir_cache_capacity: 4096,
+            flush_age_us: 0,
         }
     }
-}
 
-impl RtsConfig {
+    /// Applies the `STAPL_*` environment overrides documented on
+    /// [`RtsConfig`] to this config.
+    pub fn with_env_overrides(self) -> Self {
+        self.with_overrides(|var| std::env::var(var).ok())
+    }
+
+    fn with_overrides(mut self, get: impl Fn(&str) -> Option<String>) -> Self {
+        fn parse<T: std::str::FromStr>(v: Option<String>) -> Option<T> {
+            v.and_then(|v| v.parse().ok())
+        }
+        if let Some(a) = parse::<usize>(get("STAPL_AGGREGATION")) {
+            self.aggregation = a.max(1);
+        }
+        if let Some(c) = parse::<u8>(get("STAPL_DIR_CACHE")) {
+            self.dir_cache = c != 0;
+        }
+        if let Some(c) = parse::<usize>(get("STAPL_DIR_CACHE_CAPACITY")) {
+            self.dir_cache_capacity = c;
+        }
+        if let Some(a) = parse::<u64>(get("STAPL_FLUSH_AGE_US")) {
+            self.flush_age_us = a;
+        }
+        self
+    }
+
     /// A config with no aggregation and no node model; useful in tests that
     /// reason about exact message counts.
     pub fn unbuffered() -> Self {
@@ -46,6 +112,13 @@ impl RtsConfig {
     /// A config with the given aggregation factor.
     pub fn with_aggregation(aggregation: usize) -> Self {
         RtsConfig { aggregation: aggregation.max(1), ..Self::default() }
+    }
+
+    /// A config with the directory owner caches switched off (every dynamic
+    /// access resolves through the home location, as in the plain paper
+    /// protocol).
+    pub fn without_dir_cache() -> Self {
+        RtsConfig { dir_cache: false, ..Self::default() }
     }
 
     /// A cluster-like config: nodes of `node_size` locations and the given
@@ -73,10 +146,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_is_single_node() {
-        let c = RtsConfig::default();
+    fn base_is_single_node() {
+        let c = RtsConfig::base();
         assert!(!c.cross_node(0, 7));
         assert!(c.aggregation > 1);
+        assert!(c.dir_cache);
+        assert!(c.dir_cache_capacity > 0);
+        assert_eq!(c.flush_age_us, 0);
     }
 
     #[test]
@@ -96,5 +172,35 @@ mod tests {
     #[test]
     fn aggregation_clamped_to_one() {
         assert_eq!(RtsConfig::with_aggregation(0).aggregation, 1);
+    }
+
+    #[test]
+    fn without_dir_cache_turns_caching_off() {
+        assert!(!RtsConfig::without_dir_cache().dir_cache);
+    }
+
+    #[test]
+    fn overrides_apply_and_clamp() {
+        // Exercised through the injection point rather than the process
+        // env: tests run concurrently and env mutation would race.
+        let fake = |var: &str| match var {
+            "STAPL_AGGREGATION" => Some("0".to_string()), // clamped to 1
+            "STAPL_DIR_CACHE" => Some("0".to_string()),
+            "STAPL_FLUSH_AGE_US" => Some("250".to_string()),
+            "STAPL_DIR_CACHE_CAPACITY" => Some("not a number".to_string()),
+            _ => None,
+        };
+        let c = RtsConfig::base().with_overrides(fake);
+        assert_eq!(c.aggregation, 1);
+        assert!(!c.dir_cache);
+        assert_eq!(c.flush_age_us, 250);
+        assert_eq!(c.dir_cache_capacity, RtsConfig::base().dir_cache_capacity);
+    }
+
+    #[test]
+    fn no_overrides_is_identity() {
+        let c = RtsConfig::base().with_overrides(|_| None);
+        assert_eq!(c.aggregation, RtsConfig::base().aggregation);
+        assert_eq!(c.dir_cache, RtsConfig::base().dir_cache);
     }
 }

@@ -21,7 +21,9 @@ pub struct RmiFuture<R> {
 }
 
 impl<R: 'static> RmiFuture<R> {
-    pub(crate) fn ready(r: R) -> Self {
+    /// A future that is already complete — the local fast path of
+    /// split-phase methods (no reply slot, no polling).
+    pub fn ready(r: R) -> Self {
         RmiFuture { inner: FutureInner::Ready(Cell::new(Some(r))) }
     }
 

@@ -73,12 +73,23 @@ pub(crate) struct Shared {
     pub stats: Stats,
 }
 
+/// One registry slot: the representative (until unregistered) plus the
+/// registered Rust type name, kept after unregistration so that a late RMI
+/// panics with the name of the p_object that died instead of only a number.
+struct RegEntry {
+    rep: Option<Rc<dyn Any>>,
+    type_name: &'static str,
+}
+
 struct LocInner {
     id: LocId,
     shared: Arc<Shared>,
     rx: Receiver<Batch>,
-    registry: RefCell<Vec<Option<Rc<dyn Any>>>>,
+    registry: RefCell<Vec<RegEntry>>,
     outbuf: RefCell<Vec<Vec<Request>>>,
+    /// When the oldest request in `outbuf[dest]` was enqueued; `None` for
+    /// an empty buffer. Drives the adaptive (age-based) flush.
+    outbuf_since: RefCell<Vec<Option<std::time::Instant>>>,
     slots: RefCell<HashMap<u64, Box<dyn Any>>>,
     next_slot: Cell<u64>,
 }
@@ -100,6 +111,7 @@ impl Location {
                 rx,
                 registry: RefCell::new(Vec::new()),
                 outbuf: RefCell::new((0..nlocs).map(|_| Vec::new()).collect()),
+                outbuf_since: RefCell::new(vec![None; nlocs]),
                 slots: RefCell::new(HashMap::new()),
                 next_slot: Cell::new(0),
             }),
@@ -146,6 +158,25 @@ impl Location {
     }
 
     // ------------------------------------------------------------------
+    // Directory-cache instrumentation (used by `stapl-core`'s directory)
+    // ------------------------------------------------------------------
+
+    /// Records one directory-routed request sent straight to a cached owner.
+    pub fn note_dir_cache_hit(&self) {
+        self.inner.shared.stats.dir_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one directory-routed request that paid the home-location hop.
+    pub fn note_dir_cache_miss(&self) {
+        self.inner.shared.stats.dir_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one stale cached-owner guess that re-forwarded through home.
+    pub fn note_dir_cache_stale(&self) {
+        self.inner.shared.stats.dir_cache_stale.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
     // p_object registry
     // ------------------------------------------------------------------
 
@@ -159,33 +190,63 @@ impl Location {
         let rc = Rc::new(rep);
         let mut reg = self.inner.registry.borrow_mut();
         let h = Handle(reg.len() as u32);
-        reg.push(Some(rc.clone() as Rc<dyn Any>));
+        reg.push(RegEntry {
+            rep: Some(rc.clone() as Rc<dyn Any>),
+            type_name: std::any::type_name::<T>(),
+        });
         (h, rc)
     }
 
     /// Removes a representative from the registry. Subsequent RMIs to this
-    /// handle on this location panic.
+    /// handle on this location panic, naming the unregistered p_object.
     pub fn unregister(&self, h: Handle) {
         let mut reg = self.inner.registry.borrow_mut();
         if let Some(slot) = reg.get_mut(h.0 as usize) {
-            *slot = None;
+            slot.rep = None;
         }
     }
 
     /// Looks up the local representative registered under `h`.
     ///
     /// # Panics
-    /// Panics if the handle is unregistered or the type does not match.
+    /// Panics if the handle is unregistered or the type does not match; the
+    /// message names the registered p_object type so the failing RMI can be
+    /// traced to a container, not just a numeric handle.
     pub fn lookup<T: 'static>(&self, h: Handle) -> Rc<T> {
         let reg = self.inner.registry.borrow();
-        let rc = reg
-            .get(h.0 as usize)
-            .and_then(|s| s.as_ref())
-            .unwrap_or_else(|| panic!("stapl-rts: RMI to unregistered handle {:?}", h))
+        let entry = reg.get(h.0 as usize).unwrap_or_else(|| {
+            panic!(
+                "stapl-rts: RMI to handle {:?} on location {}, but only {} p_objects were ever \
+                 registered here (registration is collective — did a location skip a constructor?)",
+                h,
+                self.id(),
+                reg.len()
+            )
+        });
+        let rc = entry
+            .rep
+            .as_ref()
+            .unwrap_or_else(|| {
+                panic!(
+                    "stapl-rts: RMI delivered to handle {:?} on location {} after its p_object \
+                     `{}` was unregistered (the object was destroyed while requests to it were \
+                     still in flight — fence before dropping p_objects)",
+                    h,
+                    self.id(),
+                    entry.type_name
+                )
+            })
             .clone();
+        let registered = entry.type_name;
         drop(reg);
-        rc.downcast::<T>()
-            .unwrap_or_else(|_| panic!("stapl-rts: handle {:?} registered with a different type", h))
+        rc.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "stapl-rts: handle {:?} is registered as `{}` but the RMI expected `{}`",
+                h,
+                registered,
+                std::any::type_name::<T>()
+            )
+        })
     }
 
     // ------------------------------------------------------------------
@@ -340,6 +401,11 @@ impl Location {
         shared.stats.remote_requests.fetch_add(1, Ordering::Relaxed);
         let flush_now = {
             let mut buf = self.inner.outbuf.borrow_mut();
+            // Timestamps are only needed by the adaptive flush; keep the
+            // clock read off the send path under the default eager policy.
+            if buf[dest].is_empty() && shared.cfg.flush_age_us != 0 {
+                self.inner.outbuf_since.borrow_mut()[dest] = Some(std::time::Instant::now());
+            }
             buf[dest].push(req);
             buf[dest].len() >= shared.cfg.aggregation
         };
@@ -355,6 +421,7 @@ impl Location {
             if buf[dest].is_empty() {
                 return;
             }
+            self.inner.outbuf_since.borrow_mut()[dest] = None;
             std::mem::take(&mut buf[dest])
         };
         let shared = &self.inner.shared;
@@ -370,6 +437,43 @@ impl Location {
             if dest != self.id() {
                 self.flush(dest);
             }
+        }
+    }
+
+    /// Flushes only the aggregation buffers whose oldest request has been
+    /// waiting at least `max_age` — the adaptive-flush primitive: young
+    /// buffers keep aggregating, aged ones are pushed out so a cold
+    /// destination cannot stall a request indefinitely.
+    ///
+    /// Buffer ages are only recorded when `RtsConfig::flush_age_us` is
+    /// non-zero (the default eager policy skips the clock read on the send
+    /// path), so this is a no-op under `flush_age_us == 0`.
+    pub fn flush_aged(&self, max_age: std::time::Duration) {
+        let now = std::time::Instant::now();
+        for dest in 0..self.nlocs() {
+            if dest == self.id() {
+                continue;
+            }
+            let aged = matches!(
+                self.inner.outbuf_since.borrow()[dest],
+                Some(since) if now.duration_since(since) >= max_age
+            );
+            if aged {
+                self.inner.shared.stats.aged_flushes.fetch_add(1, Ordering::Relaxed);
+                self.flush(dest);
+            }
+        }
+    }
+
+    /// The flush policy applied when this location goes idle: eager
+    /// (`flush_age_us == 0`, every buffer) or adaptive (only buffers older
+    /// than the configured age).
+    pub(crate) fn flush_idle(&self) {
+        let age = self.config().flush_age_us;
+        if age == 0 {
+            self.flush_all();
+        } else {
+            self.flush_aged(std::time::Duration::from_micros(age));
         }
     }
 
@@ -407,13 +511,15 @@ impl Location {
     /// A blocked location also flushes its own aggregation buffers —
     /// otherwise a request this location itself depends on (e.g. the first
     /// hop of a forwarded synchronous method) could sit buffered forever
-    /// while the location spins on the reply.
+    /// while the location spins on the reply. Under the adaptive flush
+    /// policy (`flush_age_us > 0`) only aged buffers go out, so brief
+    /// waits do not defeat aggregation; staleness stays bounded by the age.
     pub(crate) fn poll_or_relax(&self) {
         if self.inner.shared.barrier.poisoned.load(Ordering::Relaxed) {
             panic!("stapl-rts: a peer location panicked while this location waited");
         }
         if self.poll() == 0 {
-            self.flush_all();
+            self.flush_idle();
             std::thread::yield_now();
         }
     }
@@ -433,7 +539,7 @@ impl Location {
         let me = self.clone();
         self.inner.shared.barrier.wait(move || {
             if me.poll() == 0 {
-                me.flush_all();
+                me.flush_idle();
             }
         });
     }

@@ -293,6 +293,98 @@ mod tests {
     }
 
     #[test]
+    fn unregistered_handle_panic_names_the_p_object() {
+        execute(RtsConfig::default(), 1, |loc| {
+            let (h, _rep) = loc.register(RefCell::new(String::from("payload")));
+            loc.unregister(h);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                loc.lookup::<RefCell<String>>(h);
+            }))
+            .expect_err("lookup of an unregistered handle must panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .expect("panic payload should be a string");
+            // The message must name the dead p_object's type, not just a
+            // numeric handle, so the failing container can be identified.
+            assert!(msg.contains("RefCell"), "panic must name the type: {msg}");
+            assert!(msg.contains("String"), "panic must name the type: {msg}");
+            assert!(msg.contains("unregistered"), "panic must say what happened: {msg}");
+        });
+    }
+
+    #[test]
+    fn type_mismatch_panic_names_both_types() {
+        execute(RtsConfig::default(), 1, |loc| {
+            let (h, _rep) = loc.register(RefCell::new(7u32));
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                loc.lookup::<RefCell<i64>>(h);
+            }))
+            .expect_err("type-mismatched lookup must panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .expect("panic payload should be a string");
+            assert!(msg.contains("u32"), "panic must name the registered type: {msg}");
+            assert!(msg.contains("i64"), "panic must name the expected type: {msg}");
+        });
+    }
+
+    #[test]
+    fn flush_aged_skips_young_buffers_and_flushes_old_ones() {
+        // flush_age_us must be non-zero for buffer ages to be recorded.
+        let cfg = RtsConfig { aggregation: 1024, flush_age_us: 60_000_000, ..RtsConfig::base() };
+        execute(cfg, 2, |loc| {
+            let (h, rep) = loc.register(RefCell::new(0u64));
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                for _ in 0..5 {
+                    loc.async_rmi(1, h, |c: &RefCell<u64>, _| *c.borrow_mut() += 1);
+                }
+                let before = loc.stats().batches_sent;
+                // A young buffer must keep aggregating.
+                loc.flush_aged(std::time::Duration::from_secs(3600));
+                assert_eq!(loc.stats().batches_sent, before, "young buffer must not flush");
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                loc.flush_aged(std::time::Duration::from_millis(1));
+                assert_eq!(loc.stats().batches_sent, before + 1, "aged buffer must flush");
+                assert!(loc.stats().aged_flushes >= 1);
+            }
+            loc.rmi_fence();
+            if loc.id() == 1 {
+                assert_eq!(*rep.borrow(), 5);
+            }
+        });
+    }
+
+    #[test]
+    fn adaptive_flush_delivers_while_blocked() {
+        // With a non-zero flush age and huge aggregation, a buffered async
+        // only leaves through the adaptive flush in the idle loop; the
+        // waiting peer must still observe it (bounded staleness).
+        let cfg = RtsConfig { aggregation: 1024, flush_age_us: 500, ..RtsConfig::base() };
+        execute(cfg, 2, |loc| {
+            let (h, rep) = loc.register(RefCell::new(0u64));
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                loc.async_rmi(1, h, |c: &RefCell<u64>, _| *c.borrow_mut() = 1);
+            } else {
+                while *rep.borrow() == 0 {
+                    loc.poll();
+                    std::thread::yield_now();
+                }
+            }
+            // Location 0 idles at this barrier; its buffered request ages
+            // out and flushes from the barrier's poll loop, releasing
+            // location 1's spin above.
+            loc.barrier();
+            loc.rmi_fence();
+        });
+    }
+
+    #[test]
     fn many_locations_smoke() {
         execute(RtsConfig::default(), 16, |loc| {
             let (h, rep) = loc.register(RefCell::new(0u64));

@@ -22,6 +22,18 @@ pub(crate) struct Stats {
     pub tasks_stolen: AtomicU64,
     /// Steal probes issued by idle executors (successful or not).
     pub steal_requests: AtomicU64,
+    /// Directory-routed requests sent straight to a cached owner (the
+    /// optimistic one-hop path that skips the home location).
+    pub dir_cache_hits: AtomicU64,
+    /// Directory-routed requests that had no usable cache entry and paid
+    /// the home-location hop (counted only when caching is enabled).
+    pub dir_cache_misses: AtomicU64,
+    /// Cached-owner guesses that turned out stale: the element had moved,
+    /// and the request self-healed by re-forwarding through its home.
+    pub dir_cache_stale: AtomicU64,
+    /// Aggregation buffers force-flushed because their oldest request
+    /// exceeded `flush_age_us` (the adaptive-flush path).
+    pub aged_flushes: AtomicU64,
 }
 
 impl Stats {
@@ -35,6 +47,10 @@ impl Stats {
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
             tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
             steal_requests: self.steal_requests.load(Ordering::Relaxed),
+            dir_cache_hits: self.dir_cache_hits.load(Ordering::Relaxed),
+            dir_cache_misses: self.dir_cache_misses.load(Ordering::Relaxed),
+            dir_cache_stale: self.dir_cache_stale.load(Ordering::Relaxed),
+            aged_flushes: self.aged_flushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -51,6 +67,10 @@ pub struct StatsSnapshot {
     pub tasks_executed: u64,
     pub tasks_stolen: u64,
     pub steal_requests: u64,
+    pub dir_cache_hits: u64,
+    pub dir_cache_misses: u64,
+    pub dir_cache_stale: u64,
+    pub aged_flushes: u64,
 }
 
 impl StatsSnapshot {
@@ -71,6 +91,18 @@ impl StatsSnapshot {
             0.0
         } else {
             self.tasks_stolen as f64 / self.tasks_executed as f64
+        }
+    }
+
+    /// Fraction of directory-routed requests served by the owner cache
+    /// (one-hop instead of home-forwarding). Stale guesses still count as
+    /// hits here; subtract `dir_cache_stale` for the useful-hit rate.
+    pub fn dir_cache_hit_rate(&self) -> f64 {
+        let total = self.dir_cache_hits + self.dir_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dir_cache_hits as f64 / total as f64
         }
     }
 
@@ -95,6 +127,13 @@ mod tests {
         assert_eq!(s.aggregation_ratio(), 0.0);
         assert_eq!(s.remote_fraction(), 0.0);
         assert_eq!(s.steal_fraction(), 0.0);
+        assert_eq!(s.dir_cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn dir_cache_hit_rate_computes() {
+        let s = StatsSnapshot { dir_cache_hits: 30, dir_cache_misses: 10, ..Default::default() };
+        assert!((s.dir_cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
