@@ -34,9 +34,11 @@ pub mod prelude {
     };
     pub use crate::list_ranking::{list_positions, list_rank_after, NIL};
     pub use crate::map_func::{
-        p_accumulate, p_adjacent_difference, p_copy, p_count_if, p_equal, p_fill, p_find_if,
-        p_for_each, p_for_each_view, p_generate, p_generate_view, p_inner_product, p_max_element,
+        p_accumulate, p_adjacent_difference, p_copy, p_copy_elementwise, p_count_if, p_equal,
+        p_equal_elementwise, p_fill, p_find_if, p_for_each, p_for_each_view, p_generate,
+        p_generate_view, p_inner_product, p_inner_product_elementwise, p_max_element,
         p_min_element, p_reduce, p_reduce_view, p_replace_if, p_sum, p_transform,
+        p_transform_elementwise,
     };
     pub use crate::mapreduce::{map_reduce, synthetic_corpus, word_count};
     pub use crate::numeric::{p_partial_sum, p_prefix_sum_i64, p_prefix_sum_u64};

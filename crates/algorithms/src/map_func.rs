@@ -10,13 +10,20 @@
 //!   pMatrix, which is exactly the genericity Fig. 40 and Fig. 60
 //!   measure.
 //! * **View-based** algorithms (suffix `_view`) take any
-//!   [`ViewRead`]/[`ViewWrite`] and process the view's `local_chunks`,
-//!   paying element-access routing where the view is not aligned.
+//!   [`ViewRead`]/[`ViewWrite`] and process the view's chunks through the
+//!   chunk-at-a-time primitives (`for_each_chunk`/`fill_from`/
+//!   `apply_chunks`): localized views run at slice speed, unlocalized
+//!   ones pay element-access routing.
+//!
+//! The `p_copy`/`p_transform`/`p_equal`/`p_inner_product` family requires
+//! [`RangedContainer`] and moves data as **one bulk RMI per (owner,
+//! contiguous run)** — O(runs) messages on misaligned distributions where
+//! the `_elementwise` fallbacks (for pList/pMatrix-style GIDs) pay O(N).
 //!
 //! All algorithms are **collective**.
 
 use stapl_core::gid::Gid;
-use stapl_core::interfaces::{ElementWrite, LocalIteration};
+use stapl_core::interfaces::{ElementWrite, LocalIteration, RangedContainer};
 use stapl_views::view::{ViewRead, ViewWrite};
 
 /// `p_generate`: assigns `gen(gid)` to every element.
@@ -120,10 +127,16 @@ where
     C: LocalIteration<G>,
     P: Fn(&C::Value) -> bool,
 {
+    // Short-circuiting scan: stop walking local storage at the first match
+    // (containers with early-exit support stop immediately; others fall
+    // back to a suppressed full walk).
     let mut found: Option<G> = None;
-    c.for_each_local(|g, v| {
-        if found.is_none() && pred(v) {
+    c.try_for_each_local(|g, v| {
+        if pred(v) {
             found = Some(g);
+            false
+        } else {
+            true
         }
     });
     c.location().allreduce(found, |a, b| a.or(b))
@@ -157,18 +170,24 @@ where
     )
 }
 
-/// `p_fill`: sets every element to `v`.
+/// `p_fill`: sets every element to `v`. Containers exposing contiguous
+/// storage are filled one slice at a time — one clone of `v` handed to
+/// `slice::fill` per chunk instead of one clone per element.
 pub fn p_fill<C, G>(c: &C, v: C::Value)
 where
     G: Gid,
     C: LocalIteration<G>,
     C::Value: Clone,
 {
-    c.for_each_local_mut(|_, slot| *slot = v.clone());
+    let chunked = c.try_local_slices_mut(&mut |s: &mut [C::Value]| s.fill(v.clone()));
+    if !chunked {
+        c.for_each_local_mut(|_, slot| *slot = v.clone());
+    }
     c.location().rmi_fence();
 }
 
-/// `p_replace_if`.
+/// `p_replace_if`: chunk-at-a-time where the container exposes slices
+/// (no per-element closure dispatch through the GID iteration).
 pub fn p_replace_if<C, G, P>(c: &C, pred: P, with: C::Value)
 where
     G: Gid,
@@ -176,17 +195,51 @@ where
     C::Value: Clone,
     P: Fn(&C::Value) -> bool,
 {
-    c.for_each_local_mut(|_, v| {
-        if pred(v) {
-            *v = with.clone();
+    let chunked = c.try_local_slices_mut(&mut |s: &mut [C::Value]| {
+        for v in s {
+            if pred(v) {
+                *v = with.clone();
+            }
         }
     });
+    if !chunked {
+        c.for_each_local_mut(|_, v| {
+            if pred(v) {
+                *v = with.clone();
+            }
+        });
+    }
     c.location().rmi_fence();
 }
 
-/// `p_copy`: copies `src` into `dst` element-wise by GID. When the two
-/// containers share a distribution every transfer is local.
-pub fn p_copy<S, D, G>(src: &S, dst: &D)
+/// `p_copy`: copies `src` into `dst` chunk-at-a-time: each local run of
+/// `src` is borrowed as one slice and shipped with one bulk RMI per
+/// misaligned (owner, run) of `dst` — O(runs) messages where the
+/// element-wise path pays O(N). Aligned distributions degenerate to pure
+/// slice-to-slice copies.
+///
+/// `src` and `dst` must be distinct containers: copying a container onto
+/// itself borrows the same representative for reading and writing and
+/// panics (true of the element-wise variant as well).
+pub fn p_copy<S, D>(src: &S, dst: &D)
+where
+    S: RangedContainer,
+    D: RangedContainer<Value = S::Value>,
+{
+    for (bcid, piece) in src.local_pieces() {
+        let served = src.with_slice(bcid, piece, |s| dst.set_range_slice(piece.lo, s));
+        if served.is_none() {
+            // Non-sliceable storage: still one buffer per run.
+            let vals = src.get_range(piece);
+            dst.set_range(piece.lo, vals);
+        }
+    }
+    src.location().rmi_fence();
+}
+
+/// `p_copy` for containers without bulk-range transport (non-`usize`
+/// GIDs: pList, pMatrix, …): one `set_element` per element.
+pub fn p_copy_elementwise<S, D, G>(src: &S, dst: &D)
 where
     G: Gid,
     S: LocalIteration<G>,
@@ -196,8 +249,27 @@ where
     src.location().rmi_fence();
 }
 
-/// `p_transform`: `dst[g] = f(src[g])`.
-pub fn p_transform<S, D, G, F, W>(src: &S, dst: &D, f: F)
+/// `p_transform`: `dst[g] = f(src[g])`, chunk-at-a-time: each local run
+/// of `src` is mapped through `f` into one buffer and written with one
+/// bulk RMI per (owner, run) of `dst`.
+pub fn p_transform<S, D, F, W>(src: &S, dst: &D, f: F)
+where
+    S: RangedContainer,
+    D: RangedContainer<Value = W>,
+    W: Send + Clone + 'static,
+    F: Fn(&S::Value) -> W,
+{
+    for (bcid, piece) in src.local_pieces() {
+        let vals = src
+            .with_slice(bcid, piece, |s| s.iter().map(&f).collect::<Vec<W>>())
+            .unwrap_or_else(|| src.get_range(piece).iter().map(&f).collect());
+        dst.set_range(piece.lo, vals);
+    }
+    src.location().rmi_fence();
+}
+
+/// `p_transform` for containers without bulk-range transport.
+pub fn p_transform_elementwise<S, D, G, F, W>(src: &S, dst: &D, f: F)
 where
     G: Gid,
     S: LocalIteration<G>,
@@ -209,9 +281,31 @@ where
     src.location().rmi_fence();
 }
 
-/// `p_equal`: true when both containers hold equal elements at every GID
-/// of `a`'s local iteration.
-pub fn p_equal<A, B, G>(a: &A, b: &B) -> bool
+/// `p_equal`: true when both containers hold equal elements at every GID.
+/// Chunk-at-a-time: each local run of `a` is compared as one slice
+/// against one bulk fetch of `b`'s range, short-circuiting across runs
+/// after the first mismatch.
+pub fn p_equal<A, B>(a: &A, b: &B) -> bool
+where
+    A: RangedContainer,
+    B: RangedContainer<Value = A::Value>,
+    A::Value: PartialEq,
+{
+    let mut ok = true;
+    for (bcid, piece) in a.local_pieces() {
+        if !ok {
+            break;
+        }
+        let theirs = b.get_range(piece);
+        ok = a
+            .with_slice(bcid, piece, |s| s == &theirs[..])
+            .unwrap_or_else(|| a.get_range(piece) == theirs);
+    }
+    a.location().allreduce(ok, |x, y| x && y)
+}
+
+/// `p_equal` for containers without bulk-range transport.
+pub fn p_equal_elementwise<A, B, G>(a: &A, b: &B) -> bool
 where
     G: Gid,
     A: LocalIteration<G>,
@@ -219,16 +313,40 @@ where
     A::Value: PartialEq,
 {
     let mut ok = true;
-    a.for_each_local(|g, v| {
-        if ok && b.get_element(g) != *v {
+    a.try_for_each_local(|g, v| {
+        if b.get_element(g) != *v {
             ok = false;
         }
+        ok
     });
     a.location().allreduce(ok, |x, y| x && y)
 }
 
-/// `p_inner_product` over two u64 containers sharing GIDs.
-pub fn p_inner_product<A, B, G>(a: &A, b: &B) -> u64
+/// `p_inner_product` over two u64 containers sharing GIDs, one slice /
+/// bulk fetch per run.
+pub fn p_inner_product<A, B>(a: &A, b: &B) -> u64
+where
+    A: RangedContainer<Value = u64>,
+    B: RangedContainer<Value = u64>,
+{
+    let mut acc = 0u64;
+    for (bcid, piece) in a.local_pieces() {
+        let theirs = b.get_range(piece);
+        let dot = |s: &[u64]| {
+            s.iter()
+                .zip(&theirs)
+                .fold(0u64, |t, (x, y)| t.wrapping_add(x.wrapping_mul(*y)))
+        };
+        acc = acc.wrapping_add(
+            a.with_slice(bcid, piece, dot).unwrap_or_else(|| dot(&a.get_range(piece))),
+        );
+    }
+    a.location().allreduce_sum(acc)
+}
+
+/// `p_inner_product` for containers without bulk-range transport
+/// (non-`usize` GIDs: pList, pMatrix, …).
+pub fn p_inner_product_elementwise<A, B, G>(a: &A, b: &B) -> u64
 where
     G: Gid,
     A: LocalIteration<G, Value = u64>,
@@ -243,36 +361,31 @@ where
 // View-based variants
 // ---------------------------------------------------------------------
 
-/// `p_for_each` over a view: applies `f` at the owner of every element of
-/// this location's chunks.
+/// `p_for_each` over a view: chunk-at-a-time — localized views mutate
+/// their chunks through direct slice borrows (and one `apply_range` RMI
+/// per remote run); unlocalized views fall back to owner-side `apply`
+/// per element, exactly the old behavior.
 pub fn p_for_each_view<V, F>(v: &V, f: F)
 where
     V: ViewWrite,
     F: Fn(&mut V::Value) + Clone + Send + 'static,
 {
-    for ch in v.local_chunks() {
-        for k in ch.iter() {
-            v.apply(k, f.clone());
-        }
-    }
+    v.apply_chunks(f);
     v.location().rmi_fence();
 }
 
-/// `p_generate` over a view.
+/// `p_generate` over a view: values are produced per chunk and written
+/// with one slice write (local) or one bulk RMI (remote) per run.
 pub fn p_generate_view<V, F>(v: &V, gen: F)
 where
     V: ViewWrite,
     F: Fn(usize) -> V::Value,
 {
-    for ch in v.local_chunks() {
-        for k in ch.iter() {
-            v.set(k, gen(k));
-        }
-    }
+    v.fill_from(|r| r.iter().map(&gen).collect());
     v.location().rmi_fence();
 }
 
-/// Reduction over a view.
+/// Reduction over a view, folding one chunk slice at a time.
 pub fn p_reduce_view<V, A, M, R>(v: &V, map: M, combine: R) -> Option<A>
 where
     V: ViewRead,
@@ -281,15 +394,15 @@ where
     R: Fn(A, A) -> A + Copy,
 {
     let mut acc: Option<A> = None;
-    for ch in v.local_chunks() {
-        for k in ch.iter() {
-            let x = map(k, v.get(k));
+    v.for_each_chunk(|lo, s| {
+        for (k, val) in s.iter().enumerate() {
+            let x = map(lo + k, val.clone());
             acc = Some(match acc.take() {
                 None => x,
                 Some(a) => combine(a, x),
             });
         }
-    }
+    });
     let partials = v.location().allgather(acc);
     partials.into_iter().flatten().reduce(combine)
 }
@@ -408,6 +521,100 @@ mod tests {
             let b = PArray::from_fn(loc, 10, |_| 2u64);
             assert_eq!(p_inner_product(&a, &b), 2 * (0..10).sum::<u64>());
             let _ = loc;
+        });
+    }
+
+    #[test]
+    fn copy_transform_equal_across_misaligned_distributions() {
+        use stapl_core::mapper::{CyclicMapper, GeneralMapper};
+        use stapl_core::partition::{BlockCyclicPartition, BlockedPartition, IndexPartition};
+        execute(RtsConfig::default(), 3, |loc| {
+            // src block-cyclic, dst blocked with rotated placement: every
+            // chunk boundary is misaligned.
+            let src = PArray::with_partition(
+                loc,
+                Box::new(BlockCyclicPartition::new(40, 3, 4)),
+                Box::new(CyclicMapper::new(loc.nlocs())),
+                0u64,
+            );
+            p_generate(&src, |g| g as u64 + 1);
+            let blocked = BlockedPartition::new(40, 9);
+            let parts = IndexPartition::num_subdomains(&blocked);
+            let dst = PArray::with_partition(
+                loc,
+                Box::new(blocked),
+                Box::new(GeneralMapper::new(
+                    loc.nlocs(),
+                    (0..parts).map(|b| (b + 2) % loc.nlocs()).collect(),
+                )),
+                0u64,
+            );
+            p_copy(&src, &dst);
+            assert!(p_equal(&src, &dst));
+            assert!(p_equal_elementwise(&src, &dst));
+            for g in 0..40 {
+                assert_eq!(dst.get_element(g), g as u64 + 1);
+            }
+            loc.barrier();
+            let squared = PArray::new(loc, 40, 0u64);
+            p_transform(&src, &squared, |v| v * v);
+            for g in 0..40 {
+                assert_eq!(squared.get_element(g), (g as u64 + 1) * (g as u64 + 1));
+            }
+            loc.barrier();
+            assert_eq!(
+                p_inner_product(&src, &dst),
+                (1..=40u64).map(|x| x * x).sum::<u64>()
+            );
+            assert_eq!(
+                p_inner_product(&src, &dst),
+                p_inner_product_elementwise(&src, &dst)
+            );
+            // A genuine mismatch is detected.
+            if loc.id() == 0 {
+                dst.set_element(17, 0);
+            }
+            loc.rmi_fence();
+            assert!(!p_equal(&src, &dst));
+        });
+    }
+
+    #[test]
+    fn fill_and_replace_fall_back_without_slices() {
+        // pList exposes no contiguous slices: p_fill/p_replace_if take the
+        // element-wise fallback and must still be correct.
+        execute(RtsConfig::default(), 2, |loc| {
+            let l: PList<u64> = PList::new(loc);
+            for i in 0..12 {
+                l.push_anywhere(i);
+            }
+            l.commit();
+            p_fill(&l, 5);
+            assert_eq!(p_count_if(&l, |v| *v == 5), 24);
+            p_replace_if(&l, |v| *v == 5, 9);
+            assert_eq!(p_count_if(&l, |v| *v == 9), 24);
+        });
+    }
+
+    #[test]
+    fn view_algorithms_match_on_localized_and_fallback_views() {
+        execute(RtsConfig::default(), 3, |loc| {
+            // Same computation through the localized native view and the
+            // (element-fallback) balanced view must agree.
+            let a = PArray::from_fn(loc, 30, |i| i as u64);
+            let b = PArray::from_fn(loc, 30, |i| i as u64);
+            let va = ArrayView::new(a.clone());
+            let vb = BalancedView::with_parts(ArrayView::new(b.clone()), 7);
+            p_for_each_view(&va, |x| *x = *x * 3 + 1);
+            p_for_each_view(&vb, |x| *x = *x * 3 + 1);
+            assert!(p_equal(&a, &b));
+            let ra = p_reduce_view(&va, |_, x| x, |p, q| p + q);
+            let rb = p_reduce_view(&vb, |_, x| x, |p, q| p + q);
+            assert_eq!(ra, rb);
+            loc.barrier();
+            p_generate_view(&va, |k| k as u64 % 13);
+            p_generate_view(&vb, |k| k as u64 % 13);
+            assert!(p_equal(&a, &b));
         });
     }
 

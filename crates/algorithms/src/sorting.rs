@@ -2,7 +2,7 @@
 //! motivate commutative-task thread safety (Chapter VI's bucket-insert
 //! example).
 
-use stapl_core::interfaces::{ElementRead, ElementWrite, LocalIteration, PContainer};
+use stapl_core::interfaces::{ElementRead, LocalIteration, PContainer, RangedContainer};
 use stapl_core::pobject::PObject;
 use stapl_containers::array::PArray;
 
@@ -40,25 +40,38 @@ where
     let splitters: Vec<T> = (1..nlocs)
         .filter_map(|k| all_samples.get(k * all_samples.len() / nlocs).cloned())
         .collect();
-    // 2. Bucket exchange: one bucket per location; concurrent inserts
-    //    from all locations (the commutative-task pattern of Ch. VI —
-    //    owner-side execution makes each append atomic).
+    // 2. Bucket exchange, coarsened: elements are grouped per destination
+    //    locally and each group ships as ONE bulk append per peer — the
+    //    boundary-exchange analog of the bulk-range transport (O(P)
+    //    messages per location instead of O(n/P)). Owner-side execution
+    //    keeps the concurrent appends atomic (the commutative-task
+    //    pattern of Ch. VI).
     let buckets = PObject::register(&loc, Vec::<T>::new());
     loc.barrier();
+    let mut outgoing: Vec<Vec<T>> = (0..nlocs).map(|_| Vec::new()).collect();
     for v in local {
         let dest = splitters.partition_point(|s| s <= &v).min(nlocs - 1);
-        buckets.invoke_at(dest, move |cell, _| cell.borrow_mut().push(v));
+        outgoing[dest].push(v);
+    }
+    for (dest, batch) in outgoing.into_iter().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        if dest != loc.id() {
+            loc.note_bulk_request();
+        }
+        buckets.invoke_at(dest, move |cell, _| cell.borrow_mut().extend(batch));
     }
     loc.rmi_fence();
     // 3. Local sort.
     let mut mine = std::mem::take(&mut *buckets.local_mut());
     mine.sort();
-    // 4. Write back at scanned global offsets.
+    // 4. Write back at scanned global offsets: the sorted block is one
+    //    contiguous GID range — one bulk RMI per (owner, run) instead of
+    //    one set_element per element.
     let (start, total) = loc.exclusive_scan(mine.len(), 0, |x, y| x + y);
     debug_assert_eq!(total, a.global_size());
-    for (k, v) in mine.into_iter().enumerate() {
-        a.set_element(start + k, v);
-    }
+    a.set_range(start, mine);
     loc.rmi_fence();
 }
 

@@ -1,0 +1,127 @@
+//! Localization + bulk-transport benches: element-wise vs chunk-at-a-time
+//! pAlgorithms over aligned, shifted, strided (block-cyclic), and
+//! misaligned placements.
+//!
+//! See `experiments localize` for the paper-style table with the rts
+//! stats (remote requests, bulk requests) over larger instances.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stapl_algorithms::map_func::{p_copy, p_copy_elementwise, p_for_each, p_for_each_view};
+use stapl_containers::array::PArray;
+use stapl_core::mapper::{CyclicMapper, GeneralMapper};
+use stapl_core::partition::{
+    BalancedPartition, BlockCyclicPartition, BlockedPartition, IndexPartition,
+};
+use stapl_rts::{execute, RtsConfig};
+use stapl_views::array_view::ArrayView;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(150))
+        .without_plots()
+}
+
+/// dst placement per scenario; src is always balanced over P.
+fn dst_for(scenario: &str, n: usize, nlocs: usize) -> PArrayFactory {
+    let s = scenario.to_string();
+    Box::new(move |loc: &stapl_rts::Location| match s.as_str() {
+        "aligned" => PArray::with_partition(
+            loc,
+            Box::new(BalancedPartition::new(n, nlocs)),
+            Box::new(CyclicMapper::new(nlocs)),
+            0u64,
+        ),
+        "shifted" => {
+            // Same blocks, placement rotated by one: everything remote.
+            let part = BalancedPartition::new(n, nlocs);
+            let parts = IndexPartition::num_subdomains(&part);
+            PArray::with_partition(
+                loc,
+                Box::new(part),
+                Box::new(GeneralMapper::new(
+                    nlocs,
+                    (0..parts).map(|b| (b + 1) % nlocs).collect(),
+                )),
+                0u64,
+            )
+        }
+        "strided" => PArray::with_partition(
+            loc,
+            Box::new(BlockCyclicPartition::new(n, nlocs, 16)),
+            Box::new(CyclicMapper::new(nlocs)),
+            0u64,
+        ),
+        _ => PArray::with_partition(
+            loc,
+            Box::new(BlockedPartition::new(n, n / nlocs + 7)),
+            Box::new(CyclicMapper::new(nlocs)),
+            0u64,
+        ),
+    })
+}
+
+type PArrayFactory = Box<dyn Fn(&stapl_rts::Location) -> PArray<u64> + Send + Sync>;
+
+fn run_copy(scenario: &'static str, n: usize, localized: bool) {
+    let p = 4;
+    let make_dst = dst_for(scenario, n, p);
+    execute(RtsConfig::default(), p, move |loc| {
+        let src = PArray::from_fn(loc, n, |i| i as u64);
+        let dst = make_dst(loc);
+        if localized {
+            p_copy(&src, &dst);
+        } else {
+            p_copy_elementwise(&src, &dst);
+        }
+    });
+}
+
+/// Localized vs element-wise copy over the four placement scenarios.
+fn copy_scenarios(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("localization_copy");
+    for scenario in ["aligned", "shifted", "strided", "misaligned"] {
+        for localized in [true, false] {
+            let label = format!(
+                "{scenario}/{}",
+                if localized { "localized" } else { "elementwise" }
+            );
+            grp.bench_function(label.as_str(), |b| b.iter(|| run_copy(scenario, 20_000, localized)));
+        }
+    }
+    grp.finish();
+}
+
+/// Native-view in-place update: chunked slice mutation vs the per-element
+/// `apply` routing (both all-local; measures the RefCell/locate overhead).
+fn native_for_each(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("localization_for_each");
+    grp.bench_function("view_chunked", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 4, |loc| {
+                let a = PArray::from_fn(loc, 40_000, |i| i as u64);
+                let v = ArrayView::new(a);
+                p_for_each_view(&v, |x| *x = x.wrapping_mul(3) + 1);
+            })
+        })
+    });
+    grp.bench_function("container_elementwise", |b| {
+        b.iter(|| {
+            execute(RtsConfig::default(), 4, |loc| {
+                let a = PArray::from_fn(loc, 40_000, |i| i as u64);
+                p_for_each(&a, |x| *x = x.wrapping_mul(3) + 1);
+            })
+        })
+    });
+    grp.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = copy_scenarios, native_for_each
+}
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 //!
 //! Figure ids: fig27 fig28 fig30 fig31 fig32 fig33 fig34 fig39 fig40
 //!             fig41 fig42 fig43 fig44 fig49 fig51 fig52 fig53 fig56
-//!             fig59 fig60 fig62 agg ths executor directory
+//!             fig59 fig60 fig62 agg ths executor directory localize
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -950,6 +950,146 @@ fn directory_exp() {
     );
 }
 
+/// Localization + bulk-range transport: element-wise vs chunk-at-a-time
+/// `p_copy` over aligned / shifted / strided / misaligned placements at
+/// P ∈ {1,2,4}. The remote-request and bulk-request columns are the
+/// proof: the localized path issues O(contiguous runs) messages where the
+/// element-wise path issues O(N). Asserts the counter claims (stats-based
+/// so the CI perf-smoke job is wall-clock-independent).
+fn localize_exp() {
+    use stapl_core::partition::{BlockCyclicPartition, BlockedPartition, IndexPartition};
+
+    let n = 40_000usize;
+    let mut t = Table::new(
+        "Localization: element-wise vs localized p_copy (40k u64)",
+        &["scenario", "P", "mode", "time", "remote reqs", "bulk reqs", "localized chunks"],
+    );
+    let scenarios = ["aligned", "shifted", "strided", "misaligned"];
+    // remote-request deltas of the misaligned scenario at P=4, [localized,
+    // element-wise], for the closing assertion.
+    let mut misaligned_p4 = [0u64; 2];
+    for scenario in scenarios {
+        for p in PS {
+            let mut per_mode = [0u64; 2];
+            for (mode_ix, localized) in [(0usize, true), (1usize, false)] {
+                let (secs, remote, bulk, chunks) = run(RtsConfig::default(), p, move |loc| {
+                    let nlocs = loc.nlocs();
+                    let src = PArray::from_fn(loc, n, |i| i as u64);
+                    let dst = match scenario {
+                        "aligned" => PArray::new(loc, n, 0u64),
+                        "shifted" => {
+                            // Same blocks, placement rotated by one:
+                            // every element lands remote.
+                            let part = BalancedPartition::new(n, nlocs);
+                            let parts = IndexPartition::num_subdomains(&part);
+                            PArray::with_partition(
+                                loc,
+                                Box::new(part),
+                                Box::new(stapl_core::mapper::GeneralMapper::new(
+                                    nlocs,
+                                    (0..parts).map(|b| (b + 1) % nlocs).collect(),
+                                )),
+                                0u64,
+                            )
+                        }
+                        "strided" => PArray::with_partition(
+                            loc,
+                            Box::new(BlockCyclicPartition::new(n, nlocs, 64)),
+                            Box::new(CyclicMapper::new(nlocs)),
+                            0u64,
+                        ),
+                        _ => {
+                            // Off-by-17 block bounds AND rotated placement:
+                            // off-grid boundaries, nearly everything remote.
+                            let part = BlockedPartition::new(n, n / nlocs + 17);
+                            let parts = IndexPartition::num_subdomains(&part);
+                            PArray::with_partition(
+                                loc,
+                                Box::new(part),
+                                Box::new(stapl_core::mapper::GeneralMapper::new(
+                                    nlocs,
+                                    (0..parts).map(|b| (b + 1) % nlocs).collect(),
+                                )),
+                                0u64,
+                            )
+                        }
+                    };
+                    loc.rmi_fence();
+                    let before = loc.stats();
+                    let secs = time_kernel(loc, || {
+                        if localized {
+                            p_copy(&src, &dst);
+                        } else {
+                            p_copy_elementwise(&src, &dst);
+                        }
+                    });
+                    let after = loc.stats();
+                    loc.barrier();
+                    // Verify the copy regardless of mode.
+                    for i in (0..n).step_by(n / 16) {
+                        assert_eq!(dst.get_element(i), i as u64, "{scenario}: copy corrupted");
+                    }
+                    (
+                        secs,
+                        after.remote_requests - before.remote_requests,
+                        after.bulk_requests - before.bulk_requests,
+                        after.localized_chunks - before.localized_chunks,
+                    )
+                });
+                per_mode[mode_ix] = remote;
+                if scenario == "misaligned" && p == 4 {
+                    misaligned_p4[mode_ix] = remote;
+                }
+                t.row(vec![
+                    scenario.into(),
+                    p.to_string(),
+                    if localized { "localized" } else { "element-wise" }.into(),
+                    fmt_time(secs),
+                    remote.to_string(),
+                    bulk.to_string(),
+                    chunks.to_string(),
+                ]);
+            }
+            // The localized path must never issue more remote traffic than
+            // the element-wise baseline, on any scenario at any P.
+            assert!(
+                per_mode[0] <= per_mode[1],
+                "{scenario} P={p}: localized path sent {} remote requests vs {} element-wise",
+                per_mode[0],
+                per_mode[1]
+            );
+            // Non-degenerate (communicating) scenarios must win by >= 10x.
+            if p > 1 && scenario != "aligned" {
+                assert!(
+                    per_mode[0] * 10 <= per_mode[1],
+                    "{scenario} P={p}: localized path should coarsen remote traffic >= 10x \
+                     (got {} vs {})",
+                    per_mode[0],
+                    per_mode[1]
+                );
+            }
+        }
+    }
+    t.print();
+    println!(
+        "misaligned p_copy at P=4: {} remote requests localized vs {} element-wise \
+         ({:.0}x coarsening; O(runs) vs O(N))",
+        misaligned_p4[0],
+        misaligned_p4[1],
+        misaligned_p4[1] as f64 / misaligned_p4[0].max(1) as f64
+    );
+    assert!(
+        misaligned_p4[0] < (n / 100) as u64,
+        "misaligned localized copy must be O(runs): {} remote requests for n={n}",
+        misaligned_p4[0]
+    );
+    assert!(
+        misaligned_p4[1] >= (n / 2) as u64,
+        "element-wise baseline should be O(N): {} remote requests for n={n}",
+        misaligned_p4[1]
+    );
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let all = which == "all";
@@ -985,6 +1125,7 @@ fn main() {
     run_if("ths", &ths);
     run_if("executor", &executor_exp);
     run_if("directory", &directory_exp);
+    run_if("localize", &localize_exp);
     if !ran {
         eprintln!("unknown experiment id: {which}");
         std::process::exit(1);

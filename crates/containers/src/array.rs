@@ -9,10 +9,11 @@
 //! static-container optimization of Section V.C.
 
 use stapl_core::bcontainer::{BaseContainer, MemSize};
-use stapl_core::distribution::IndexDistribution;
+use stapl_core::distribution::{GidRun, IndexDistribution};
+use stapl_core::domain::Range1d;
 use stapl_core::gid::Bcid;
 use stapl_core::interfaces::{
-    ElementRead, ElementWrite, IndexedContainer, LocalIteration, PContainer,
+    ElementRead, ElementWrite, IndexedContainer, LocalIteration, PContainer, RangedContainer,
 };
 use stapl_core::location_manager::LocationManager;
 use stapl_core::mapper::{CyclicMapper, PartitionMapper};
@@ -71,6 +72,107 @@ impl<T: Clone> ArrayBc<T> {
             Store::Contiguous(v) => &mut v[off],
             Store::Boxed(v) => &mut v[off],
         }
+    }
+
+    /// Borrow of the storage span backing the storage-contiguous GID run
+    /// `gids`; `None` for boxed (per-element) storage.
+    fn slice(&self, gids: Range1d) -> Option<&[T]> {
+        if gids.is_empty() {
+            return Some(&[]);
+        }
+        let lo = self.sd.offset(gids.lo);
+        debug_assert_eq!(
+            self.sd.offset(gids.hi - 1),
+            lo + gids.len() - 1,
+            "bulk run {gids:?} is not storage-contiguous in this sub-domain"
+        );
+        match &self.store {
+            Store::Contiguous(v) => Some(&v[lo..lo + gids.len()]),
+            Store::Boxed(_) => None,
+        }
+    }
+
+    /// Mutable counterpart of [`ArrayBc::slice`].
+    fn slice_mut(&mut self, gids: Range1d) -> Option<&mut [T]> {
+        if gids.is_empty() {
+            return Some(&mut []);
+        }
+        let lo = self.sd.offset(gids.lo);
+        debug_assert_eq!(self.sd.offset(gids.hi - 1), lo + gids.len() - 1);
+        match &mut self.store {
+            Store::Contiguous(v) => Some(&mut v[lo..lo + gids.len()]),
+            Store::Boxed(_) => None,
+        }
+    }
+
+    /// Appends clones of the run's values to `out` (slice memcpy-style for
+    /// contiguous storage, per-element for boxed).
+    fn extend_range(&self, gids: Range1d, out: &mut Vec<T>)
+    where
+        T: Clone,
+    {
+        match self.slice(gids) {
+            Some(s) => out.extend_from_slice(s),
+            None => {
+                for g in gids.iter() {
+                    out.push(self.get(g).clone());
+                }
+            }
+        }
+    }
+
+    /// Overwrites the run with `vals` (`vals.len() == gids.len()`).
+    fn write_range(&mut self, gids: Range1d, vals: &[T])
+    where
+        T: Clone,
+    {
+        debug_assert_eq!(gids.len(), vals.len());
+        match self.slice_mut(gids) {
+            Some(s) => s.clone_from_slice(vals),
+            None => {
+                for (g, v) in gids.iter().zip(vals) {
+                    *self.get_mut(g) = v.clone();
+                }
+            }
+        }
+    }
+
+    /// Applies `f(gid, &mut value)` across the run under one borrow.
+    fn apply_range<F: FnMut(usize, &mut T)>(&mut self, gids: Range1d, mut f: F) {
+        match self.slice_mut(gids) {
+            Some(s) => {
+                for (g, v) in gids.iter().zip(s) {
+                    f(g, v);
+                }
+            }
+            None => {
+                for g in gids.iter() {
+                    f(g, self.get_mut(g));
+                }
+            }
+        }
+    }
+
+    /// Short-circuiting in-order iteration; returns false when `f` asked
+    /// to stop.
+    fn try_for_each<F: FnMut(usize, &T) -> bool>(&self, mut f: F) -> bool {
+        match &self.store {
+            Store::Contiguous(v) => {
+                for (k, g) in self.sd.iter().enumerate() {
+                    if !f(g, &v[k]) {
+                        return false;
+                    }
+                }
+            }
+            Store::Boxed(v) => {
+                for (k, g) in self.sd.iter().enumerate() {
+                    if !f(g, &v[k]) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// In-order (gid, value) iteration of the sub-domain.
@@ -162,6 +264,34 @@ impl<T: Send + Clone + 'static> ArrayRep<T> {
         let this = &mut *self;
         let _g = this.ths.guard(methods::APPLY, gid as u64, bcid);
         f(this.lm.get_mut(bcid).expect("apply: bcid not on this location").get_mut(gid))
+    }
+
+    /// Bulk read of one storage-contiguous run (one guard, one borrow).
+    fn get_range_local(&self, bcid: Bcid, gids: Range1d) -> Vec<T> {
+        let _g = self.ths.guard(methods::GET, gids.lo as u64, bcid);
+        let mut out = Vec::with_capacity(gids.len());
+        self.lm.get(bcid).expect("get_range: bcid not on this location").extend_range(gids, &mut out);
+        out
+    }
+
+    /// Bulk write of one storage-contiguous run.
+    fn set_range_local(&mut self, bcid: Bcid, gids: Range1d, vals: &[T]) {
+        let this = &mut *self;
+        let _g = this.ths.guard(methods::SET, gids.lo as u64, bcid);
+        this.lm
+            .get_mut(bcid)
+            .expect("set_range: bcid not on this location")
+            .write_range(gids, vals);
+    }
+
+    /// Bulk read-modify-write of one storage-contiguous run.
+    fn apply_range_local(&mut self, bcid: Bcid, gids: Range1d, f: impl FnMut(usize, &mut T)) {
+        let this = &mut *self;
+        let _g = this.ths.guard(methods::APPLY, gids.lo as u64, bcid);
+        this.lm
+            .get_mut(bcid)
+            .expect("apply_range: bcid not on this location")
+            .apply_range(gids, f);
     }
 }
 
@@ -351,7 +481,9 @@ impl<T: Send + Clone + 'static> PArray<T> {
             let mut rep = self.obj.local_mut();
             let (staging, new_dist) = rep.staging.take().expect("staging vanished");
             rep.lm = staging;
-            rep.dist = new_dist;
+            // Carries the placement epoch forward (+1) so epoch-keyed
+            // caches (view localization memos) invalidate.
+            rep.dist.replace_with(new_dist);
         }
         loc.barrier();
     }
@@ -493,12 +625,172 @@ impl<T: Send + Clone + 'static> LocalIteration<usize> for PArray<T> {
             bc.for_each_mut(&mut f);
         }
     }
+
+    fn try_for_each_local(&self, mut f: impl FnMut(usize, &T) -> bool) {
+        let rep = self.obj.local();
+        for (_, bc) in rep.lm.iter() {
+            if !bc.try_for_each(&mut f) {
+                return;
+            }
+        }
+    }
+
+    fn try_local_slices_mut(&self, f: &mut dyn FnMut(&mut [T])) -> bool {
+        // Boxed storage has no slices to expose; callers fall back.
+        if self.obj.local().storage != ArrayStorage::Contiguous {
+            return false;
+        }
+        let mut rep = self.obj.local_mut();
+        for (_, bc) in rep.lm.iter_mut() {
+            for piece in bc.sd.contiguous_pieces() {
+                f(bc.slice_mut(piece).expect("contiguous storage exposes slices"));
+            }
+        }
+        true
+    }
 }
 
 impl<T: Send + Clone + 'static> IndexedContainer for PArray<T> {
     fn local_subdomains(&self) -> Vec<(Bcid, IndexSubDomain)> {
         let rep = self.obj.local();
         rep.dist.local_subdomains(self.obj.location().id())
+    }
+}
+
+/// A pending piece of a `get_range`: remote fetches are launched for every
+/// run up front (split-phase, so round trips overlap) before any reply is
+/// awaited.
+enum RangePart<T: Send + 'static> {
+    Local(Bcid, Range1d),
+    Bulk(RmiFuture<Vec<T>>),
+    Elems(Vec<RmiFuture<T>>),
+}
+
+impl<T: Send + Clone + 'static> RangedContainer for PArray<T> {
+    fn runs(&self, r: Range1d) -> Vec<GidRun> {
+        self.obj.local().dist.contiguous_runs(r)
+    }
+
+    fn distribution_epoch(&self) -> u64 {
+        self.obj.local().dist.epoch()
+    }
+
+    fn get_range(&self, r: Range1d) -> Vec<T> {
+        let loc = self.obj.location().clone();
+        let me = loc.id();
+        let threshold = loc.config().bulk_threshold;
+        // Phase 1: launch every remote fetch before awaiting any reply.
+        let parts: Vec<RangePart<T>> = self
+            .runs(r)
+            .into_iter()
+            .map(|run| {
+                if run.owner == me {
+                    RangePart::Local(run.bcid, run.gids)
+                } else if run.gids.len() >= threshold {
+                    loc.note_bulk_request();
+                    let (bcid, gids) = (run.bcid, run.gids);
+                    RangePart::Bulk(self.obj.invoke_split_at(run.owner, move |cell, _| {
+                        cell.borrow().get_range_local(bcid, gids)
+                    }))
+                } else {
+                    loc.note_element_fallbacks(run.gids.len() as u64);
+                    RangePart::Elems(run.gids.iter().map(|g| self.split_get_element(g)).collect())
+                }
+            })
+            .collect();
+        // Phase 2: assemble in GID order. Local borrows are scoped per run
+        // so awaiting a future (which polls the runtime) never overlaps a
+        // representative borrow.
+        let mut out = Vec::with_capacity(r.len());
+        for part in parts {
+            match part {
+                RangePart::Local(bcid, gids) => {
+                    loc.note_localized_chunk();
+                    let rep = self.obj.local();
+                    let _g = rep.ths.guard(methods::GET, gids.lo as u64, bcid);
+                    rep.lm
+                        .get(bcid)
+                        .expect("get_range: local run's bcid missing")
+                        .extend_range(gids, &mut out);
+                }
+                RangePart::Bulk(fut) => out.extend(fut.get()),
+                RangePart::Elems(futs) => out.extend(futs.into_iter().map(|f| f.get())),
+            }
+        }
+        out
+    }
+
+    fn set_range_slice(&self, lo: usize, vals: &[T]) {
+        let loc = self.obj.location().clone();
+        let me = loc.id();
+        let threshold = loc.config().bulk_threshold;
+        let r = Range1d::new(lo, lo + vals.len());
+        for run in self.runs(r) {
+            let chunk = &vals[run.gids.lo - lo..run.gids.hi - lo];
+            if run.owner == me {
+                loc.note_localized_chunk();
+                self.obj.local_mut().set_range_local(run.bcid, run.gids, chunk);
+            } else if run.gids.len() >= threshold {
+                loc.note_bulk_request();
+                let (bcid, gids) = (run.bcid, run.gids);
+                let owned = chunk.to_vec();
+                self.obj.invoke_at(run.owner, move |cell, _| {
+                    cell.borrow_mut().set_range_local(bcid, gids, &owned);
+                });
+            } else {
+                loc.note_element_fallbacks(run.gids.len() as u64);
+                for (g, v) in run.gids.iter().zip(chunk) {
+                    self.set_element(g, v.clone());
+                }
+            }
+        }
+    }
+
+    fn apply_range<F>(&self, r: Range1d, f: F)
+    where
+        F: Fn(usize, &mut T) + Clone + Send + 'static,
+    {
+        let loc = self.obj.location().clone();
+        let me = loc.id();
+        let threshold = loc.config().bulk_threshold;
+        for run in self.runs(r) {
+            if run.owner == me {
+                loc.note_localized_chunk();
+                self.obj.local_mut().apply_range_local(run.bcid, run.gids, &f);
+            } else if run.gids.len() >= threshold {
+                loc.note_bulk_request();
+                let (bcid, gids, f) = (run.bcid, run.gids, f.clone());
+                self.obj.invoke_at(run.owner, move |cell, _| {
+                    cell.borrow_mut().apply_range_local(bcid, gids, f);
+                });
+            } else {
+                loc.note_element_fallbacks(run.gids.len() as u64);
+                for g in run.gids.iter() {
+                    let f = f.clone();
+                    self.apply_set(g, move |v| f(g, v));
+                }
+            }
+        }
+    }
+
+    fn with_slice<R>(&self, bcid: Bcid, gids: Range1d, f: impl FnOnce(&[T]) -> R) -> Option<R> {
+        let rep = self.obj.local();
+        let bc = rep.lm.get(bcid)?;
+        let _g = rep.ths.guard(methods::GET, gids.lo as u64, bcid);
+        bc.slice(gids).map(f)
+    }
+
+    fn with_slice_mut<R>(
+        &self,
+        bcid: Bcid,
+        gids: Range1d,
+        f: impl FnOnce(&mut [T]) -> R,
+    ) -> Option<R> {
+        let mut rep = self.obj.local_mut();
+        let rep = &mut *rep;
+        let _g = rep.ths.guard(methods::APPLY, gids.lo as u64, bcid);
+        let bc = rep.lm.get_mut(bcid)?;
+        bc.slice_mut(gids).map(f)
     }
 }
 
@@ -737,6 +1029,164 @@ mod tests {
         execute(RtsConfig::default(), 1, |loc| {
             let a = PArray::new(loc, 5, 0u8);
             a.get_element(5);
+        });
+    }
+
+    #[test]
+    fn get_range_and_set_range_round_trip() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let a = PArray::from_fn(loc, 41, |i| i as i64);
+            // Every location bulk-reads a range crossing all owners.
+            let all = a.get_range(Range1d::new(3, 39));
+            assert_eq!(all, (3..39).map(|i| i as i64).collect::<Vec<_>>());
+            assert!(a.get_range(Range1d::new(7, 7)).is_empty());
+            // Phase separation: writes must not overlap the reads above.
+            loc.barrier();
+            // One location bulk-writes a misaligned stripe.
+            if loc.id() == 2 {
+                a.set_range(5, (5..30).map(|i| i as i64 * 10).collect());
+            }
+            loc.rmi_fence();
+            for i in 0..41 {
+                let expect = if (5..30).contains(&i) { i as i64 * 10 } else { i as i64 };
+                assert_eq!(a.get_element(i), expect, "element {i}");
+            }
+        });
+    }
+
+    #[test]
+    fn bulk_ops_work_on_block_cyclic_and_boxed_storage() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let bc = PArray::with_partition(
+                loc,
+                Box::new(BlockCyclicPartition::new(23, 2, 3)),
+                Box::new(CyclicMapper::new(loc.nlocs())),
+                0usize,
+            );
+            if loc.id() == 0 {
+                bc.set_range(1, (1..22).collect());
+            }
+            loc.rmi_fence();
+            assert_eq!(bc.get_range(Range1d::new(0, 23)), {
+                let mut v: Vec<usize> = (0..23).collect();
+                v[0] = 0;
+                v[22] = 0;
+                v
+            });
+
+            let boxed = PArray::with_options(
+                loc,
+                Box::new(BalancedPartition::new(10, loc.nlocs())),
+                Box::new(CyclicMapper::new(loc.nlocs())),
+                0u64,
+                ArrayStorage::Boxed,
+                ThreadSafety::unlocked(),
+            );
+            if loc.id() == 1 {
+                boxed.set_range(2, vec![9, 9, 9, 9]);
+            }
+            loc.rmi_fence();
+            assert_eq!(boxed.get_range(Range1d::new(0, 10)), vec![0, 0, 9, 9, 9, 9, 0, 0, 0, 0]);
+        });
+    }
+
+    #[test]
+    fn apply_range_executes_at_owners() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let a = PArray::from_fn(loc, 30, |i| i as u64);
+            if loc.id() == 0 {
+                a.apply_range(Range1d::new(4, 26), |g, v| *v += 1000 + g as u64);
+            }
+            loc.rmi_fence();
+            for i in 0..30 {
+                let expect =
+                    if (4..26).contains(&i) { i as u64 * 2 + 1000 } else { i as u64 };
+                assert_eq!(a.get_element(i), expect);
+            }
+        });
+    }
+
+    #[test]
+    fn bulk_transport_issues_one_request_per_remote_run() {
+        execute(RtsConfig::unbuffered(), 4, |loc| {
+            let n = 4000;
+            let a = PArray::from_fn(loc, n, |i| i as u64);
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                let before = loc.stats();
+                let vals = a.get_range(Range1d::new(0, n));
+                assert_eq!(vals.len(), n);
+                let after = loc.stats();
+                // 3 remote runs (one per other location), each one bulk
+                // request — not O(n) element fetches.
+                assert_eq!(after.bulk_requests - before.bulk_requests, 3);
+                assert!(
+                    after.remote_requests - before.remote_requests <= 6,
+                    "bulk read must not issue per-element traffic: {} remote requests",
+                    after.remote_requests - before.remote_requests
+                );
+                assert_eq!(after.element_fallbacks, before.element_fallbacks);
+            }
+            loc.barrier();
+        });
+    }
+
+    #[test]
+    fn short_remote_runs_fall_back_to_element_rmis() {
+        let cfg = RtsConfig { bulk_threshold: usize::MAX, ..RtsConfig::base() };
+        execute(cfg, 2, |loc| {
+            let a = PArray::from_fn(loc, 10, |i| i as u64);
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                let before = loc.stats();
+                assert_eq!(a.get_range(Range1d::new(0, 10)), (0..10).collect::<Vec<u64>>());
+                let after = loc.stats();
+                assert_eq!(after.bulk_requests, before.bulk_requests);
+                assert_eq!(after.element_fallbacks - before.element_fallbacks, 5);
+            }
+            loc.barrier();
+        });
+    }
+
+    #[test]
+    fn try_for_each_local_stops_early() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 40, |i| i);
+            let mut visited = 0;
+            a.try_for_each_local(|_, _| {
+                visited += 1;
+                visited < 3
+            });
+            assert_eq!(visited, 3.min(a.local_size()));
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn try_local_slices_mut_covers_local_elements() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::with_partition(
+                loc,
+                Box::new(BlockCyclicPartition::new(17, 4, 2)),
+                Box::new(CyclicMapper::new(loc.nlocs())),
+                0u64,
+            );
+            let supported = a.try_local_slices_mut(&mut |s| s.fill(7));
+            assert!(supported);
+            loc.barrier();
+            for i in 0..17 {
+                assert_eq!(a.get_element(i), 7);
+            }
+            // Boxed storage refuses (caller falls back).
+            let boxed = PArray::with_options(
+                loc,
+                Box::new(BalancedPartition::new(8, loc.nlocs())),
+                Box::new(CyclicMapper::new(loc.nlocs())),
+                0u64,
+                ArrayStorage::Boxed,
+                ThreadSafety::unlocked(),
+            );
+            assert!(!boxed.try_local_slices_mut(&mut |_| unreachable!("no slices in boxed storage")));
         });
     }
 

@@ -6,7 +6,7 @@
 //! Row/column/linear views live in `stapl-views`.
 
 use stapl_core::bcontainer::{BaseContainer, MemSize};
-use stapl_core::domain::{Domain, FiniteDomain, Range2d};
+use stapl_core::domain::{Domain, FiniteDomain, Range1d, Range2d};
 use stapl_core::gid::Bcid;
 use stapl_core::interfaces::{ElementRead, ElementWrite, LocalIteration, PContainer};
 use stapl_core::location_manager::LocationManager;
@@ -15,6 +15,10 @@ use stapl_core::partition::{MatrixLayout, MatrixPartition};
 use stapl_core::pobject::PObject;
 use stapl_core::thread_safety::{methods, ThreadSafety};
 use stapl_rts::{LocId, Location, RmiFuture};
+
+/// A pending piece of a bulk row read: a local (bcid, cols) segment or
+/// an in-flight remote fetch.
+type RowPart<T> = Result<(Bcid, Range1d), RmiFuture<Vec<T>>>;
 
 /// Dense row-major block of a matrix.
 pub struct MatrixBc<T> {
@@ -38,6 +42,18 @@ impl<T: Clone> MatrixBc<T> {
     fn get_mut(&mut self, g: (usize, usize)) -> &mut T {
         let off = self.offset(g);
         &mut self.data[off]
+    }
+
+    /// The storage slice backing columns `cols` of row `r` (row-major
+    /// blocks make any within-block row segment contiguous).
+    fn row_slice(&self, r: usize, cols: Range1d) -> &[T] {
+        let lo = self.offset((r, cols.lo));
+        &self.data[lo..lo + cols.len()]
+    }
+
+    fn row_slice_mut(&mut self, r: usize, cols: Range1d) -> &mut [T] {
+        let lo = self.offset((r, cols.lo));
+        &mut self.data[lo..lo + cols.len()]
     }
 }
 
@@ -88,6 +104,23 @@ impl<T: Send + Clone + 'static> MatrixRep<T> {
         let this = &mut *self;
         let _gd = this.ths.guard(methods::APPLY, pack(g), bcid);
         f(this.lm.get_mut(bcid).expect("pMatrix: block not local").get_mut(g))
+    }
+
+    /// Bulk read of one within-block row segment (one guard, one borrow).
+    fn row_segment_local(&self, bcid: Bcid, r: usize, cols: Range1d) -> Vec<T> {
+        let _gd = self.ths.guard(methods::GET, pack((r, cols.lo)), bcid);
+        self.lm.get(bcid).expect("pMatrix: block not local").row_slice(r, cols).to_vec()
+    }
+
+    /// Bulk write of one within-block row segment.
+    fn set_row_segment_local(&mut self, bcid: Bcid, r: usize, cols: Range1d, vals: &[T]) {
+        let this = &mut *self;
+        let _gd = this.ths.guard(methods::SET, pack((r, cols.lo)), bcid);
+        this.lm
+            .get_mut(bcid)
+            .expect("pMatrix: block not local")
+            .row_slice_mut(r, cols)
+            .clone_from_slice(vals);
     }
 }
 
@@ -209,6 +242,130 @@ impl<T: Send + Clone + 'static> PMatrix<T> {
     /// The partition, for views that align with the layout.
     pub fn partition(&self) -> MatrixPartition {
         self.obj.local().partition
+    }
+
+    /// Decomposes columns `cols` of row `r` into per-block runs
+    /// `(bcid, owner, cols)` — the bulk-transport units of a matrix row
+    /// (one run for row/column stripes, one per tile column for 2-D
+    /// grids). O(runs), replicated metadata only.
+    pub fn row_runs(&self, r: usize, cols: Range1d) -> Vec<(Bcid, LocId, Range1d)> {
+        let rep = self.obj.local();
+        assert!(
+            r < rep.partition.nrows && cols.hi <= rep.partition.ncols,
+            "pMatrix row segment ({r}, {cols:?}) out of bounds ({}, {})",
+            rep.partition.nrows,
+            rep.partition.ncols
+        );
+        let mut out = Vec::new();
+        let mut c = cols.lo;
+        while c < cols.hi {
+            let bcid = rep.partition.find((r, c));
+            let block = rep.partition.block(bcid);
+            let hi = block.cols.hi.min(cols.hi);
+            out.push((bcid, rep.owner(bcid), Range1d::new(c, hi)));
+            c = hi;
+        }
+        out
+    }
+
+    /// Bulk read of columns `cols` of row `r`: one RMI per remote block
+    /// run, a direct slice borrow per local run — the matrix counterpart
+    /// of `RangedContainer::get_range`.
+    pub fn get_row_range(&self, r: usize, cols: Range1d) -> Vec<T> {
+        let loc = self.obj.location().clone();
+        let me = loc.id();
+        // Launch all remote fetches before awaiting any reply.
+        let parts: Vec<RowPart<T>> = self
+            .row_runs(r, cols)
+            .into_iter()
+            .map(|(bcid, owner, run)| {
+                if owner == me {
+                    Ok((bcid, run))
+                } else {
+                    loc.note_bulk_request();
+                    Err(self.obj.invoke_split_at(owner, move |cell, _| {
+                        cell.borrow().row_segment_local(bcid, r, run)
+                    }))
+                }
+            })
+            .collect();
+        let mut out = Vec::with_capacity(cols.len());
+        for part in parts {
+            match part {
+                Ok((bcid, run)) => {
+                    loc.note_localized_chunk();
+                    out.extend(self.obj.local().row_segment_local(bcid, r, run));
+                }
+                Err(fut) => out.extend(fut.get()),
+            }
+        }
+        out
+    }
+
+    /// Bulk write of `vals` to columns `col_lo..col_lo + vals.len()` of
+    /// row `r` (asynchronous; one RMI per remote block run).
+    pub fn set_row_range(&self, r: usize, col_lo: usize, vals: Vec<T>) {
+        let loc = self.obj.location().clone();
+        let me = loc.id();
+        for (bcid, owner, run) in self.row_runs(r, Range1d::new(col_lo, col_lo + vals.len())) {
+            let chunk = &vals[run.lo - col_lo..run.hi - col_lo];
+            if owner == me {
+                // Local fast path: straight from the borrowed slice.
+                loc.note_localized_chunk();
+                self.obj.local_mut().set_row_segment_local(bcid, r, run, chunk);
+            } else {
+                loc.note_bulk_request();
+                let owned = chunk.to_vec();
+                self.obj.invoke_at(owner, move |cell, _| {
+                    cell.borrow_mut().set_row_segment_local(bcid, r, run, &owned);
+                });
+            }
+        }
+    }
+
+    /// Direct borrow of the local storage backing columns `cols` of row
+    /// `r`, when one local block covers the whole segment; `None`
+    /// otherwise (callers fall back to [`PMatrix::get_row_range`]).
+    pub fn with_row_slice<R>(
+        &self,
+        r: usize,
+        cols: Range1d,
+        f: impl FnOnce(&[T]) -> R,
+    ) -> Option<R> {
+        if cols.is_empty() {
+            return Some(f(&[]));
+        }
+        let rep = self.obj.local();
+        // O(1): resolve the owning block by partition lookup, then check
+        // it is local and covers the whole segment.
+        let bcid = rep.partition.find((r, cols.lo));
+        let bc = rep.lm.get(bcid)?;
+        if cols.hi > bc.block.cols.hi {
+            return None;
+        }
+        let _gd = rep.ths.guard(methods::GET, pack((r, cols.lo)), bcid);
+        Some(f(bc.row_slice(r, cols)))
+    }
+
+    /// Mutable counterpart of [`PMatrix::with_row_slice`].
+    pub fn with_row_slice_mut<R>(
+        &self,
+        r: usize,
+        cols: Range1d,
+        f: impl FnOnce(&mut [T]) -> R,
+    ) -> Option<R> {
+        if cols.is_empty() {
+            return Some(f(&mut []));
+        }
+        let mut rep = self.obj.local_mut();
+        let rep = &mut *rep;
+        let bcid = rep.partition.find((r, cols.lo));
+        let bc = rep.lm.get_mut(bcid)?;
+        if cols.hi > bc.block.cols.hi {
+            return None;
+        }
+        let _gd = rep.ths.guard(methods::APPLY, pack((r, cols.lo)), bcid);
+        Some(f(bc.row_slice_mut(r, cols)))
     }
 }
 
@@ -414,6 +571,66 @@ mod tests {
         execute(RtsConfig::default(), 1, |loc| {
             let m = PMatrix::new(loc, 2, 2, 0u8);
             m.get_element((2, 0));
+        });
+    }
+
+    #[test]
+    fn row_range_bulk_round_trip_across_layouts() {
+        for layout in [
+            MatrixLayout::RowBlocked,
+            MatrixLayout::ColumnBlocked,
+            MatrixLayout::Blocked2d { grid_rows: 2, grid_cols: 2 },
+        ] {
+            execute(RtsConfig::default(), 2, move |loc| {
+                let m = PMatrix::from_fn(loc, 6, 8, layout, |r, c| (r * 8 + c) as i64);
+                // Bulk read of a partial row crossing block boundaries.
+                let seg = m.get_row_range(3, Range1d::new(1, 7));
+                assert_eq!(seg, (1..7).map(|c| (3 * 8 + c) as i64).collect::<Vec<_>>());
+                loc.barrier();
+                if loc.id() == 0 {
+                    m.set_row_range(4, 2, vec![-1, -2, -3, -4]);
+                }
+                loc.rmi_fence();
+                for c in 0..8 {
+                    let expect =
+                        if (2..6).contains(&c) { -((c - 1) as i64) } else { (4 * 8 + c) as i64 };
+                    assert_eq!(m.get_element((4, c)), expect, "layout {layout:?} col {c}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn row_runs_issue_one_bulk_request_per_remote_block() {
+        execute(RtsConfig::unbuffered(), 2, |loc| {
+            let m = PMatrix::from_fn(loc, 4, 64, MatrixLayout::ColumnBlocked, |r, c| r * 64 + c);
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                let before = loc.stats();
+                let row = m.get_row_range(1, Range1d::new(0, 64));
+                assert_eq!(row.len(), 64);
+                let after = loc.stats();
+                // Two column blocks: one local slice, one remote bulk RMI.
+                assert_eq!(after.bulk_requests - before.bulk_requests, 1);
+                assert!(after.localized_chunks > before.localized_chunks);
+                assert!(
+                    after.remote_requests - before.remote_requests <= 2,
+                    "whole-row read must not pay per-element traffic"
+                );
+            }
+            loc.barrier();
+        });
+    }
+
+    #[test]
+    fn with_row_slice_requires_single_local_block() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m = PMatrix::from_fn(loc, 4, 6, MatrixLayout::RowBlocked, |r, c| r * 6 + c);
+            let local_row = if loc.id() == 0 { 0 } else { 2 };
+            let sum = m.with_row_slice(local_row, Range1d::new(0, 6), |s| s.iter().sum::<usize>());
+            assert_eq!(sum, Some((0..6).map(|c| local_row * 6 + c).sum()));
+            let remote_row = if loc.id() == 0 { 3 } else { 1 };
+            assert!(m.with_row_slice(remote_row, Range1d::new(0, 6), |_| ()).is_none());
         });
     }
 }

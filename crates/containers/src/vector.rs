@@ -16,6 +16,7 @@
 //! paper's mixed-operation experiments run in.
 
 use stapl_core::bcontainer::MemSize;
+use stapl_core::domain::Range1d;
 use stapl_core::interfaces::{
     DynamicPContainer, ElementRead, ElementWrite, LocalIteration, PContainer,
 };
@@ -31,6 +32,9 @@ pub struct VectorRep<T> {
     bounds: Vec<usize>,
     /// (global index, value) pairs arriving during a [`PVector::rebalance`].
     staging: Vec<(usize, T)>,
+    /// Bumped whenever the replicated bounds are rebuilt (commit,
+    /// rebalance, clear) so placement-memoizing layers can invalidate.
+    epoch: u64,
     ths: ThreadSafety,
 }
 
@@ -52,6 +56,38 @@ impl<T> VectorRep<T> {
     /// Clamped local offset — see the module docs on the relaxed window.
     fn clamp(&self, off: usize) -> usize {
         off.min(self.data.len().saturating_sub(1))
+    }
+}
+
+/// Writes `vals` at local offsets `off..`, clamped into the owner's
+/// current block like `set_element` (the relaxed window between commits).
+fn write_clamped<T>(rep: &mut VectorRep<T>, owner: LocId, gid_lo: usize, off: usize, vals: &[T])
+where
+    T: Clone,
+{
+    let _g = rep.ths.guard(methods::SET, gid_lo as u64, owner);
+    if rep.data.is_empty() {
+        return;
+    }
+    for (k, v) in vals.iter().enumerate() {
+        let at = rep.clamp(off + k);
+        rep.data[at] = v.clone();
+    }
+}
+
+/// Applies `f(gid, &mut value)` over a run at local offsets `off..`,
+/// clamped like `apply_set` (and dropped when the block emptied).
+fn apply_clamped<T, F>(rep: &mut VectorRep<T>, owner: LocId, off: usize, gids: Range1d, f: &F)
+where
+    F: Fn(usize, &mut T),
+{
+    let _g = rep.ths.guard(methods::APPLY, gids.lo as u64, owner);
+    if rep.data.is_empty() {
+        return;
+    }
+    for (k, g) in gids.iter().enumerate() {
+        let at = rep.clamp(off + k);
+        f(g, &mut rep.data[at]);
     }
 }
 
@@ -83,6 +119,7 @@ impl<T: Send + Clone + 'static> PVector<T> {
             data: vec![init; mine],
             bounds,
             staging: Vec::new(),
+            epoch: 0,
             ths: ThreadSafety::new(
                 LockingPolicyTable::dynamic_default(),
                 std::sync::Arc::new(stapl_core::thread_safety::NoLockManager),
@@ -227,6 +264,7 @@ impl<T: Send + Clone + 'static> PVector<T> {
             debug_assert!(staged.windows(2).all(|w| w[0].0 + 1 == w[1].0));
             rep.data = staged.into_iter().map(|(_, v)| v).collect();
             rep.bounds = target;
+            rep.epoch += 1;
         }
         loc.barrier();
     }
@@ -271,7 +309,11 @@ impl<T: Send + Clone + 'static> PContainer for PVector<T> {
                 acc
             })
             .collect();
-        self.obj.local_mut().bounds = bounds;
+        {
+            let mut rep = self.obj.local_mut();
+            rep.bounds = bounds;
+            rep.epoch += 1;
+        }
         loc.barrier();
     }
 
@@ -297,6 +339,7 @@ impl<T: Send + Clone + 'static> DynamicPContainer for PVector<T> {
             rep.data.clear();
             let n = rep.bounds.len();
             rep.bounds = vec![0; n];
+            rep.epoch += 1;
         }
         loc.barrier();
     }
@@ -390,6 +433,21 @@ impl<T: Send + Clone + 'static> LocalIteration<usize> for PVector<T> {
             f(lo + k, v);
         }
     }
+
+    fn try_for_each_local(&self, mut f: impl FnMut(usize, &T) -> bool) {
+        let rep = self.obj.local();
+        let lo = rep.lo(self.obj.location().id());
+        for (k, v) in rep.data.iter().enumerate() {
+            if !f(lo + k, v) {
+                return;
+            }
+        }
+    }
+
+    fn try_local_slices_mut(&self, f: &mut dyn FnMut(&mut [T])) -> bool {
+        f(&mut self.obj.local_mut().data);
+        true
+    }
 }
 
 impl<T: Send + Clone + 'static> stapl_core::interfaces::SequenceContainer<usize> for PVector<T> {
@@ -432,6 +490,156 @@ impl<T: Send + Clone + 'static> stapl_core::interfaces::IndexedContainer for PVe
                 stapl_core::domain::Range1d::new(lo, lo + rep.data.len()),
             ),
         )]
+    }
+}
+
+impl<T: Send + Clone + 'static> stapl_core::interfaces::RangedContainer for PVector<T> {
+    /// Run decomposition from the replicated bounds: one run per owning
+    /// location (each location's block is one contiguous `Vec<T>`). Like
+    /// element routing, runs follow the *last-committed* bounds — the
+    /// relaxed window of the module docs.
+    fn runs(&self, r: Range1d) -> Vec<stapl_core::distribution::GidRun> {
+        let rep = self.obj.local();
+        assert!(
+            r.hi <= *rep.bounds.last().unwrap(),
+            "range [{}, {}) exceeds the committed pVector domain (size {})",
+            r.lo,
+            r.hi,
+            rep.bounds.last().unwrap()
+        );
+        let mut out = Vec::new();
+        for l in 0..rep.bounds.len() {
+            let block = Range1d::new(rep.lo(l), rep.bounds[l]);
+            let i = block.intersect(&r);
+            if !i.is_empty() {
+                out.push(stapl_core::distribution::GidRun { gids: i, bcid: l, owner: l });
+            }
+        }
+        out
+    }
+
+    fn distribution_epoch(&self) -> u64 {
+        self.obj.local().epoch
+    }
+
+    fn get_range(&self, r: Range1d) -> Vec<T> {
+        let loc = self.obj.location().clone();
+        let me = loc.id();
+        let mut parts: Vec<Result<Vec<T>, RmiFuture<Vec<T>>>> = Vec::new();
+        for run in self.runs(r) {
+            if run.owner == me {
+                loc.note_localized_chunk();
+                let rep = self.obj.local();
+                let lo = rep.lo(me);
+                let _g = rep.ths.guard(methods::GET, run.gids.lo as u64, run.bcid);
+                // Like `get_element`, a read of a block drained to empty
+                // since the last commit panics — there is no value to
+                // return (writes, which can be dropped, return instead).
+                parts.push(Ok(run
+                    .gids
+                    .iter()
+                    .map(|g| rep.data[rep.clamp(g - lo)].clone())
+                    .collect()));
+            } else {
+                // pVector runs are whole per-location blocks — always worth
+                // one bulk RMI, no element-fallback crossover. Like the
+                // element path, offsets are computed at the *sender* from
+                // the routing-time bounds and only clamped at the owner
+                // (the relaxed window of the module docs) — the owner's
+                // bounds may already have moved on.
+                loc.note_bulk_request();
+                let off = run.gids.lo - self.obj.local().lo(run.owner);
+                let len = run.gids.len();
+                parts.push(Err(self.obj.invoke_split_at(run.owner, move |cell, _| {
+                    let rep = cell.borrow();
+                    (off..off + len).map(|o| rep.data[rep.clamp(o)].clone()).collect()
+                })));
+            }
+        }
+        let mut out = Vec::with_capacity(r.len());
+        for part in parts {
+            match part {
+                Ok(vals) => out.extend(vals),
+                Err(fut) => out.extend(fut.get()),
+            }
+        }
+        out
+    }
+
+    fn set_range_slice(&self, lo: usize, vals: &[T]) {
+        let loc = self.obj.location().clone();
+        let me = loc.id();
+        let r = Range1d::new(lo, lo + vals.len());
+        // Offsets are sender-computed from the routing-time bounds and
+        // clamped at the owner, matching `set_element`'s relaxed window.
+        for run in self.runs(r) {
+            let chunk = &vals[run.gids.lo - lo..run.gids.hi - lo];
+            let off = run.gids.lo - self.obj.local().lo(run.owner);
+            if run.owner == me {
+                loc.note_localized_chunk();
+                write_clamped(&mut self.obj.local_mut(), me, run.gids.lo, off, chunk);
+            } else {
+                loc.note_bulk_request();
+                let (gid_lo, owned) = (run.gids.lo, chunk.to_vec());
+                self.obj.invoke_at(run.owner, move |cell, l| {
+                    write_clamped(&mut cell.borrow_mut(), l.id(), gid_lo, off, &owned);
+                });
+            }
+        }
+    }
+
+    fn apply_range<F>(&self, r: Range1d, f: F)
+    where
+        F: Fn(usize, &mut T) + Clone + Send + 'static,
+    {
+        let loc = self.obj.location().clone();
+        let me = loc.id();
+        for run in self.runs(r) {
+            let off = run.gids.lo - self.obj.local().lo(run.owner);
+            if run.owner == me {
+                // Direct local mutation: one borrow for the whole run.
+                loc.note_localized_chunk();
+                apply_clamped(&mut self.obj.local_mut(), me, off, run.gids, &f);
+            } else {
+                loc.note_bulk_request();
+                let (gids, f) = (run.gids, f.clone());
+                self.obj.invoke_at(run.owner, move |cell, l| {
+                    apply_clamped(&mut cell.borrow_mut(), l.id(), off, gids, &f);
+                });
+            }
+        }
+    }
+
+    fn with_slice<R>(
+        &self,
+        _bcid: usize,
+        gids: Range1d,
+        f: impl FnOnce(&[T]) -> R,
+    ) -> Option<R> {
+        let me = self.obj.location().id();
+        let rep = self.obj.local();
+        let lo = rep.lo(me);
+        // Exact only: the committed bounds must still describe the local
+        // block (no clamping on the direct-slice path).
+        if gids.lo < lo || gids.hi > lo + rep.data.len() {
+            return None;
+        }
+        Some(f(&rep.data[gids.lo - lo..gids.hi - lo]))
+    }
+
+    fn with_slice_mut<R>(
+        &self,
+        _bcid: usize,
+        gids: Range1d,
+        f: impl FnOnce(&mut [T]) -> R,
+    ) -> Option<R> {
+        let me = self.obj.location().id();
+        let mut rep = self.obj.local_mut();
+        let lo = rep.lo(me);
+        if gids.lo < lo || gids.hi > lo + rep.data.len() {
+            return None;
+        }
+        Some(f(&mut rep.data[gids.lo - lo..gids.hi - lo]))
     }
 }
 
@@ -636,6 +844,48 @@ mod tests {
             v.commit();
             assert_eq!(v.global_size(), 0);
             assert_eq!(v.local_size(), 0);
+        });
+    }
+
+    #[test]
+    fn bulk_range_round_trip_and_epoch() {
+        use stapl_core::interfaces::RangedContainer;
+        execute(RtsConfig::default(), 3, |loc| {
+            let v = PVector::from_fn(loc, 20, |i| i as i64);
+            assert_eq!(
+                v.get_range(Range1d::new(2, 18)),
+                (2..18).map(|i| i as i64).collect::<Vec<_>>()
+            );
+            if loc.id() == 1 {
+                v.set_range(4, (4..15).map(|i| -(i as i64)).collect());
+            }
+            loc.rmi_fence();
+            for i in 0..20 {
+                let expect = if (4..15).contains(&i) { -(i as i64) } else { i as i64 };
+                assert_eq!(v.get_element(i), expect);
+            }
+            // Runs: one per owning location, in GID order.
+            let runs = v.runs(Range1d::new(0, 20));
+            assert_eq!(runs.len(), 3);
+            assert!(runs.windows(2).all(|w| w[0].gids.hi == w[1].gids.lo));
+            // Commit bumps the placement epoch.
+            let e0 = v.distribution_epoch();
+            v.commit();
+            assert!(v.distribution_epoch() > e0);
+        });
+    }
+
+    #[test]
+    fn try_local_slices_mut_writes_block() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let v = PVector::from_fn(loc, 10, |i| i as u32);
+            assert!(v.try_local_slices_mut(&mut |s| {
+                for x in s {
+                    *x += 100;
+                }
+            }));
+            loc.barrier();
+            assert_eq!(v.get_element(9), 109);
         });
     }
 }

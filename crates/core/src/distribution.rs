@@ -8,9 +8,23 @@
 
 use stapl_rts::LocId;
 
+use crate::domain::Range1d;
 use crate::gid::Bcid;
 use crate::mapper::PartitionMapper;
 use crate::partition::{IndexPartition, IndexSubDomain, KeyPartition};
+
+/// A maximal run of GIDs that live on one owner *and* are contiguous in
+/// the owning base container's storage — the unit of bulk transport: a
+/// whole run moves as one RMI and reads/writes one slice at the owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GidRun {
+    /// The GIDs of the run, `[gids.lo, gids.hi)`.
+    pub gids: Range1d,
+    /// Base container holding the run.
+    pub bcid: Bcid,
+    /// Location owning that base container.
+    pub owner: LocId,
+}
 
 /// Distribution of a 1-D indexed container (pArray, pVector).
 pub struct IndexDistribution {
@@ -79,6 +93,37 @@ impl IndexDistribution {
         self.bcids_of(loc).into_iter().map(|b| (b, self.partition.subdomain(b))).collect()
     }
 
+    /// Decomposes `[r.lo, r.hi)` into its maximal storage-contiguous runs,
+    /// in GID order: each run lies inside one base container and (for
+    /// block-cyclic sub-domains) inside one block, so it maps to one
+    /// contiguous storage span at the owner. Cost is O(number of runs) —
+    /// the decomposition bulk transport coarsens element traffic onto.
+    pub fn contiguous_runs(&self, r: Range1d) -> Vec<GidRun> {
+        assert!(
+            r.hi <= self.global_size(),
+            "range [{}, {}) exceeds the distributed domain (size {})",
+            r.lo,
+            r.hi,
+            self.global_size()
+        );
+        let mut out = Vec::new();
+        let mut g = r.lo;
+        while g < r.hi {
+            let bcid = self.partition.find(g);
+            let run_hi = match self.partition.subdomain(bcid) {
+                IndexSubDomain::Contiguous(sd) => sd.hi.min(r.hi),
+                IndexSubDomain::BlockCyclic { first, block, stride, global_hi } => {
+                    let block_lo = g - (g - first) % stride;
+                    (block_lo + block).min(global_hi).min(r.hi)
+                }
+            };
+            debug_assert!(run_hi > g, "run decomposition must make progress");
+            out.push(GidRun { gids: Range1d::new(g, run_hi), bcid, owner: self.mapper.map(bcid) });
+            g = run_hi;
+        }
+        out
+    }
+
     /// Replaces partition and mapper — the redistribution entry point
     /// (Section V.G); the caller moves the data. Bumps the epoch so stale
     /// placement copies can be detected.
@@ -86,6 +131,17 @@ impl IndexDistribution {
         self.partition = partition;
         self.mapper = mapper;
         self.epoch += 1;
+    }
+
+    /// Swaps in a freshly-constructed distribution (whose own epoch starts
+    /// at 0), carrying this one's epoch forward and bumping it — the form
+    /// redistribution uses, since it builds the new distribution ahead of
+    /// the data movement. Without the carry-over, an epoch-keyed cache
+    /// would see 0 → 0 and never invalidate.
+    pub fn replace_with(&mut self, new: IndexDistribution) {
+        let epoch = self.epoch;
+        *self = new;
+        self.epoch = epoch + 1;
     }
 
     /// Approximate metadata bytes of the replicated distribution.
@@ -173,6 +229,57 @@ mod tests {
     }
 
     #[test]
+    fn contiguous_runs_cover_in_order_and_match_locate() {
+        // Mix of contiguous (balanced) and strided (block-cyclic) shapes.
+        let dists = [
+            IndexDistribution::new(
+                Box::new(BalancedPartition::new(37, 5)),
+                Box::new(CyclicMapper::new(3)),
+            ),
+            IndexDistribution::new(
+                Box::new(crate::partition::BlockCyclicPartition::new(29, 3, 4)),
+                Box::new(CyclicMapper::new(2)),
+            ),
+            IndexDistribution::new(
+                Box::new(crate::partition::ExplicitPartition::from_sizes(&[3, 9, 1, 8])),
+                Box::new(CyclicMapper::new(4)),
+            ),
+        ];
+        for d in &dists {
+            for (lo, hi) in [(0, d.global_size()), (1, d.global_size() - 2), (5, 5)] {
+                let r = Range1d::new(lo, hi);
+                let runs = d.contiguous_runs(r);
+                // Runs are consecutive and cover exactly [lo, hi).
+                let mut g = lo;
+                for run in &runs {
+                    assert_eq!(run.gids.lo, g);
+                    assert!(run.gids.hi > run.gids.lo);
+                    // Every GID of the run resolves to the run's (bcid, owner)
+                    // and to consecutive storage offsets.
+                    let sd = d.partition().subdomain(run.bcid);
+                    let base = sd.offset(run.gids.lo);
+                    for (k, gid) in run.gids.iter().enumerate() {
+                        assert_eq!(d.locate(gid), (run.bcid, run.owner));
+                        assert_eq!(sd.offset(gid), base + k);
+                    }
+                    g = run.gids.hi;
+                }
+                assert_eq!(g, hi.max(lo));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the distributed domain")]
+    fn contiguous_runs_rejects_out_of_bounds() {
+        let d = IndexDistribution::new(
+            Box::new(BalancedPartition::new(10, 2)),
+            Box::new(CyclicMapper::new(2)),
+        );
+        d.contiguous_runs(Range1d::new(5, 11));
+    }
+
+    #[test]
     fn replace_swaps_partition() {
         let mut d = IndexDistribution::new(
             Box::new(BalancedPartition::new(10, 2)),
@@ -185,6 +292,14 @@ mod tests {
         assert_eq!(d.locate(9).1, 0); // bcid 4 -> loc 0 cyclic over 2
         assert_eq!(d.epoch(), 1, "replace must bump the distribution epoch");
         assert_eq!(d.clone().epoch(), 1, "clones carry the epoch");
+        // replace_with carries the epoch forward past a fresh distribution.
+        let fresh = IndexDistribution::new(
+            Box::new(BalancedPartition::new(10, 2)),
+            Box::new(CyclicMapper::new(2)),
+        );
+        assert_eq!(fresh.epoch(), 0);
+        d.replace_with(fresh);
+        assert_eq!(d.epoch(), 2, "replace_with must not reset the epoch");
     }
 
     #[test]

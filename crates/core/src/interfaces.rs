@@ -5,6 +5,8 @@
 use stapl_rts::{Location, RmiFuture};
 
 use crate::bcontainer::MemSize;
+use crate::distribution::GidRun;
+use crate::domain::Range1d;
 use crate::gid::{Bcid, Gid};
 use crate::partition::IndexSubDomain;
 
@@ -82,6 +84,31 @@ pub trait LocalIteration<G: Gid>: ElementRead<G> {
     fn for_each_local(&self, f: impl FnMut(G, &Self::Value));
 
     fn for_each_local_mut(&self, f: impl FnMut(G, &mut Self::Value));
+
+    /// Short-circuiting local iteration: stops visiting elements as soon as
+    /// `f` returns `false`. The default is correct but does not exit early
+    /// (it keeps walking with `f` suppressed); containers with cheap
+    /// storage-level early exit override it so scans like `p_find_if` stop
+    /// at the first local match.
+    fn try_for_each_local(&self, mut f: impl FnMut(G, &Self::Value) -> bool) {
+        let mut go = true;
+        self.for_each_local(|g, v| {
+            if go {
+                go = f(g, v);
+            }
+        });
+    }
+
+    /// Calls `f` over the maximal contiguous *storage* slices holding this
+    /// location's elements, when the container can expose them; returns
+    /// `false` when it cannot (per-element storage, non-slice layouts) and
+    /// the caller must fall back to element-wise iteration. One call per
+    /// slice lets algorithms like `p_fill` pay one clone + one borrow per
+    /// chunk instead of per element.
+    fn try_local_slices_mut(&self, f: &mut dyn FnMut(&mut [Self::Value])) -> bool {
+        let _ = f;
+        false
+    }
 }
 
 /// Static indexed pContainers (pArray, pMatrix rows flattened, pVector
@@ -90,6 +117,86 @@ pub trait LocalIteration<G: Gid>: ElementRead<G> {
 pub trait IndexedContainer: ElementWrite<usize> + LocalIteration<usize> {
     /// (BCID, sub-domain) pairs owned by this location, ascending by BCID.
     fn local_subdomains(&self) -> Vec<(Bcid, IndexSubDomain)>;
+}
+
+/// Indexed containers with **bulk-range transport** (the localization
+/// layer's container half): contiguous GID ranges move as one RMI per
+/// (owner, storage-contiguous run) instead of one boxed request per
+/// element, and fully-local runs are served by a direct slice borrow —
+/// one `RefCell` borrow per chunk. This is the coarsening the paper's
+/// localized views rely on to run pAlgorithms at sequential speed.
+///
+/// The crossover between bulk and element-wise remote transport is
+/// `RtsConfig::bulk_threshold` (`STAPL_BULK_THRESHOLD`): remote runs
+/// shorter than the threshold fall back to element RMIs (which the
+/// aggregation layer batches anyway). Instrumentation: bulk RMIs bump
+/// `bulk_requests`, direct slice borrows bump `localized_chunks`, and
+/// every element-wise fallback bumps `element_fallbacks`.
+pub trait RangedContainer: IndexedContainer {
+    /// Decomposes `[r.lo, r.hi)` into its maximal storage-contiguous runs
+    /// in GID order (O(runs), replicated metadata only — no communication).
+    fn runs(&self, r: Range1d) -> Vec<GidRun>;
+
+    /// The storage-contiguous pieces of *this location's* sub-domains,
+    /// ascending by BCID — the chunk decomposition localized algorithms
+    /// and views walk. One (bcid, GID-range) pair per maximal
+    /// slice-backed run.
+    fn local_pieces(&self) -> Vec<(Bcid, Range1d)> {
+        let mut out = Vec::new();
+        for (bcid, sd) in self.local_subdomains() {
+            for piece in sd.contiguous_pieces() {
+                out.push((bcid, piece));
+            }
+        }
+        out
+    }
+
+    /// Monotone counter bumped whenever element placement changes
+    /// (redistribute, rebalance, commit). Layers that memoize placement —
+    /// view localization caches — compare epochs to invalidate.
+    fn distribution_epoch(&self) -> u64;
+
+    /// Bulk read of `[r.lo, r.hi)` in GID order: one RMI per remote run,
+    /// one slice borrow per local run.
+    fn get_range(&self, r: Range1d) -> Vec<Self::Value>;
+
+    /// Bulk write of `vals` to GIDs `lo..lo + vals.len()`: asynchronous
+    /// (complete by the next fence), one RMI per remote run.
+    fn set_range(&self, lo: usize, vals: Vec<Self::Value>) {
+        self.set_range_slice(lo, &vals);
+    }
+
+    /// [`RangedContainer::set_range`] from a borrowed slice; only the
+    /// remote chunks are copied out of `vals`.
+    fn set_range_slice(&self, lo: usize, vals: &[Self::Value]);
+
+    /// Owner-side bulk read-modify-write: applies `f(gid, &mut value)`
+    /// over the range, shipping one closure per remote run
+    /// (asynchronous, like [`ElementWrite::apply_set`]).
+    fn apply_range<F>(&self, r: Range1d, f: F)
+    where
+        F: Fn(usize, &mut Self::Value) + Clone + Send + 'static;
+
+    /// Direct borrow of the local contiguous storage backing `gids`
+    /// (which must be one storage-contiguous run inside `bcid`, as
+    /// produced by [`RangedContainer::runs`]). `None` when the run is not
+    /// on this location or the storage cannot expose a slice (e.g. boxed
+    /// per-element allocation) — callers fall back to
+    /// [`RangedContainer::get_range`].
+    fn with_slice<R>(
+        &self,
+        bcid: Bcid,
+        gids: Range1d,
+        f: impl FnOnce(&[Self::Value]) -> R,
+    ) -> Option<R>;
+
+    /// Mutable counterpart of [`RangedContainer::with_slice`].
+    fn with_slice_mut<R>(
+        &self,
+        bcid: Bcid,
+        gids: Range1d,
+        f: impl FnOnce(&mut [Self::Value]) -> R,
+    ) -> Option<R>;
 }
 
 /// Dynamic pContainers (Table XIII): element insertion/removal at runtime.

@@ -82,6 +82,32 @@ impl IndexSubDomain {
         }
     }
 
+    /// The maximal GID ranges that are contiguous both in the index space
+    /// *and* in the sub-domain's linearization — the units of bulk
+    /// transport: a run maps to one contiguous span of the owning base
+    /// container's storage. One range for contiguous sub-domains; one per
+    /// block for block-cyclic ones.
+    pub fn contiguous_pieces(&self) -> Vec<Range1d> {
+        match self {
+            IndexSubDomain::Contiguous(r) => {
+                if r.is_empty() {
+                    vec![]
+                } else {
+                    vec![*r]
+                }
+            }
+            IndexSubDomain::BlockCyclic { first, block, stride, global_hi } => {
+                let mut out = Vec::new();
+                let mut lo = *first;
+                while lo < *global_hi {
+                    out.push(Range1d::new(lo, (lo + block).min(*global_hi)));
+                    lo += stride;
+                }
+                out
+            }
+        }
+    }
+
     /// GID at offset `k` of the linearization.
     pub fn nth(&self, k: usize) -> Option<usize> {
         match self {
@@ -572,6 +598,28 @@ mod tests {
             p.subdomain(0).iter().collect::<Vec<_>>(),
             vec![0, 2, 4, 6, 8, 10]
         );
+    }
+
+    #[test]
+    fn contiguous_pieces_cover_in_order() {
+        let p = BlockCyclicPartition::new(23, 3, 4);
+        for b in 0..3 {
+            let sd = p.subdomain(b);
+            let pieces = sd.contiguous_pieces();
+            let flat: Vec<usize> = pieces.iter().flat_map(|r| r.iter()).collect();
+            assert_eq!(flat, sd.iter().collect::<Vec<_>>());
+            // Every piece is storage-contiguous: offsets advance by one.
+            for piece in &pieces {
+                let base = sd.offset(piece.lo);
+                for (k, g) in piece.iter().enumerate() {
+                    assert_eq!(sd.offset(g), base + k);
+                }
+            }
+        }
+        let c = IndexSubDomain::Contiguous(Range1d::new(5, 9));
+        assert_eq!(c.contiguous_pieces(), vec![Range1d::new(5, 9)]);
+        let e = IndexSubDomain::Contiguous(Range1d::new(4, 4));
+        assert!(e.contiguous_pieces().is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 /// | `STAPL_DIR_CACHE`           | `dir_cache` (0/1)    |
 /// | `STAPL_DIR_CACHE_CAPACITY`  | `dir_cache_capacity` |
 /// | `STAPL_FLUSH_AGE_US`        | `flush_age_us`       |
+/// | `STAPL_BULK_THRESHOLD`      | `bulk_threshold`     |
 ///
 /// Explicit constructors ([`RtsConfig::unbuffered`],
 /// [`RtsConfig::with_aggregation`]) still win over the environment for the
@@ -56,6 +57,13 @@ pub struct RtsConfig {
     /// than this, so batching survives the frequent micro-waits of
     /// synchronous methods while staleness stays bounded.
     pub flush_age_us: u64,
+    /// Crossover for the bulk-range transport: a remote contiguous run of
+    /// at least this many elements ships as **one** bulk RMI
+    /// (`get_range`/`set_range`/`apply_range`); shorter runs fall back to
+    /// element-wise RMIs, which the aggregation layer already batches
+    /// well. `1` makes every remote run bulk; a huge value disables bulk
+    /// transport entirely (the element-wise ablation baseline).
+    pub bulk_threshold: usize,
 }
 
 impl Default for RtsConfig {
@@ -75,6 +83,7 @@ impl RtsConfig {
             dir_cache: true,
             dir_cache_capacity: 4096,
             flush_age_us: 0,
+            bulk_threshold: 2,
         }
     }
 
@@ -99,6 +108,9 @@ impl RtsConfig {
         }
         if let Some(a) = parse::<u64>(get("STAPL_FLUSH_AGE_US")) {
             self.flush_age_us = a;
+        }
+        if let Some(t) = parse::<usize>(get("STAPL_BULK_THRESHOLD")) {
+            self.bulk_threshold = t.max(1);
         }
         self
     }
@@ -153,6 +165,7 @@ mod tests {
         assert!(c.dir_cache);
         assert!(c.dir_cache_capacity > 0);
         assert_eq!(c.flush_age_us, 0);
+        assert!(c.bulk_threshold >= 1);
     }
 
     #[test]
@@ -188,6 +201,7 @@ mod tests {
             "STAPL_DIR_CACHE" => Some("0".to_string()),
             "STAPL_FLUSH_AGE_US" => Some("250".to_string()),
             "STAPL_DIR_CACHE_CAPACITY" => Some("not a number".to_string()),
+            "STAPL_BULK_THRESHOLD" => Some("0".to_string()), // clamped to 1
             _ => None,
         };
         let c = RtsConfig::base().with_overrides(fake);
@@ -195,6 +209,7 @@ mod tests {
         assert!(!c.dir_cache);
         assert_eq!(c.flush_age_us, 250);
         assert_eq!(c.dir_cache_capacity, RtsConfig::base().dir_cache_capacity);
+        assert_eq!(c.bulk_threshold, 1);
     }
 
     #[test]

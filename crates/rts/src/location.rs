@@ -177,6 +177,28 @@ impl Location {
     }
 
     // ------------------------------------------------------------------
+    // Localization / bulk-transport instrumentation (used by containers
+    // and views for the chunk-at-a-time fast paths)
+    // ------------------------------------------------------------------
+
+    /// Records one bulk-range RMI: a whole (owner, contiguous run) shipped
+    /// as a single message.
+    pub fn note_bulk_request(&self) {
+        self.inner.shared.stats.bulk_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one chunk served by a direct local slice borrow.
+    pub fn note_localized_chunk(&self) {
+        self.inner.shared.stats.localized_chunks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` elements that fell back to element-at-a-time processing
+    /// where a chunk/bulk path was requested.
+    pub fn note_element_fallbacks(&self, n: u64) {
+        self.inner.shared.stats.element_fallbacks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
     // p_object registry
     // ------------------------------------------------------------------
 

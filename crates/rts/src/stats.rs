@@ -34,6 +34,16 @@ pub(crate) struct Stats {
     /// Aggregation buffers force-flushed because their oldest request
     /// exceeded `flush_age_us` (the adaptive-flush path).
     pub aged_flushes: AtomicU64,
+    /// Bulk-range RMIs issued: one per (owner, contiguous run) shipped as a
+    /// single message by `get_range`/`set_range`/`apply_range`.
+    pub bulk_requests: AtomicU64,
+    /// Chunks served by a direct local slice borrow (one `RefCell` borrow
+    /// for the whole chunk) — the view-localization fast path.
+    pub localized_chunks: AtomicU64,
+    /// Elements processed one-at-a-time where a chunk/bulk path was asked
+    /// for but unavailable (non-contiguous storage, runs below
+    /// `bulk_threshold`, or a view without a localized override).
+    pub element_fallbacks: AtomicU64,
 }
 
 impl Stats {
@@ -51,6 +61,9 @@ impl Stats {
             dir_cache_misses: self.dir_cache_misses.load(Ordering::Relaxed),
             dir_cache_stale: self.dir_cache_stale.load(Ordering::Relaxed),
             aged_flushes: self.aged_flushes.load(Ordering::Relaxed),
+            bulk_requests: self.bulk_requests.load(Ordering::Relaxed),
+            localized_chunks: self.localized_chunks.load(Ordering::Relaxed),
+            element_fallbacks: self.element_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -71,6 +84,9 @@ pub struct StatsSnapshot {
     pub dir_cache_misses: u64,
     pub dir_cache_stale: u64,
     pub aged_flushes: u64,
+    pub bulk_requests: u64,
+    pub localized_chunks: u64,
+    pub element_fallbacks: u64,
 }
 
 impl StatsSnapshot {
@@ -106,6 +122,19 @@ impl StatsSnapshot {
         }
     }
 
+    /// Fraction of chunk-layer work served by direct slice borrows rather
+    /// than element fallbacks. Units are chunks vs elements, so this is a
+    /// coarse health signal: 1.0 means every chunk localized, values near
+    /// 0.0 mean the element-wise fallback dominated.
+    pub fn localization_rate(&self) -> f64 {
+        let total = self.localized_chunks + self.element_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.localized_chunks as f64 / total as f64
+        }
+    }
+
     /// Fraction of element-wise invocations that were remote.
     pub fn remote_fraction(&self) -> f64 {
         let total = self.local_invocations + self.remote_requests;
@@ -128,6 +157,17 @@ mod tests {
         assert_eq!(s.remote_fraction(), 0.0);
         assert_eq!(s.steal_fraction(), 0.0);
         assert_eq!(s.dir_cache_hit_rate(), 0.0);
+        assert_eq!(s.localization_rate(), 0.0);
+    }
+
+    #[test]
+    fn localization_rate_computes() {
+        let s = StatsSnapshot {
+            localized_chunks: 9,
+            element_fallbacks: 3,
+            ..Default::default()
+        };
+        assert!((s.localization_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

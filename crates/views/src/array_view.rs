@@ -2,24 +2,68 @@
 //! `array_1d_ro_view`, `balanced_pview`, `native_pview`,
 //! `strided_1D_pview`, `overlap_pview`, and `transform_pview` (Table II).
 
-use stapl_core::domain::{Domain, Range1d};
-use stapl_core::interfaces::IndexedContainer;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use stapl_core::domain::Range1d;
+use stapl_core::gid::Bcid;
+use stapl_core::interfaces::{IndexedContainer, RangedContainer};
 use stapl_rts::Location;
 
 use crate::view::{balanced_chunk, ViewRead, ViewWrite};
+
+/// One chunk of a localized view: a maximal run that is contiguous both in
+/// view indices and in the owning base container's storage.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalizedRun {
+    /// First view index of the run.
+    pub view_lo: usize,
+    /// Container GIDs of the run.
+    pub gids: Range1d,
+    /// Base container holding the run (always on this location for a
+    /// native view).
+    pub bcid: Bcid,
+}
+
+impl LocalizedRun {
+    /// The view-index range this run covers (the chunk it serves).
+    pub fn view_range(&self) -> Range1d {
+        Range1d::new(self.view_lo, self.view_lo + self.gids.len())
+    }
+}
+
+/// The memoized result of [`ArrayView::localize`]: this location's chunks
+/// as storage runs, valid for one distribution epoch.
+/// [`ViewRead::local_chunks`] is derived from the runs, so the two can
+/// never fall out of sync.
+pub struct Localized {
+    /// Placement epoch of the container when this decomposition was built.
+    pub epoch: u64,
+    /// One entry per chunk: the storage run behind it, ascending by BCID.
+    pub runs: Vec<LocalizedRun>,
+}
 
 /// `array_1d_view`: identity-mapped view over a sub-range of an indexed
 /// container, with **native** alignment: this location's chunks are the
 /// intersection of the view's domain with the container's local
 /// sub-domains, so processing a native view touches only local storage.
+///
+/// The chunk decomposition ([`ArrayView::localize`]) is memoized per view
+/// and invalidated by the container's distribution epoch, so repeated
+/// algorithm calls on the same view do not recompute it.
 pub struct ArrayView<C: IndexedContainer> {
     c: C,
     dom: Range1d,
+    memo: RefCell<Option<Rc<Localized>>>,
 }
 
 impl<C: IndexedContainer + Clone> Clone for ArrayView<C> {
     fn clone(&self) -> Self {
-        ArrayView { c: self.c.clone(), dom: self.dom }
+        ArrayView {
+            c: self.c.clone(),
+            dom: self.dom,
+            memo: RefCell::new(self.memo.borrow().clone()),
+        }
     }
 }
 
@@ -27,13 +71,13 @@ impl<C: IndexedContainer> ArrayView<C> {
     /// View over the whole container (the container's native pView).
     pub fn new(c: C) -> Self {
         let dom = Range1d::with_size(c.global_size());
-        ArrayView { c, dom }
+        ArrayView { c, dom, memo: RefCell::new(None) }
     }
 
     /// View over GIDs `[r.lo, r.hi)` of the container.
     pub fn over(c: C, r: Range1d) -> Self {
         assert!(r.hi <= c.global_size());
-        ArrayView { c, dom: r }
+        ArrayView { c, dom: r, memo: RefCell::new(None) }
     }
 
     /// Restricts to a sub-range of *view* indices.
@@ -45,6 +89,7 @@ impl<C: IndexedContainer> ArrayView<C> {
         ArrayView {
             c: self.c.clone(),
             dom: Range1d::new(self.dom.lo + r.lo, self.dom.lo + r.hi),
+            memo: RefCell::new(None),
         }
     }
 
@@ -61,9 +106,44 @@ impl<C: IndexedContainer> ArrayView<C> {
     pub fn domain(&self) -> Range1d {
         self.dom
     }
+
 }
 
-impl<C: IndexedContainer> ViewRead for ArrayView<C> {
+impl<C: RangedContainer> ArrayView<C> {
+    /// Computes this location's chunk/run decomposition: the intersection
+    /// of the view domain with the local storage-contiguous pieces
+    /// ([`RangedContainer::local_pieces`] — one run per block for
+    /// block-cyclic sub-domains).
+    fn compute_localized(&self, epoch: u64) -> Localized {
+        let mut runs = Vec::new();
+        for (bcid, piece) in self.c.local_pieces() {
+            let i = piece.intersect(&self.dom);
+            if i.is_empty() {
+                continue;
+            }
+            runs.push(LocalizedRun { view_lo: i.lo - self.dom.lo, gids: i, bcid });
+        }
+        Localized { epoch, runs }
+    }
+
+    /// The localized decomposition of this view, memoized per distribution
+    /// epoch: repeated algorithm calls on the same view reuse it instead
+    /// of re-walking the partition metadata.
+    pub fn localize(&self) -> Rc<Localized> {
+        let epoch = self.c.distribution_epoch();
+        let mut memo = self.memo.borrow_mut();
+        if let Some(l) = memo.as_ref() {
+            if l.epoch == epoch {
+                return l.clone();
+            }
+        }
+        let l = Rc::new(self.compute_localized(epoch));
+        *memo = Some(l.clone());
+        l
+    }
+}
+
+impl<C: RangedContainer> ViewRead for ArrayView<C> {
     type Value = C::Value;
 
     fn len(&self) -> usize {
@@ -79,47 +159,27 @@ impl<C: IndexedContainer> ViewRead for ArrayView<C> {
     }
 
     fn local_chunks(&self) -> Vec<Range1d> {
-        // Native alignment: intersect local sub-domains with the view
-        // domain (block-cyclic sub-domains contribute their contiguous
-        // runs).
-        let mut chunks = Vec::new();
-        for (_, sd) in self.c.local_subdomains() {
-            match sd {
-                stapl_core::partition::IndexSubDomain::Contiguous(r) => {
-                    let i = r.intersect(&self.dom);
-                    if !i.is_empty() {
-                        chunks.push(Range1d::new(i.lo - self.dom.lo, i.hi - self.dom.lo));
-                    }
-                }
-                other => {
-                    // Strided sub-domain: emit per-block contiguous runs.
-                    let mut run_start: Option<usize> = None;
-                    let mut prev = 0usize;
-                    for g in other.iter() {
-                        if !self.dom.contains(&g) {
-                            continue;
-                        }
-                        match run_start {
-                            None => run_start = Some(g),
-                            Some(_) if g == prev + 1 => {}
-                            Some(s) => {
-                                chunks.push(Range1d::new(s - self.dom.lo, prev + 1 - self.dom.lo));
-                                run_start = Some(g);
-                            }
-                        }
-                        prev = g;
-                    }
-                    if let Some(s) = run_start {
-                        chunks.push(Range1d::new(s - self.dom.lo, prev + 1 - self.dom.lo));
-                    }
+        // Native alignment, served from the memoized decomposition.
+        self.localize().runs.iter().map(|r| r.view_range()).collect()
+    }
+
+    fn for_each_chunk(&self, mut f: impl FnMut(usize, &[C::Value])) {
+        for run in &self.localize().runs {
+            let served = self.c.with_slice(run.bcid, run.gids, |s| f(run.view_lo, s));
+            match served {
+                Some(()) => self.location().note_localized_chunk(),
+                None => {
+                    // Boxed / non-sliceable storage: still one borrow and
+                    // one buffer per chunk, via the bulk path.
+                    let buf = self.c.get_range(run.gids);
+                    f(run.view_lo, &buf);
                 }
             }
         }
-        chunks
     }
 }
 
-impl<C: IndexedContainer> ViewWrite for ArrayView<C> {
+impl<C: RangedContainer> ViewWrite for ArrayView<C> {
     fn set(&self, k: usize, v: C::Value) {
         self.c.set_element(self.gid_of(k), v);
     }
@@ -129,6 +189,39 @@ impl<C: IndexedContainer> ViewWrite for ArrayView<C> {
         F: FnOnce(&mut C::Value) + Send + 'static,
     {
         self.c.apply_set(self.gid_of(k), f);
+    }
+
+    fn fill_from(&self, mut gen: impl FnMut(Range1d) -> Vec<C::Value>) {
+        for run in &self.localize().runs {
+            let view = Range1d::new(run.view_lo, run.view_lo + run.gids.len());
+            let vals = gen(view);
+            debug_assert_eq!(vals.len(), view.len(), "fill_from generator length mismatch");
+            let served = self.c.with_slice_mut(run.bcid, run.gids, |s| s.clone_from_slice(&vals));
+            match served {
+                Some(()) => self.location().note_localized_chunk(),
+                None => self.c.set_range(run.gids.lo, vals),
+            }
+        }
+    }
+
+    fn apply_chunks<F>(&self, f: F)
+    where
+        F: Fn(&mut C::Value) + Clone + Send + 'static,
+    {
+        for run in &self.localize().runs {
+            let served = self.c.with_slice_mut(run.bcid, run.gids, |s| {
+                for v in s {
+                    f(v);
+                }
+            });
+            match served {
+                Some(()) => self.location().note_localized_chunk(),
+                None => {
+                    let f = f.clone();
+                    self.c.apply_range(run.gids, move |_, v| f(v));
+                }
+            }
+        }
     }
 }
 
@@ -161,6 +254,10 @@ impl<V: ViewRead> ViewRead for RoView<V> {
 
     fn local_chunks(&self) -> Vec<Range1d> {
         self.inner.local_chunks()
+    }
+
+    fn for_each_chunk(&self, f: impl FnMut(usize, &[Self::Value])) {
+        self.inner.for_each_chunk(f);
     }
 }
 
@@ -324,6 +421,14 @@ where
     fn local_chunks(&self) -> Vec<Range1d> {
         self.inner.local_chunks()
     }
+
+    fn for_each_chunk(&self, mut f: impl FnMut(usize, &[W])) {
+        // Inherit the inner view's localization; transform per chunk.
+        self.inner.for_each_chunk(|lo, s| {
+            let mapped: Vec<W> = s.iter().map(|v| (self.f)(v.clone())).collect();
+            f(lo, &mapped);
+        });
+    }
 }
 
 /// `overlap_pview` (Fig. 2): element `i` is the window
@@ -389,7 +494,7 @@ pub fn native_view<C: IndexedContainer>(c: C) -> ArrayView<C> {
 }
 
 /// Builds a balanced view over the whole container.
-pub fn balanced_view<C: IndexedContainer>(c: C) -> BalancedView<ArrayView<C>> {
+pub fn balanced_view<C: RangedContainer>(c: C) -> BalancedView<ArrayView<C>> {
     BalancedView::new(ArrayView::new(c))
 }
 
@@ -397,7 +502,7 @@ pub fn balanced_view<C: IndexedContainer>(c: C) -> BalancedView<ArrayView<C>> {
 mod tests {
     use super::*;
     use stapl_containers::array::PArray;
-    use stapl_core::interfaces::ElementRead;
+    use stapl_core::interfaces::{ElementRead, PContainer};
     use stapl_rts::{execute, RtsConfig};
 
     #[test]
@@ -496,6 +601,96 @@ mod tests {
             assert_eq!(v.window(1), vec![2, 3, 4, 5, 6]);
             assert_eq!(v.window(3), vec![6, 7, 8, 9, 10]);
             let _ = loc;
+        });
+    }
+
+    #[test]
+    fn localize_is_memoized_until_redistribution() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 16, |i| i as u64);
+            let v = ArrayView::new(a.clone());
+            let l1 = v.localize();
+            let l2 = v.localize();
+            assert!(std::rc::Rc::ptr_eq(&l1, &l2), "second call must reuse the memo");
+            let chunks: Vec<_> = l1.runs.iter().map(|r| r.view_range()).collect();
+            assert_eq!(chunks, v.local_chunks());
+            // Redistribution bumps the epoch and invalidates the memo.
+            a.redistribute(
+                Box::new(stapl_core::partition::BlockedPartition::new(16, 3)),
+                Box::new(stapl_core::mapper::CyclicMapper::new(loc.nlocs())),
+            );
+            let l3 = v.localize();
+            assert!(!std::rc::Rc::ptr_eq(&l1, &l3), "epoch change must invalidate the memo");
+            let covered: u64 =
+                loc.allreduce_sum(l3.runs.iter().map(|r| r.gids.len() as u64).sum());
+            assert_eq!(covered, 16);
+        });
+    }
+
+    #[test]
+    fn for_each_chunk_sees_local_slices() {
+        execute(RtsConfig::unbuffered(), 4, |loc| {
+            let a = PArray::from_fn(loc, 37, |i| i as i64);
+            let v = ArrayView::new(a.clone());
+            let before = loc.stats();
+            let mut seen = Vec::new();
+            v.for_each_chunk(|lo, s| {
+                for (k, val) in s.iter().enumerate() {
+                    assert_eq!(*val, (lo + k) as i64);
+                    seen.push(lo + k);
+                }
+            });
+            let after = loc.stats();
+            assert_eq!(seen.len(), a.local_size());
+            assert_eq!(
+                after.remote_requests, before.remote_requests,
+                "native chunk iteration must be communication-free"
+            );
+            assert!(after.localized_chunks > before.localized_chunks);
+            assert_eq!(after.element_fallbacks, before.element_fallbacks);
+            let total = loc.allreduce_sum(seen.len() as u64);
+            assert_eq!(total, 37);
+        });
+    }
+
+    #[test]
+    fn fill_from_and_apply_chunks_localized() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let a = PArray::new(loc, 20, 0i64);
+            let v = ArrayView::new(a.clone());
+            v.fill_from(|r| r.iter().map(|k| k as i64 * 2).collect());
+            loc.barrier();
+            for i in 0..20 {
+                assert_eq!(a.get_element(i), i as i64 * 2);
+            }
+            // Phase separation: no location may start mutating while a
+            // peer is still reading.
+            loc.barrier();
+            v.apply_chunks(|x| *x += 1);
+            loc.barrier();
+            for i in 0..20 {
+                assert_eq!(a.get_element(i), i as i64 * 2 + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn subview_chunks_localize_too() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let a = PArray::from_fn(loc, 12, |i| i as u32);
+            let v = ArrayView::new(a).subview(Range1d::new(3, 11));
+            let mut collected: Vec<(usize, u32)> = Vec::new();
+            v.for_each_chunk(|lo, s| {
+                for (k, val) in s.iter().enumerate() {
+                    collected.push((lo + k, *val));
+                }
+            });
+            for (k, val) in collected {
+                assert_eq!(val, (k + 3) as u32);
+            }
+            let covered: u64 =
+                loc.allreduce_sum(v.local_chunks().iter().map(|c| c.len() as u64).sum());
+            assert_eq!(covered, 8);
         });
     }
 

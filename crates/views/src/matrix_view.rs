@@ -47,6 +47,20 @@ impl<T: Send + Clone + 'static> ViewRead for RowView<T> {
             .map(|(_, b)| b.cols)
             .collect()
     }
+
+    fn for_each_chunk(&self, mut f: impl FnMut(usize, &[T])) {
+        // Local chunks are within-block row segments: direct slices.
+        for ch in self.local_chunks() {
+            let served = self.m.with_row_slice(self.row, ch, |s| f(ch.lo, s));
+            match served {
+                Some(()) => self.location().note_localized_chunk(),
+                None => {
+                    let buf = self.m.get_row_range(self.row, ch);
+                    f(ch.lo, &buf);
+                }
+            }
+        }
+    }
 }
 
 impl<T: Send + Clone + 'static> ViewWrite for RowView<T> {
@@ -59,6 +73,19 @@ impl<T: Send + Clone + 'static> ViewWrite for RowView<T> {
         F: FnOnce(&mut T) + Send + 'static,
     {
         self.m.apply_set((self.row, k), f);
+    }
+
+    fn fill_from(&self, mut gen: impl FnMut(Range1d) -> Vec<T>) {
+        for ch in self.local_chunks() {
+            let vals = gen(ch);
+            debug_assert_eq!(vals.len(), ch.len());
+            let served =
+                self.m.with_row_slice_mut(self.row, ch, |s| s.clone_from_slice(&vals));
+            match served {
+                Some(()) => self.location().note_localized_chunk(),
+                None => self.m.set_row_range(self.row, ch.lo, vals),
+            }
+        }
     }
 }
 
@@ -152,17 +179,47 @@ impl<T: Send + Clone + 'static> RowsView<T> {
     }
 
     /// Fast whole-row access when the row is entirely local (row-blocked
-    /// layout); falls back to element reads otherwise.
+    /// layout); otherwise assembles the row from **bulk** per-block
+    /// transfers — one RMI per remote block, never per element.
     pub fn read_row(&self, r: usize) -> Vec<T> {
         match self.m.local_row(r) {
             Some(row) => row,
-            None => (0..self.m.ncols()).map(|c| self.m.get_element((r, c))).collect(),
+            None => self.m.get_row_range(r, Range1d::with_size(self.m.ncols())),
         }
+    }
+
+    /// Localization decision for each row this location processes: rows
+    /// whose storage is one local block read at sequential speed
+    /// ([`PMatrix::local_row`]); the rest pay one bulk transfer per remote
+    /// block. The matrix counterpart of `ArrayView::localize`.
+    pub fn localize(&self) -> Vec<(usize, RowLocality)> {
+        self.local_rows()
+            .into_iter()
+            .flat_map(|rr| rr.iter())
+            .map(|r| {
+                let whole_local = self
+                    .m
+                    .local_blocks()
+                    .iter()
+                    .any(|(_, b)| b.rows.contains(&r) && b.ncols() == self.m.ncols());
+                (r, if whole_local { RowLocality::Local } else { RowLocality::Distributed })
+            })
+            .collect()
     }
 
     pub fn location(&self) -> &Location {
         self.m.location()
     }
+}
+
+/// Whether a row of a [`RowsView`] is served by a single local block or
+/// needs (bulk) communication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowLocality {
+    /// The whole row lives in one local block: slice-speed access.
+    Local,
+    /// The row spans remote blocks: one bulk transfer per block.
+    Distributed,
 }
 
 /// The matrix linearized row-major as a 1-D view — the "same pMatrix
@@ -216,6 +273,28 @@ impl<T: Send + Clone + 'static> ViewRead for LinearView<T> {
             }
         }
     }
+
+    fn for_each_chunk(&self, mut f: impl FnMut(usize, &[T])) {
+        let ncols = self.m.ncols();
+        for ch in self.local_chunks() {
+            // A linear chunk decomposes into per-row segments; each is a
+            // local slice or one bulk transfer per remote block.
+            let mut k = ch.lo;
+            while k < ch.hi {
+                let (r, c) = (k / ncols, k % ncols);
+                let cols = Range1d::new(c, ncols.min(c + (ch.hi - k)));
+                let served = self.m.with_row_slice(r, cols, |s| f(k, s));
+                match served {
+                    Some(()) => self.location().note_localized_chunk(),
+                    None => {
+                        let buf = self.m.get_row_range(r, cols);
+                        f(k, &buf);
+                    }
+                }
+                k += cols.len();
+            }
+        }
+    }
 }
 
 impl<T: Send + Clone + 'static> ViewWrite for LinearView<T> {
@@ -228,6 +307,25 @@ impl<T: Send + Clone + 'static> ViewWrite for LinearView<T> {
         F: FnOnce(&mut T) + Send + 'static,
     {
         self.m.apply_set(self.map(k), f);
+    }
+
+    fn fill_from(&self, mut gen: impl FnMut(Range1d) -> Vec<T>) {
+        let ncols = self.m.ncols();
+        for ch in self.local_chunks() {
+            let mut k = ch.lo;
+            while k < ch.hi {
+                let (r, c) = (k / ncols, k % ncols);
+                let cols = Range1d::new(c, ncols.min(c + (ch.hi - k)));
+                let vals = gen(Range1d::new(k, k + cols.len()));
+                debug_assert_eq!(vals.len(), cols.len());
+                let served = self.m.with_row_slice_mut(r, cols, |s| s.clone_from_slice(&vals));
+                match served {
+                    Some(()) => self.location().note_localized_chunk(),
+                    None => self.m.set_row_range(r, cols.lo, vals),
+                }
+                k += cols.len();
+            }
+        }
     }
 }
 
@@ -276,9 +374,76 @@ mod tests {
         execute(RtsConfig::default(), 2, |loc| {
             let m = PMatrix::from_fn(loc, 3, 4, MatrixLayout::ColumnBlocked, |r, c| r * 4 + c);
             let rows = RowsView::new(m);
-            // No row is whole-local under column blocking; remote reads.
+            // No row is whole-local under column blocking; one bulk
+            // transfer per remote block instead of per-element reads.
             assert_eq!(rows.read_row(1), vec![4, 5, 6, 7]);
+            for (_, locality) in rows.localize() {
+                assert_eq!(locality, RowLocality::Distributed);
+            }
             let _ = loc;
+        });
+    }
+
+    #[test]
+    fn rows_view_localize_classifies_row_blocked_rows_local() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m = PMatrix::from_fn(loc, 4, 3, MatrixLayout::RowBlocked, |r, c| r * 3 + c);
+            let rows = RowsView::new(m);
+            let classified = rows.localize();
+            assert!(!classified.is_empty());
+            for (r, locality) in classified {
+                assert_eq!(locality, RowLocality::Local, "row {r}");
+            }
+            let _ = loc;
+        });
+    }
+
+    #[test]
+    fn row_view_chunked_reads_and_fills() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m = PMatrix::from_fn(loc, 4, 6, MatrixLayout::ColumnBlocked, |r, c| (r * 6 + c) as i64);
+            let row = RowView::new(m.clone(), 2);
+            let mut got: Vec<(usize, i64)> = Vec::new();
+            row.for_each_chunk(|lo, s| {
+                for (k, v) in s.iter().enumerate() {
+                    got.push((lo + k, *v));
+                }
+            });
+            for (c, v) in &got {
+                assert_eq!(*v, (2 * 6 + c) as i64);
+            }
+            let covered = loc.allreduce_sum(got.len() as u64);
+            assert_eq!(covered, 6);
+            loc.barrier();
+            row.fill_from(|r| r.iter().map(|c| -(c as i64)).collect());
+            loc.rmi_fence();
+            for c in 0..6 {
+                assert_eq!(m.get_element((2, c)), -(c as i64));
+            }
+        });
+    }
+
+    #[test]
+    fn linear_view_chunked_matches_row_major() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let m = PMatrix::from_fn(loc, 4, 5, MatrixLayout::RowBlocked, |r, c| r * 5 + c);
+            let v = LinearView::new(m.clone());
+            let mut got: Vec<(usize, usize)> = Vec::new();
+            v.for_each_chunk(|lo, s| {
+                for (k, val) in s.iter().enumerate() {
+                    got.push((lo + k, *val));
+                }
+            });
+            for (k, val) in &got {
+                assert_eq!(val, k, "linearized element {k}");
+            }
+            assert_eq!(loc.allreduce_sum(got.len() as u64), 20);
+            loc.barrier();
+            v.fill_from(|r| r.iter().map(|k| k * 10).collect());
+            loc.barrier();
+            for k in 0..20 {
+                assert_eq!(v.get(k), k * 10);
+            }
         });
     }
 

@@ -32,6 +32,27 @@ pub trait ViewRead {
     /// View-index ranges this location should process. The union over all
     /// locations is exactly `[0, len())`; chunks are disjoint.
     fn local_chunks(&self) -> Vec<Range1d>;
+
+    /// Chunk-at-a-time read: calls `f(view_lo, values)` over consecutive
+    /// sub-ranges that exactly cover [`ViewRead::local_chunks`] in order,
+    /// where `values[i]` is element `view_lo + i`. Implementations may
+    /// subdivide a chunk (e.g. one call per storage run or matrix row).
+    /// The default gathers element-wise (and records the elements as
+    /// `element_fallbacks`); localized views override it with direct
+    /// slice borrows and one bulk RMI per remote run.
+    fn for_each_chunk(&self, mut f: impl FnMut(usize, &[Self::Value]))
+    where
+        Self: Sized,
+    {
+        for ch in self.local_chunks() {
+            if ch.is_empty() {
+                continue;
+            }
+            self.location().note_element_fallbacks(ch.len() as u64);
+            let buf: Vec<Self::Value> = ch.iter().map(|k| self.get(k)).collect();
+            f(ch.lo, &buf);
+        }
+    }
 }
 
 /// Write operations of a one-dimensional view.
@@ -43,6 +64,50 @@ pub trait ViewWrite: ViewRead {
     fn apply<F>(&self, k: usize, f: F)
     where
         F: FnOnce(&mut Self::Value) + Send + 'static;
+
+    /// Chunk-at-a-time generation: calls `gen(r)` over consecutive
+    /// sub-ranges covering [`ViewRead::local_chunks`] and writes the
+    /// returned values (which must be `r.len()` long) to `r`.
+    /// Implementations may subdivide a chunk. The default writes
+    /// element-wise; localized views override with one slice write per
+    /// local run and one bulk RMI per remote run.
+    fn fill_from(&self, mut gen: impl FnMut(Range1d) -> Vec<Self::Value>)
+    where
+        Self: Sized,
+    {
+        for ch in self.local_chunks() {
+            if ch.is_empty() {
+                continue;
+            }
+            let vals = gen(ch);
+            debug_assert_eq!(vals.len(), ch.len(), "fill_from generator length mismatch");
+            self.location().note_element_fallbacks(ch.len() as u64);
+            for (k, v) in ch.iter().zip(vals) {
+                self.set(k, v);
+            }
+        }
+    }
+
+    /// Chunk-at-a-time in-place update: applies `f` to every element of
+    /// this location's chunks. The default ships `f` element-wise with
+    /// [`ViewWrite::apply`] (owner-side execution, one request per
+    /// element); localized views override with direct slice mutation and
+    /// one `apply_range` RMI per remote run.
+    fn apply_chunks<F>(&self, f: F)
+    where
+        Self: Sized,
+        F: Fn(&mut Self::Value) + Clone + Send + 'static,
+    {
+        for ch in self.local_chunks() {
+            if ch.is_empty() {
+                continue;
+            }
+            self.location().note_element_fallbacks(ch.len() as u64);
+            for k in ch.iter() {
+                self.apply(k, f.clone());
+            }
+        }
+    }
 }
 
 /// Splits `[0, n)` into `parts` balanced consecutive chunks; chunk `i`.
