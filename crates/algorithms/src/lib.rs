@@ -12,7 +12,12 @@
 //! * [`euler`] — the Euler-tour technique and its applications
 //!   (rooting, depth, subtree size);
 //! * [`graph_algos`] — find-sources, BFS, connected components, PageRank;
-//! * [`mapreduce`] — MapReduce with owner-side combining + word count;
+//! * [`segmented`] — segment-at-a-time algorithms for the dynamic
+//!   containers (`p_copy_segmented`, `p_equal_segmented`,
+//!   `p_reduce_segmented`): one RMI per (owner, base-container segment)
+//!   where the `_elementwise` fallbacks pay one per element;
+//! * [`mapreduce`] — MapReduce with owner-side combining + word count,
+//!   including the bucket-grained `p_map_reduce_kv` over `MapView`;
 //! * [`paragraph_algos`] — the `_pg` entry points: the same algorithms
 //!   scheduled through the PARAGRAPH task-graph executor
 //!   (`stapl-paragraph`), with optional work stealing for skewed
@@ -25,6 +30,7 @@ pub mod map_func;
 pub mod mapreduce;
 pub mod numeric;
 pub mod paragraph_algos;
+pub mod segmented;
 pub mod sorting;
 
 pub mod prelude {
@@ -40,10 +46,13 @@ pub mod prelude {
         p_min_element, p_reduce, p_reduce_view, p_replace_if, p_sum, p_transform,
         p_transform_elementwise,
     };
-    pub use crate::mapreduce::{map_reduce, synthetic_corpus, word_count};
+    pub use crate::mapreduce::{
+        map_reduce, p_map_reduce_kv, synthetic_corpus, word_count, word_count_kv,
+    };
     pub use crate::numeric::{p_partial_sum, p_prefix_sum_i64, p_prefix_sum_u64};
     pub use crate::paragraph_algos::{
         map_reduce_pg, p_for_each_pg, p_generate_pg, p_reduce_pg,
     };
+    pub use crate::segmented::{p_copy_segmented, p_equal_segmented, p_reduce_segmented};
     pub use crate::sorting::{p_is_sorted, p_sort};
 }

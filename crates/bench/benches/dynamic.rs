@@ -1,0 +1,101 @@
+//! Dynamic-container bulk-transport benches: segment-at-a-time vs
+//! element-wise over pList slabs, plus the bucket-grained vs per-pair
+//! MapReduce shuffle.
+//!
+//! See `experiments dynamic` for the paper-style table with the rts stats
+//! (remote requests, segment requests) over larger instances.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stapl_algorithms::map_func::p_copy_elementwise;
+use stapl_algorithms::mapreduce::{map_reduce, synthetic_corpus, word_count_kv};
+use stapl_algorithms::segmented::p_copy_segmented;
+use stapl_containers::associative::PHashMap;
+use stapl_containers::list::PList;
+use stapl_core::interfaces::{AssociativeContainer, PContainer};
+use stapl_rts::{execute, RtsConfig};
+use stapl_views::assoc_view::MapView;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(150))
+        .without_plots()
+}
+
+/// Twin pLists with every destination slab migrated one location over, so
+/// the copy pays full remote traffic in both modes.
+fn run_copy(per: usize, segmented: bool) {
+    execute(RtsConfig::default(), 4, move |loc| {
+        let src: PList<u64> = PList::new(loc);
+        let dst: PList<u64> = PList::new(loc);
+        for i in 0..per {
+            src.push_anywhere((loc.id() * per + i) as u64);
+            dst.push_anywhere(0);
+        }
+        src.commit();
+        dst.commit();
+        if loc.id() == 0 {
+            for sid in 0..loc.nlocs() {
+                dst.migrate_bcontainer(sid, (sid + 1) % loc.nlocs());
+            }
+        }
+        loc.rmi_fence();
+        if segmented {
+            p_copy_segmented(&src, &dst);
+        } else {
+            p_copy_elementwise(&src, &dst);
+        }
+    });
+}
+
+fn copy_modes(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("dynamic_copy");
+    for segmented in [true, false] {
+        let label = if segmented { "segmented" } else { "elementwise" };
+        grp.bench_function(label, |b| b.iter(|| run_copy(2_000, segmented)));
+    }
+    grp.finish();
+}
+
+/// Word count over a distributed document collection: bucket-grained
+/// `p_map_reduce_kv` vs the per-pair streaming shuffle.
+fn run_word_count(words: usize, chunked: bool) {
+    execute(RtsConfig::default(), 4, move |loc| {
+        let docs: PHashMap<u64, String> = PHashMap::new(loc);
+        let text = synthetic_corpus(loc, words, 300, 23);
+        docs.insert_async(loc.id() as u64, text.clone());
+        docs.commit();
+        let counts: PHashMap<String, u64> = PHashMap::new(loc);
+        if chunked {
+            word_count_kv(&MapView::new(docs), &counts);
+        } else {
+            map_reduce(
+                &counts,
+                text.split_whitespace(),
+                |w, emit| emit(w.to_string(), 1),
+                0,
+                |acc, v| *acc += v,
+            );
+        }
+        assert!(counts.global_size() > 0);
+    });
+}
+
+fn word_count_modes(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("dynamic_word_count");
+    for chunked in [true, false] {
+        let label = if chunked { "chunked_kv" } else { "per_pair" };
+        grp.bench_function(label, |b| b.iter(|| run_word_count(5_000, chunked)));
+    }
+    grp.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = copy_modes, word_count_modes
+}
+criterion_main!(benches);

@@ -8,6 +8,7 @@
 //! Figure ids: fig27 fig28 fig30 fig31 fig32 fig33 fig34 fig39 fig40
 //!             fig41 fig42 fig43 fig44 fig49 fig51 fig52 fig53 fig56
 //!             fig59 fig60 fig62 agg ths executor directory localize
+//!             dynamic
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -1090,6 +1091,242 @@ fn localize_exp() {
     );
 }
 
+/// Dynamic-container bulk transport: segment-at-a-time vs element-wise
+/// over pList slabs and pAssoc buckets. Three stats-asserted scenarios
+/// (wall-clock-independent, so the CI perf-smoke job is stable):
+///
+/// * traversal — location 0 reads the whole pList: GID walk
+///   (`next_gid` + `try_get` per element, O(N) sync RMIs) vs one
+///   `get_segment` per slab (O(slabs));
+/// * copy — `p_copy_segmented` vs `p_copy_elementwise` between twin
+///   pLists whose destination slabs were all migrated one location over
+///   (every write remote);
+/// * word-count — `p_map_reduce_kv` over a `MapView` of documents
+///   (local combine + one merge RMI per (owner, bucket)) vs the per-pair
+///   `map_reduce` shuffle, result checked against a sequential model.
+fn dynamic_exp() {
+    use std::collections::HashMap;
+    use stapl_views::assoc_view::MapView;
+
+    let per = 500usize; // pList elements per location
+    let mut t = Table::new(
+        "Dynamic bulk transport: segmented vs element-wise (pList slabs, pAssoc buckets)",
+        &["scenario", "P", "mode", "time", "remote reqs", "segment reqs"],
+    );
+    // remote-request deltas at P=4, [segmented, element-wise], per scenario.
+    let mut traversal_p4 = [0u64; 2];
+    let mut copy_p4 = [0u64; 2];
+    let mut wordcount_p4 = [0u64; 2];
+
+    for p in PS {
+        for (mode_ix, segmented) in [(0usize, true), (1usize, false)] {
+            let (secs, remote, segs) = run(RtsConfig::default(), p, move |loc| {
+                let l: PList<u64> = PList::new(loc);
+                for i in 0..per {
+                    l.push_anywhere((loc.id() * per + i) as u64);
+                }
+                l.commit();
+                loc.rmi_fence();
+                let before = loc.stats();
+                let n = per * loc.nlocs();
+                let secs = time_kernel_nofence(loc, || {
+                    if loc.id() == 0 {
+                        let (mut sum, mut count) = (0u64, 0usize);
+                        if segmented {
+                            for sid in l.segments() {
+                                for (_, v) in l.get_segment(sid) {
+                                    sum += v;
+                                    count += 1;
+                                }
+                            }
+                        } else {
+                            let mut cur = l.front_gid();
+                            while let Some(g) = cur {
+                                sum += l.try_get(g).expect("live element");
+                                count += 1;
+                                cur = l.next_gid(g);
+                            }
+                        }
+                        assert_eq!(count, n, "traversal must visit every element");
+                        assert_eq!(sum, (n as u64 - 1) * n as u64 / 2, "traversal corrupted");
+                    }
+                });
+                loc.barrier();
+                let after = loc.stats();
+                (
+                    secs,
+                    after.remote_requests - before.remote_requests,
+                    after.segment_requests - before.segment_requests,
+                )
+            });
+            if p == 4 {
+                traversal_p4[mode_ix] = remote;
+            }
+            t.row(vec![
+                "pList traversal".into(),
+                p.to_string(),
+                if segmented { "segmented" } else { "element-wise" }.into(),
+                fmt_time(secs),
+                remote.to_string(),
+                segs.to_string(),
+            ]);
+        }
+    }
+
+    for p in PS {
+        for (mode_ix, segmented) in [(0usize, true), (1usize, false)] {
+            let (secs, remote, segs) = run(RtsConfig::default(), p, move |loc| {
+                let src: PList<u64> = PList::new(loc);
+                let dst: PList<u64> = PList::new(loc);
+                for i in 0..per {
+                    src.push_anywhere((loc.id() * per + i) as u64);
+                    dst.push_anywhere(0);
+                }
+                src.commit();
+                dst.commit();
+                // Rotate every dst slab one location over: every write is
+                // remote, and stale owner hints must self-heal.
+                if loc.id() == 0 {
+                    for sid in 0..loc.nlocs() {
+                        dst.migrate_bcontainer(sid, (sid + 1) % loc.nlocs());
+                    }
+                }
+                loc.rmi_fence();
+                let before = loc.stats();
+                loc.barrier();
+                let secs = time_kernel_nofence(loc, || {
+                    if segmented {
+                        p_copy_segmented(&src, &dst);
+                    } else {
+                        p_copy_elementwise(&src, &dst);
+                    }
+                });
+                let after = loc.stats();
+                loc.barrier();
+                assert!(p_equal_segmented(&src, &dst), "copy corrupted");
+                (
+                    secs,
+                    after.remote_requests - before.remote_requests,
+                    after.segment_requests - before.segment_requests,
+                )
+            });
+            if p == 4 {
+                copy_p4[mode_ix] = remote;
+            }
+            t.row(vec![
+                "pList copy (migrated dst)".into(),
+                p.to_string(),
+                if segmented { "segmented" } else { "element-wise" }.into(),
+                fmt_time(secs),
+                remote.to_string(),
+                segs.to_string(),
+            ]);
+        }
+    }
+
+    let words_per_loc = 2_000usize;
+    for p in PS {
+        for (mode_ix, chunked) in [(0usize, true), (1usize, false)] {
+            let (secs, remote, segs) = run(RtsConfig::default(), p, move |loc| {
+                // Distributed documents: one corpus shard per location.
+                let docs: PHashMap<u64, String> = PHashMap::new(loc);
+                let text = synthetic_corpus(loc, words_per_loc, 500, 11);
+                docs.insert_async(loc.id() as u64, text.clone());
+                docs.commit();
+                // Sequential model over the full collection.
+                let texts: Vec<String> = loc.allgather(text);
+                let mut model: HashMap<String, u64> = HashMap::new();
+                for t in &texts {
+                    for w in t.split_whitespace() {
+                        *model.entry(w.to_string()).or_insert(0) += 1;
+                    }
+                }
+                let counts: PHashMap<String, u64> = PHashMap::new(loc);
+                loc.rmi_fence();
+                let before = loc.stats();
+                loc.barrier();
+                let secs = time_kernel_nofence(loc, || {
+                    if chunked {
+                        word_count_kv(&MapView::new(docs.clone()), &counts);
+                    } else {
+                        let mine = &texts[loc.id()];
+                        map_reduce(
+                            &counts,
+                            mine.split_whitespace(),
+                            |w, emit| emit(w.to_string(), 1),
+                            0,
+                            |acc, v| *acc += v,
+                        );
+                    }
+                });
+                let after = loc.stats();
+                // Both shuffles must reproduce the sequential model exactly.
+                assert_eq!(counts.global_size(), model.len(), "distinct-word count");
+                if loc.id() == 0 {
+                    let mut got = counts.collect_ordered();
+                    got.sort_unstable();
+                    let mut want: Vec<(String, u64)> = model.into_iter().collect();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "word counts disagree with the sequential model");
+                }
+                loc.barrier();
+                (
+                    secs,
+                    after.remote_requests - before.remote_requests,
+                    after.segment_requests - before.segment_requests,
+                )
+            });
+            if p == 4 {
+                wordcount_p4[mode_ix] = remote;
+            }
+            t.row(vec![
+                "word count (MapView)".into(),
+                p.to_string(),
+                if chunked { "chunked kv" } else { "per-pair" }.into(),
+                fmt_time(secs),
+                remote.to_string(),
+                segs.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    println!(
+        "P=4 remote requests, segmented vs element-wise — traversal: {} vs {} ({:.0}x), \
+         copy: {} vs {} ({:.0}x), word count: {} vs {} ({:.0}x)",
+        traversal_p4[0],
+        traversal_p4[1],
+        traversal_p4[1] as f64 / traversal_p4[0].max(1) as f64,
+        copy_p4[0],
+        copy_p4[1],
+        copy_p4[1] as f64 / copy_p4[0].max(1) as f64,
+        wordcount_p4[0],
+        wordcount_p4[1],
+        wordcount_p4[1] as f64 / wordcount_p4[0].max(1) as f64,
+    );
+    assert!(
+        traversal_p4[0] * 10 <= traversal_p4[1],
+        "segmented pList traversal must issue >= 10x fewer remote requests than the \
+         element-wise walk at P=4 (got {} vs {})",
+        traversal_p4[0],
+        traversal_p4[1]
+    );
+    assert!(
+        copy_p4[0] * 10 <= copy_p4[1],
+        "segmented pList copy must issue >= 10x fewer remote requests than the \
+         element-wise copy at P=4 (got {} vs {})",
+        copy_p4[0],
+        copy_p4[1]
+    );
+    assert!(
+        wordcount_p4[0] * 5 <= wordcount_p4[1],
+        "the bucket-grained shuffle must issue >= 5x fewer remote requests than the \
+         per-pair shuffle at P=4 (got {} vs {})",
+        wordcount_p4[0],
+        wordcount_p4[1]
+    );
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let all = which == "all";
@@ -1126,6 +1363,7 @@ fn main() {
     run_if("executor", &executor_exp);
     run_if("directory", &directory_exp);
     run_if("localize", &localize_exp);
+    run_if("dynamic", &dynamic_exp);
     if !ran {
         eprintln!("unknown experiment id: {which}");
         std::process::exit(1);

@@ -16,7 +16,9 @@ use std::collections::{BTreeMap, HashMap};
 use stapl_core::bcontainer::{BaseContainer, MemSize};
 use stapl_core::distribution::KeyDistribution;
 use stapl_core::gid::{Bcid, Key};
-use stapl_core::interfaces::{AssociativeContainer, DynamicPContainer, PContainer};
+use stapl_core::interfaces::{
+    AssociativeContainer, DynamicPContainer, PContainer, SegmentId, SegmentedContainer,
+};
 use stapl_core::location_manager::LocationManager;
 use stapl_core::mapper::CyclicMapper;
 use stapl_core::partition::{HashPartition, SplitterPartition};
@@ -36,6 +38,7 @@ pub trait KvStore<K, V>: Default + 'static {
     }
     fn clear(&mut self);
     fn for_each(&self, f: &mut dyn FnMut(&K, &V));
+    fn for_each_mut(&mut self, f: &mut dyn FnMut(&K, &mut V));
 }
 
 impl<K: Ord + 'static, V: 'static> KvStore<K, V> for BTreeMap<K, V> {
@@ -68,6 +71,12 @@ impl<K: Ord + 'static, V: 'static> KvStore<K, V> for BTreeMap<K, V> {
             f(k, v);
         }
     }
+
+    fn for_each_mut(&mut self, f: &mut dyn FnMut(&K, &mut V)) {
+        for (k, v) in self.iter_mut() {
+            f(k, v);
+        }
+    }
 }
 
 impl<K: Eq + std::hash::Hash + 'static, V: 'static> KvStore<K, V> for HashMap<K, V> {
@@ -97,6 +106,12 @@ impl<K: Eq + std::hash::Hash + 'static, V: 'static> KvStore<K, V> for HashMap<K,
 
     fn for_each(&self, f: &mut dyn FnMut(&K, &V)) {
         for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+
+    fn for_each_mut(&mut self, f: &mut dyn FnMut(&K, &mut V)) {
+        for (k, v) in self.iter_mut() {
             f(k, v);
         }
     }
@@ -151,6 +166,9 @@ pub struct AssocRep<K: 'static, V: 'static, S: 'static> {
     /// `global_size()` read can tell that `cached_size` may be stale.
     /// Cleared only by `commit()`/`clear()` (the collective refreshes).
     size_dirty: bool,
+    /// Bucket placement is static (the key distribution never changes), so
+    /// this only moves on `clear()` — the collective content reset.
+    segment_epoch: u64,
     _marker: std::marker::PhantomData<fn() -> V>,
 }
 
@@ -203,8 +221,14 @@ where
         for bcid in dist.bcids_of(loc.id()) {
             lm.add_bcontainer(bcid, AssocBc::default());
         }
-        let rep =
-            AssocRep { lm, dist, cached_size: 0, size_dirty: false, _marker: std::marker::PhantomData };
+        let rep = AssocRep {
+            lm,
+            dist,
+            cached_size: 0,
+            size_dirty: false,
+            segment_epoch: 0,
+            _marker: std::marker::PhantomData,
+        };
         let obj = PObject::register(loc, rep);
         loc.barrier();
         PAssoc { obj }
@@ -212,6 +236,13 @@ where
 
     fn locate(&self, k: &K) -> (Bcid, LocId) {
         self.obj.local().dist.locate(k)
+    }
+
+    /// The bucket (segment) `k` belongs to under this container's key
+    /// distribution — replicated metadata, no communication. The grouping
+    /// key for segment-grained shuffles ([`PAssoc::merge_segment`]).
+    pub fn bucket_of(&self, k: &K) -> SegmentId {
+        self.locate(k).0
     }
 
     fn me(&self) -> LocId {
@@ -276,26 +307,95 @@ where
         }
     }
 
-    /// **Collective.** All pairs ordered by (bcid, store order) — for a
-    /// splitter partition over a sorted store this is global key order.
+    /// All pairs ordered by (bcid, store order) — for a splitter partition
+    /// over a sorted store this is global key order.
+    ///
+    /// **One-sided** gather-to-caller over split RMIs: each peer ships its
+    /// buckets once (one response per location, merged here by BCID), so a
+    /// single caller pays O(n). The old implementation allreduced the
+    /// entire dataset — every location materialized all n pairs, O(n·P)
+    /// bytes on the wire, wanted or not. Locations that need the result
+    /// call this (any subset, concurrently); peers only need to be polling
+    /// (e.g. blocked in a fence or barrier). When *every* location wants
+    /// the data, [`PAssoc::collect_ordered_bcast`] is cheaper.
     pub fn collect_ordered(&self) -> Vec<(K, V)> {
-        let local: Vec<(Bcid, Vec<(K, V)>)> = {
-            let rep = self.obj.local();
-            rep.lm
-                .iter()
-                .map(|(bcid, bc)| {
-                    let mut pairs = Vec::with_capacity(bc.store.len());
-                    bc.store.for_each(&mut |k, v| pairs.push((k.clone(), v.clone())));
-                    (bcid, pairs)
-                })
-                .collect()
-        };
-        let mut all = self.obj.location().allreduce(local, |mut a, mut b| {
-            a.append(&mut b);
-            a
+        crate::gather_by_bcid(&self.obj, AssocRep::local_bucket_pairs)
+    }
+
+    /// **Collective.** The opt-in broadcast variant of
+    /// [`PAssoc::collect_ordered`]: location 0 gathers once (O(n) to the
+    /// root), then replicates the merged result to every location — the
+    /// pattern that *deliberately* pays the O(n·P) replication the plain
+    /// gather avoids, for the callers that want the old all-locations
+    /// semantics.
+    pub fn collect_ordered_bcast(&self) -> Vec<(K, V)> {
+        let loc = self.obj.location().clone();
+        let merged = if loc.id() == 0 { self.collect_ordered() } else { Vec::new() };
+        if loc.id() == 0 {
+            // The replication payload of the broadcast below (the board is
+            // the simulated wire).
+            loc.note_gather_items((merged.len() * (loc.nlocs() - 1)) as u64);
+        }
+        loc.broadcast(0, merged)
+    }
+
+    /// Asynchronous **bulk combine** into bucket `sid`: one RMI carrying
+    /// all `items` to the bucket's owner, where each value is merged into
+    /// the existing entry with `combine` (inserting `identity` first when
+    /// the key is absent) — the segment-grained sibling of
+    /// [`PAssoc::apply_or_insert`], and the shuffle primitive the chunked
+    /// MapReduce builds on (one message per (owner, bucket) instead of one
+    /// per pair).
+    pub fn merge_segment<C>(&self, sid: SegmentId, items: Vec<(K, V)>, identity: V, combine: C)
+    where
+        C: Fn(&mut V, V) + Clone + Send + 'static,
+    {
+        debug_assert!(
+            items.iter().all(|(k, _)| self.locate(k).0 == sid),
+            "merge_segment: a key does not belong to bucket {sid} (group with bucket_of)"
+        );
+        let owner = self.obj.local().dist.mapper().map(sid);
+        if owner != self.me() {
+            self.obj.location().note_segment_request();
+        }
+        self.obj.local_mut().size_dirty = true;
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            rep.size_dirty = true;
+            let store = &mut rep.lm.get_mut(sid).expect("assoc bcid").store;
+            for (k, v) in items {
+                // One lookup per existing key: this is the per-pair inner
+                // loop of the whole shuffle.
+                match store.get_mut(&k) {
+                    Some(slot) => combine(slot, v),
+                    None => {
+                        let mut fresh = identity.clone();
+                        combine(&mut fresh, v);
+                        store.insert(k, fresh);
+                    }
+                }
+            }
         });
-        all.sort_by_key(|(bcid, _)| *bcid);
-        all.into_iter().flat_map(|(_, p)| p).collect()
+    }
+}
+
+impl<K, V, S> AssocRep<K, V, S>
+where
+    K: Key,
+    V: Send + Clone + 'static,
+    S: KvStore<K, V>,
+{
+    /// This location's buckets as (bcid, pairs-in-store-order) — the
+    /// gather payload.
+    fn local_bucket_pairs(&self) -> crate::BcidPayload<(K, V)> {
+        self.lm
+            .iter()
+            .map(|(bcid, bc)| {
+                let mut pairs = Vec::with_capacity(bc.store.len());
+                bc.store.for_each(&mut |k, v| pairs.push((k.clone(), v.clone())));
+                (bcid, pairs)
+            })
+            .collect()
     }
 }
 
@@ -321,12 +421,14 @@ where
         if !self.obj.local().size_dirty {
             return self.obj.local().cached_size;
         }
-        let nlocs = self.obj.location().nlocs();
-        let futs: Vec<_> = (0..nlocs)
-            .map(|l| self.obj.invoke_split_at(l, |cell, _| cell.borrow().lm.local_len() as u64))
-            .collect();
-        let total: u64 = futs.into_iter().map(|f| f.get()).sum();
-        self.obj.local_mut().cached_size = total as usize;
+        // No point caching the sweep result: reads stay on this path (and
+        // re-pay the O(P) sweep) until the collective commit() clears the
+        // dirty flag and installs the agreed count.
+        let total: u64 = crate::sweep(&self.obj, |rep: &AssocRep<K, V, S>| {
+            rep.lm.local_len() as u64
+        })
+        .into_iter()
+        .sum();
         total as usize
     }
 
@@ -366,6 +468,7 @@ where
             rep.lm.clear();
             rep.cached_size = 0;
             rep.size_dirty = false;
+            rep.segment_epoch += 1;
         }
         loc.barrier();
     }
@@ -420,6 +523,122 @@ where
         self.obj.invoke_split_at(owner, move |cell, _| {
             cell.borrow().lm.get(bcid).expect("assoc bcid").store.get(&k).cloned()
         })
+    }
+}
+
+impl<K, V, S> SegmentedContainer for PAssoc<K, V, S>
+where
+    K: Key,
+    V: Send + Clone + 'static,
+    S: KvStore<K, V>,
+{
+    type ItemKey = K;
+    type ItemVal = V;
+
+    fn segments(&self) -> Vec<SegmentId> {
+        (0..self.obj.local().dist.num_subdomains()).collect()
+    }
+
+    fn local_segments(&self) -> Vec<SegmentId> {
+        self.obj.local().dist.bcids_of(self.me())
+    }
+
+    fn is_local_segment(&self, sid: SegmentId) -> bool {
+        self.obj.local().lm.get(sid).is_some()
+    }
+
+    fn segment_epoch(&self) -> u64 {
+        self.obj.local().segment_epoch
+    }
+
+    fn get_segment(&self, sid: SegmentId) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        if self.with_segment(sid, &mut |k, v| out.push((k.clone(), v.clone()))) {
+            return out;
+        }
+        self.obj.location().note_segment_request();
+        let owner = self.obj.local().dist.mapper().map(sid);
+        self.obj.invoke_ret_at(owner, move |cell, _| {
+            let rep = cell.borrow();
+            let mut pairs = Vec::new();
+            rep.lm
+                .get(sid)
+                .expect("assoc bcid")
+                .store
+                .for_each(&mut |k, v| pairs.push((k.clone(), v.clone())));
+            pairs
+        })
+    }
+
+    /// Bulk insert-or-overwrite of the pairs into bucket `sid` — one RMI
+    /// to the owner. The keys must belong to `sid` under the container's
+    /// key distribution (group with [`PAssoc::bucket_of`]; checked in
+    /// debug builds).
+    fn append_segment(&self, sid: SegmentId, items: Vec<(K, V)>) {
+        debug_assert!(
+            items.iter().all(|(k, _)| self.locate(k).0 == sid),
+            "append_segment: a key does not belong to bucket {sid} (group with bucket_of)"
+        );
+        let owner = self.obj.local().dist.mapper().map(sid);
+        if owner != self.me() {
+            self.obj.location().note_segment_request();
+        }
+        self.obj.local_mut().size_dirty = true;
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            rep.size_dirty = true;
+            let store = &mut rep.lm.get_mut(sid).expect("assoc bcid").store;
+            for (k, v) in items {
+                store.insert(k, v);
+            }
+        });
+    }
+
+    fn set_segment(&self, sid: SegmentId, items: Vec<(K, V)>) {
+        let owner = self.obj.local().dist.mapper().map(sid);
+        if owner != self.me() {
+            self.obj.location().note_segment_request();
+        }
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let store = &mut rep.lm.get_mut(sid).expect("assoc bcid").store;
+            for (k, v) in items {
+                if let Some(slot) = store.get_mut(&k) {
+                    *slot = v;
+                }
+            }
+        });
+    }
+
+    fn apply_segment<F>(&self, sid: SegmentId, f: F)
+    where
+        F: Fn(&K, &mut V) + Clone + Send + 'static,
+    {
+        let owner = self.obj.local().dist.mapper().map(sid);
+        if owner != self.me() {
+            self.obj.location().note_segment_request();
+        }
+        self.obj.invoke_at(owner, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let store = &mut rep.lm.get_mut(sid).expect("assoc bcid").store;
+            store.for_each_mut(&mut |k, v| f(k, v));
+        });
+    }
+
+    fn with_segment(&self, sid: SegmentId, f: &mut dyn FnMut(&K, &V)) -> bool {
+        let rep = self.obj.local();
+        let Some(bc) = rep.lm.get(sid) else { return false };
+        self.obj.location().note_localized_chunk();
+        bc.store.for_each(f);
+        true
+    }
+
+    fn with_segment_mut(&self, sid: SegmentId, f: &mut dyn FnMut(&K, &mut V)) -> bool {
+        let mut rep = self.obj.local_mut();
+        let Some(bc) = rep.lm.get_mut(sid) else { return false };
+        self.obj.location().note_localized_chunk();
+        bc.store.for_each_mut(f);
+        true
     }
 }
 
@@ -508,7 +727,9 @@ impl<K: Key + Ord> PSet<K> {
         self.map.global_size()
     }
 
-    /// **Collective.** Elements in global key order.
+    /// Elements in global key order — a **one-sided** gather to the
+    /// caller (see [`PAssoc::collect_ordered`]); only locations that
+    /// want the data should call.
     pub fn collect_ordered(&self) -> Vec<K> {
         self.map.collect_ordered().into_iter().map(|(k, _)| k).collect()
     }
@@ -789,6 +1010,98 @@ mod tests {
             }
             m.commit();
             assert_eq!(m.global_size(), 2);
+        });
+    }
+
+    #[test]
+    fn collect_ordered_gathers_instead_of_replicating() {
+        execute(RtsConfig::default(), 4, |loc| {
+            let m: PHashMap<u64, u64> = PHashMap::new(loc);
+            for k in 0..64u64 {
+                if k % loc.nlocs() as u64 == loc.id() as u64 {
+                    m.insert_async(k, k * 3);
+                }
+            }
+            m.commit();
+            // Snapshot, then barrier, so the root does not start gathering
+            // before every location has its baseline.
+            let before = loc.stats().gather_items;
+            loc.barrier();
+            // Root-only collection: the gather ships each remote pair once.
+            if loc.id() == 0 {
+                let got = m.collect_ordered();
+                assert_eq!(got.len(), 64);
+                let mut keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
+                keys.sort_unstable();
+                assert_eq!(keys, (0..64).collect::<Vec<u64>>());
+                assert!(got.iter().all(|(k, v)| *v == k * 3));
+            }
+            loc.barrier();
+            let gathered = loc.stats().gather_items - before;
+            // Regression: the old allreduce-based implementation replicated
+            // all n pairs to every location (O(n·P)); the gather moves each
+            // remote pair exactly once, to the single caller.
+            assert!(gathered > 0, "gather must ship payload");
+            assert!(gathered <= 64, "gather-to-root must move each pair at most once: {gathered}");
+            loc.barrier();
+            // The opt-in broadcast deliberately pays the O(n·P) replication.
+            let before = loc.stats().gather_items;
+            loc.barrier();
+            let all = m.collect_ordered_bcast();
+            assert_eq!(all.len(), 64, "broadcast variant returns the data everywhere");
+            loc.barrier();
+            let bcast = loc.stats().gather_items - before;
+            assert!(
+                bcast >= 3 * gathered,
+                "replicating to P locations must cost ≥ (P-1)× the single gather \
+                 ({bcast} !>= 3×{gathered})"
+            );
+        });
+    }
+
+    #[test]
+    fn segment_transport_matches_elementwise() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let m: PHashMap<u64, u64> = PHashMap::with_buckets(loc, 6);
+            if loc.id() == 0 {
+                for k in 0..30 {
+                    m.insert_async(k, k + 1);
+                }
+            }
+            m.commit();
+            // Bucket-at-a-time reads union to exactly the element-wise view.
+            let mut union: Vec<(u64, u64)> =
+                m.segments().iter().flat_map(|s| m.get_segment(*s)).collect();
+            union.sort_unstable();
+            assert_eq!(union, (0..30).map(|k| (k, k + 1)).collect::<Vec<_>>());
+            loc.barrier();
+            // Owner-side sweep: one closure per (owner, bucket).
+            if loc.id() == 1 {
+                for sid in m.segments() {
+                    m.apply_segment(sid, |k, v| *v += *k);
+                }
+            }
+            m.commit();
+            for k in 0..30 {
+                assert_eq!(m.find(k), Some(2 * k + 1));
+            }
+            // Bulk combine: one merge RMI per destination bucket.
+            if loc.id() == 2 {
+                let mut groups: std::collections::HashMap<usize, Vec<(u64, u64)>> =
+                    Default::default();
+                for k in 100..120u64 {
+                    groups.entry(m.bucket_of(&k)).or_default().push((k, 7));
+                }
+                for (sid, items) in groups {
+                    m.merge_segment(sid, items, 0, |a, b| *a += b);
+                }
+                assert_eq!(m.global_size(), 50, "dirty read sees the bulk merge");
+            }
+            m.commit();
+            assert_eq!(m.global_size(), 50);
+            for k in 100..120 {
+                assert_eq!(m.find(k), Some(7));
+            }
         });
     }
 

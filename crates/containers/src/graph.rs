@@ -22,10 +22,10 @@ use std::collections::BTreeMap;
 
 use stapl_core::bcontainer::{BaseContainer, MemSize};
 use stapl_core::directory::{
-    dir_insert, dir_migrate, dir_remove, dir_route, dir_route_ret, DirectoryShard, HasDirectory,
-    OwnerCache, Resolution,
+    dir_insert, dir_insert_bulk, dir_migrate, dir_remove, dir_route, dir_route_ret,
+    DirectoryShard, HasDirectory, OwnerCache, Resolution,
 };
-use stapl_core::interfaces::{PContainer, RelationalContainer};
+use stapl_core::interfaces::{PContainer, RelationalContainer, SegmentId, SegmentedContainer};
 use stapl_core::partition::{BalancedPartition, IndexPartition};
 use stapl_core::pobject::PObject;
 use stapl_rts::{LocId, Location, RmiFuture};
@@ -115,6 +115,14 @@ pub struct GraphRep<VP, EP> {
     next_vd: usize,
     cached_nvertices: usize,
     cached_nedges: usize,
+    /// Set on every count-changing mutation — at the issuing location when
+    /// the op is sent, and at the owning location when it lands — so
+    /// `num_vertices`/`num_edges` reads can tell the cached counts may be
+    /// stale. Cleared only by `commit()` (the collective refresh).
+    counts_dirty: bool,
+    /// Bumped whenever this location's vertex-partition membership changes
+    /// through migration (the segment-placement epoch).
+    segment_epoch: u64,
 }
 
 impl<VP: 'static, EP: 'static> HasDirectory<VertexDesc> for GraphRep<VP, EP> {
@@ -136,6 +144,19 @@ impl<VP: 'static, EP: 'static> HasDirectory<VertexDesc> for GraphRep<VP, EP> {
 }
 
 impl<VP, EP> GraphRep<VP, EP> {
+    /// Keeps this location's auto-descriptor generator (`add_vertex`
+    /// hands out `me + k·nlocs`) ahead of an explicitly chosen
+    /// descriptor that lands in its stride, so a later `add_vertex`
+    /// cannot silently reuse — and overwrite — an explicitly created
+    /// vertex. Descriptors in *other* locations' strides cannot be
+    /// protected from here; see the `add_vertex_with_descriptor` /
+    /// `append_segment` contract.
+    fn reserve_descriptor(&mut self, vd: VertexDesc, me: LocId) {
+        if vd % self.nlocs == me % self.nlocs && vd >= self.next_vd {
+            self.next_vd = vd + self.nlocs;
+        }
+    }
+
     fn add_edge_local(&mut self, e: Edge<EP>) {
         let v = self
             .vertices_mut()
@@ -211,6 +232,8 @@ where
             next_vd: loc.id(),
             cached_nvertices: n,
             cached_nedges: 0,
+            counts_dirty: false,
+            segment_epoch: 0,
         };
         let obj = PObject::register(loc, rep);
         loc.barrier();
@@ -236,6 +259,8 @@ where
             next_vd: loc.id(),
             cached_nvertices: 0,
             cached_nedges: 0,
+            counts_dirty: false,
+            segment_epoch: 0,
         };
         let obj = PObject::register(loc, rep);
         loc.barrier();
@@ -340,6 +365,7 @@ where
             rep.next_vd += rep.nlocs;
             let vertex = Vertex { descriptor: vd, property, edges: Vec::new() };
             rep.vertices_mut().insert(vd, vertex);
+            rep.counts_dirty = true;
             vd
         };
         dir_insert(&self.obj, vd, me, me);
@@ -347,7 +373,11 @@ where
     }
 
     /// Adds a vertex with a caller-chosen descriptor (dynamic graphs):
-    /// stored locally, registered in the directory.
+    /// stored locally, registered in the directory. The local
+    /// auto-descriptor generator is advanced past `vd` when it falls in
+    /// this location's stride; descriptors in *other* locations' strides
+    /// must not collide with their future `add_vertex` output — do not
+    /// mix the two schemes over one descriptor range.
     pub fn add_vertex_with_descriptor(&self, vd: VertexDesc, property: VP) {
         assert_ne!(self.obj.local().kind, GraphPartitionKind::Static);
         let me = self.me();
@@ -355,6 +385,8 @@ where
             let mut rep = self.obj.local_mut();
             let vertex = Vertex { descriptor: vd, property, edges: Vec::new() };
             rep.vertices_mut().insert(vd, vertex);
+            rep.counts_dirty = true;
+            rep.reserve_descriptor(vd, me);
         }
         dir_insert(&self.obj, vd, me, me);
     }
@@ -368,8 +400,10 @@ where
             GraphPartitionKind::Static,
             "pGraph: delete_vertex on a static pGraph"
         );
+        self.obj.local_mut().counts_dirty = true;
         self.route(vd, move |rep, _| {
             rep.vertices_mut().remove(&vd);
+            rep.counts_dirty = true;
         });
         dir_remove(&self.obj, vd);
     }
@@ -394,8 +428,12 @@ where
             vd,
             dest,
             dest,
-            move |rep| rep.vertices_mut().remove(&vd),
+            move |rep| {
+                rep.segment_epoch += 1;
+                rep.vertices_mut().remove(&vd)
+            },
             move |rep, v| {
+                rep.segment_epoch += 1;
                 rep.vertices_mut().insert(vd, v);
             },
         );
@@ -464,12 +502,15 @@ where
     pub fn add_edge_async(&self, source: VertexDesc, target: VertexDesc, property: EP) {
         let directedness = self.obj.local().directedness;
         let p2 = property.clone();
+        self.obj.local_mut().counts_dirty = true;
         self.route(source, move |rep, _| {
             rep.add_edge_local(Edge { source, target, property });
+            rep.counts_dirty = true;
         });
         if directedness == Directedness::Undirected && source != target {
             self.route(target, move |rep, _| {
                 rep.add_edge_local(Edge { source: target, target: source, property: p2 });
+                rep.counts_dirty = true;
             });
         }
     }
@@ -478,12 +519,14 @@ where
     /// directions for undirected graphs).
     pub fn delete_edge_async(&self, source: VertexDesc, target: VertexDesc) {
         let directedness = self.obj.local().directedness;
+        self.obj.local_mut().counts_dirty = true;
         self.route(source, move |rep, _| {
             if let Some(v) = rep.vertices_mut().get_mut(&source) {
                 if let Some(k) = v.edges.iter().position(|e| e.target == target) {
                     v.edges.remove(k);
                 }
             }
+            rep.counts_dirty = true;
         });
         if directedness == Directedness::Undirected && source != target {
             self.route(target, move |rep, _| {
@@ -492,6 +535,7 @@ where
                         v.edges.remove(k);
                     }
                 }
+                rep.counts_dirty = true;
             });
         }
     }
@@ -527,16 +571,48 @@ where
     // Global methods
     // ------------------------------------------------------------------
 
-    /// Vertices as of the last [`PContainer::commit`] (exact for static
-    /// graphs).
+    /// The committed vertex count when clean (exact for static graphs);
+    /// after uncommitted `add_vertex`/`delete_vertex` (the local
+    /// `counts_dirty` flag is set) both counts are recomputed with a
+    /// one-sided sweep over all locations, so a location observes its
+    /// *own* earlier mutations without a fence when they were routed
+    /// directly — local vertices and cached/hinted owners (per-pair FIFO
+    /// orders the count query behind them). Mutations still forwarding
+    /// through a directory home — a cold owner cache, or racing a
+    /// migration — may be missed, as may mutations in flight from *other*
+    /// locations. Only `commit()` yields the globally agreed counts — and
+    /// restores O(1) reads.
     pub fn num_vertices(&self) -> usize {
+        self.refresh_counts_if_dirty();
         self.obj.local().cached_nvertices
     }
 
-    /// Stored directed edges as of the last commit (an undirected edge
-    /// counts twice, once per endpoint).
+    /// Stored directed edges (an undirected edge counts twice, once per
+    /// endpoint); same staleness contract as [`PGraph::num_vertices`].
     pub fn num_edges(&self) -> usize {
+        self.refresh_counts_if_dirty();
         self.obj.local().cached_nedges
+    }
+
+    /// One-sided (vertex, edge) recount over all locations on dirty reads;
+    /// leaves the dirty flag set — only the collective `commit()` clears it.
+    fn refresh_counts_if_dirty(&self) {
+        if !self.obj.local().counts_dirty {
+            return;
+        }
+        let counts = crate::sweep(&self.obj, |rep: &GraphRep<VP, EP>| {
+            let nv = rep.vertices().len() as u64;
+            let ne: u64 = rep.vertices().values().map(|v| v.edges.len() as u64).sum();
+            (nv, ne)
+        });
+        let (mut nv, mut ne) = (0u64, 0u64);
+        for (v, e) in counts {
+            nv += v;
+            ne += e;
+        }
+        let mut rep = self.obj.local_mut();
+        rep.cached_nvertices = nv as usize;
+        rep.cached_nedges = ne as usize;
     }
 
     pub fn local_num_vertices(&self) -> usize {
@@ -574,6 +650,144 @@ where
 }
 
 
+/// Segment-at-a-time transport over the vertex partition: segment `l` is
+/// the set of vertices currently stored at location `l` (one graph base
+/// container per location), and items travel as (descriptor, vertex
+/// property) pairs — the bulk path for whole-partition property sweeps.
+impl<VP, EP> SegmentedContainer for PGraph<VP, EP>
+where
+    VP: Send + Clone + 'static,
+    EP: Send + Clone + 'static,
+{
+    type ItemKey = VertexDesc;
+    type ItemVal = VP;
+
+    fn segments(&self) -> Vec<SegmentId> {
+        (0..self.obj.local().nlocs).collect()
+    }
+
+    fn local_segments(&self) -> Vec<SegmentId> {
+        vec![self.me()]
+    }
+
+    fn is_local_segment(&self, sid: SegmentId) -> bool {
+        sid == self.me()
+    }
+
+    fn segment_epoch(&self) -> u64 {
+        self.obj.local().segment_epoch
+    }
+
+    fn get_segment(&self, sid: SegmentId) -> Vec<(VertexDesc, VP)> {
+        let mut out = Vec::new();
+        if self.with_segment(sid, &mut |vd, p| out.push((*vd, p.clone()))) {
+            return out;
+        }
+        self.obj.location().note_segment_request();
+        self.obj.invoke_ret_at(sid, |cell, _| {
+            cell.borrow()
+                .vertices()
+                .values()
+                .map(|v| (v.descriptor, v.property.clone()))
+                .collect::<Vec<_>>()
+        })
+    }
+
+    /// Bulk vertex creation at location `sid` under the given descriptors
+    /// (dynamic graphs only): one data RMI to the owner plus the
+    /// asynchronous directory registrations. Every involved auto-stride
+    /// owner's descriptor generator is advanced past the appended
+    /// descriptors (one async RMI per stride, amortized over the
+    /// segment), so a later `add_vertex` anywhere cannot silently reuse
+    /// one of them — the reservation, like the creation itself, is
+    /// guaranteed visible by the next fence.
+    fn append_segment(&self, sid: SegmentId, items: Vec<(VertexDesc, VP)>) {
+        assert_ne!(
+            self.obj.local().kind,
+            GraphPartitionKind::Static,
+            "pGraph: append_segment on a static pGraph"
+        );
+        if sid != self.me() {
+            self.obj.location().note_segment_request();
+        }
+        self.obj.local_mut().counts_dirty = true;
+        let nlocs = self.obj.local().nlocs;
+        let mut stride_max: BTreeMap<LocId, VertexDesc> = BTreeMap::new();
+        for (vd, _) in &items {
+            let top = stride_max.entry(vd % nlocs).or_insert(*vd);
+            *top = (*top).max(*vd);
+        }
+        // One registration RMI per involved home location, not per vertex.
+        dir_insert_bulk(&self.obj, items.iter().map(|(vd, _)| (*vd, sid, sid)).collect());
+        for (stride_owner, vd) in stride_max {
+            self.obj.invoke_at(stride_owner, move |cell, loc| {
+                cell.borrow_mut().reserve_descriptor(vd, loc.id());
+            });
+        }
+        self.obj.invoke_at(sid, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            rep.counts_dirty = true;
+            for (vd, property) in items {
+                rep.vertices_mut()
+                    .insert(vd, Vertex { descriptor: vd, property, edges: Vec::new() });
+            }
+        });
+    }
+
+    fn set_segment(&self, sid: SegmentId, items: Vec<(VertexDesc, VP)>) {
+        if sid != self.me() {
+            self.obj.location().note_segment_request();
+        }
+        self.obj.invoke_at(sid, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            for (vd, p) in items {
+                if let Some(v) = rep.vertices_mut().get_mut(&vd) {
+                    v.property = p;
+                }
+            }
+        });
+    }
+
+    fn apply_segment<F>(&self, sid: SegmentId, f: F)
+    where
+        F: Fn(&VertexDesc, &mut VP) + Clone + Send + 'static,
+    {
+        if sid != self.me() {
+            self.obj.location().note_segment_request();
+        }
+        self.obj.invoke_at(sid, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            for v in rep.vertices_mut().values_mut() {
+                f(&v.descriptor, &mut v.property);
+            }
+        });
+    }
+
+    fn with_segment(&self, sid: SegmentId, f: &mut dyn FnMut(&VertexDesc, &VP)) -> bool {
+        if sid != self.me() {
+            return false;
+        }
+        self.obj.location().note_localized_chunk();
+        let rep = self.obj.local();
+        for v in rep.vertices().values() {
+            f(&v.descriptor, &v.property);
+        }
+        true
+    }
+
+    fn with_segment_mut(&self, sid: SegmentId, f: &mut dyn FnMut(&VertexDesc, &mut VP)) -> bool {
+        if sid != self.me() {
+            return false;
+        }
+        self.obj.location().note_localized_chunk();
+        let mut rep = self.obj.local_mut();
+        for v in rep.vertices_mut().values_mut() {
+            f(&v.descriptor, &mut v.property);
+        }
+        true
+    }
+}
+
 impl<VP, EP> PContainer for PGraph<VP, EP>
 where
     VP: Send + Clone + 'static,
@@ -600,6 +814,7 @@ where
             let mut rep = self.obj.local_mut();
             rep.cached_nvertices = nv;
             rep.cached_nedges = ne;
+            rep.counts_dirty = false;
         }
         loc.barrier();
     }
@@ -908,6 +1123,134 @@ mod tests {
             cached < uncached,
             "owner cache must reduce remote requests: {cached} !< {uncached}"
         );
+    }
+
+    #[test]
+    fn counts_see_own_uncommitted_mutations() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let g: PGraph<u32, ()> =
+                PGraph::new_dynamic(loc, Directedness::Directed, GraphPartitionKind::DynamicFwd);
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                let vds: Vec<VertexDesc> = (0..8).map(|k| g.add_vertex(k)).collect();
+                // Regression: these used to return the stale cached 0 until
+                // an explicit commit().
+                assert_eq!(g.num_vertices(), 8, "must observe own uncommitted add_vertex");
+                g.add_edge_async(vds[0], vds[1], ());
+                g.add_edge_async(vds[1], vds[2], ());
+                assert_eq!(g.num_edges(), 2, "must observe own uncommitted add_edge");
+                g.delete_vertex(vds[7]);
+                assert_eq!(g.num_vertices(), 7, "must observe own uncommitted delete_vertex");
+            }
+            g.commit();
+            // After commit every location agrees, and reads are O(1) again.
+            assert_eq!(g.num_vertices(), 7);
+            assert_eq!(g.num_edges(), 2);
+        });
+    }
+
+    #[test]
+    fn segment_transport_over_vertex_partitions() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let g: PGraph<u64, ()> =
+                PGraph::new_dynamic(loc, Directedness::Directed, GraphPartitionKind::DynamicFwd);
+            // Bulk vertex creation: location 0 seeds every partition with
+            // one append_segment per location.
+            if loc.id() == 0 {
+                for sid in g.segments() {
+                    let items: Vec<(VertexDesc, u64)> =
+                        (0..4).map(|k| (sid * 100 + k, (sid * 100 + k) as u64)).collect();
+                    g.append_segment(sid, items);
+                }
+                assert_eq!(g.num_vertices(), 12, "dirty read sees the bulk creation");
+            }
+            g.commit();
+            assert_eq!(g.num_vertices(), 12);
+            // get_segment (local and remote) agrees with element reads.
+            for sid in g.segments() {
+                let seg = g.get_segment(sid);
+                assert_eq!(seg.len(), 4, "segment {sid}");
+                for (vd, p) in &seg {
+                    assert_eq!(g.vertex_property(*vd), *p);
+                    assert_eq!(*p, *vd as u64);
+                }
+            }
+            loc.barrier();
+            // Whole-partition property sweep: one closure per location.
+            if loc.id() == 1 {
+                for sid in g.segments() {
+                    g.apply_segment(sid, |vd, p| *p = *vd as u64 * 2);
+                }
+            }
+            g.commit();
+            g.for_each_local_vertex(|v| assert_eq!(v.property, v.descriptor as u64 * 2));
+            loc.barrier();
+            // set_segment writes back existing vertices, skipping absent.
+            if loc.id() == 2 {
+                g.set_segment(0, vec![(0, 999), (555_555, 1)]);
+            }
+            g.commit();
+            assert_eq!(g.vertex_property(0), 999);
+            assert!(!g.find_vertex(555_555), "set_segment must not create vertices");
+            // Migration bumps the placement epoch at both ends.
+            let e0 = g.segment_epoch();
+            loc.barrier();
+            if loc.id() == 0 {
+                g.migrate_vertex(1, 2);
+            }
+            g.commit();
+            if loc.id() == 2 {
+                assert!(g.segment_epoch() > e0, "migration must bump the destination epoch");
+                assert!(g.is_local_vertex(1));
+            }
+        });
+    }
+
+    #[test]
+    fn append_segment_is_segment_grained() {
+        execute(RtsConfig::unbuffered(), 3, |loc| {
+            let g: PGraph<u64, ()> =
+                PGraph::new_dynamic(loc, Directedness::Directed, GraphPartitionKind::DynamicFwd);
+            loc.rmi_fence();
+            let before = loc.stats().remote_requests;
+            loc.barrier();
+            if loc.id() == 0 {
+                g.append_segment(1, (0..64).map(|k| (1000 + k, 0u64)).collect());
+            }
+            g.commit();
+            let delta = loc.stats().remote_requests - before;
+            // One data RMI + one directory RMI per involved home + one
+            // reservation per involved stride — never one per vertex.
+            assert!(
+                delta <= 16,
+                "bulk vertex creation must be O(locations), got {delta} remote requests \
+                 for 64 vertices"
+            );
+            assert_eq!(g.num_vertices(), 64);
+            assert!(g.find_vertex(1000) && g.find_vertex(1063));
+        });
+    }
+
+    #[test]
+    fn add_vertex_never_reuses_appended_descriptors() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let g: PGraph<u64, ()> =
+                PGraph::new_dynamic(loc, Directedness::Directed, GraphPartitionKind::DynamicFwd);
+            // Regression: explicit descriptors 0..6 cover every location's
+            // auto stride start; a later add_vertex used to hand out a
+            // colliding descriptor and silently overwrite the vertex.
+            if loc.id() == 0 {
+                g.append_segment(0, (0..6).map(|vd| (vd, vd as u64 + 50)).collect());
+                g.add_edge_async(0, 1, ());
+            }
+            g.commit();
+            let auto = g.add_vertex(999);
+            g.commit();
+            assert!(!(0..6).contains(&auto), "auto descriptor {auto} reused an appended one");
+            assert_eq!(g.num_vertices(), 9, "6 appended + 3 auto");
+            assert_eq!(g.vertex_property(0), 50, "appended vertex must survive");
+            assert_eq!(g.out_degree(0), 1, "its edges must survive");
+        });
     }
 
     #[test]

@@ -40,3 +40,66 @@ pub mod prelude {
     pub use crate::slab_list::SlabList;
     pub use crate::vector::PVector;
 }
+
+// ---------------------------------------------------------------------
+// Crate-internal transport helpers shared by the dynamic containers
+// ---------------------------------------------------------------------
+
+/// One location's contribution to a data gather: its base containers'
+/// items, keyed by BCID.
+pub(crate) type BcidPayload<T> = Vec<(stapl_core::gid::Bcid, Vec<T>)>;
+
+/// One-sided gather-to-caller shared by the dynamic containers'
+/// `collect_ordered`: every *other* location ships its (BCID, items)
+/// pairs once over a split RMI (noting the payload in `gather_items`),
+/// the caller merges by BCID and flattens — O(n) to the single caller,
+/// where the old allreduce made every location materialize all n items.
+/// Peers only need to be polling (e.g. blocked in a fence or barrier).
+pub(crate) fn gather_by_bcid<Rep, T>(
+    obj: &stapl_core::pobject::PObject<Rep>,
+    payload: fn(&Rep) -> BcidPayload<T>,
+) -> Vec<T>
+where
+    Rep: 'static,
+    T: Send + Clone + 'static,
+{
+    let me = obj.location().id();
+    let nlocs = obj.location().nlocs();
+    let futs: Vec<stapl_rts::RmiFuture<BcidPayload<T>>> = (0..nlocs)
+        .filter(|l| *l != me)
+        .map(|l| {
+            obj.invoke_split_at(l, move |cell, loc| {
+                let out = payload(&cell.borrow());
+                let items: usize = out.iter().map(|(_, p)| p.len()).sum();
+                loc.note_gather_items(items as u64);
+                out
+            })
+        })
+        .collect();
+    let mut all = payload(&obj.local());
+    for f in futs {
+        all.extend(f.get());
+    }
+    all.sort_by_key(|(bcid, _)| *bcid);
+    all.into_iter().flat_map(|(_, p)| p).collect()
+}
+
+/// One-sided probe sweep shared by the dirty-read recounts
+/// (`global_size`, `num_vertices`/`num_edges`): asks every location for
+/// its local contribution over split RMIs and returns the per-location
+/// results. Per-pair FIFO orders each probe behind the caller's
+/// directly-routed mutations to that location, so the caller observes
+/// its own earlier (non-forwarded) mutations.
+pub(crate) fn sweep<Rep, V>(
+    obj: &stapl_core::pobject::PObject<Rep>,
+    probe: fn(&Rep) -> V,
+) -> Vec<V>
+where
+    Rep: 'static,
+    V: Send + 'static,
+{
+    let futs: Vec<stapl_rts::RmiFuture<V>> = (0..obj.location().nlocs())
+        .map(|l| obj.invoke_split_at(l, move |cell, _| probe(&cell.borrow())))
+        .collect();
+    futs.into_iter().map(|f| f.get()).collect()
+}

@@ -25,7 +25,8 @@ use stapl_core::directory::{
 };
 use stapl_core::gid::Bcid;
 use stapl_core::interfaces::{
-    DynamicPContainer, ElementRead, ElementWrite, LocalIteration, PContainer, SequenceContainer,
+    DynamicPContainer, ElementRead, ElementWrite, LocalIteration, PContainer, SegmentId,
+    SegmentedContainer, SequenceContainer,
 };
 use stapl_core::location_manager::LocationManager;
 use stapl_core::pobject::PObject;
@@ -74,6 +75,15 @@ pub struct ListRep<T> {
     ths: ThreadSafety,
     /// Replicated size, refreshed lazily by `commit()` (Chapter VII.G).
     cached_size: usize,
+    /// Set on every size-changing mutation — at the issuing location when
+    /// the op is sent, and at the owning location when it lands — so a
+    /// `global_size()` read can tell that `cached_size` may be stale.
+    /// Cleared only by `commit()`/`clear()` (the collective refreshes).
+    size_dirty: bool,
+    /// Bumped whenever this location's slab placement changes
+    /// (`migrate_bcontainer`, `clear`): the epoch layers that memoize
+    /// segment placement compare against.
+    segment_epoch: u64,
     /// Round-robin cursor for `push_anywhere` across local bContainers.
     anywhere_cursor: usize,
     /// This location's shard of the `bcid → owner` directory.
@@ -107,6 +117,15 @@ impl<T: Send + Clone + 'static> ListRep<T> {
 
     fn bc_mut(&mut self, bcid: Bcid) -> &mut SlabList<T> {
         &mut self.lm.get_mut(bcid).expect("pList: bcid not on this location").list
+    }
+
+    /// This location's slabs as (bcid, values-in-list-order) — the gather
+    /// payload.
+    fn local_slab_pairs(&self) -> crate::BcidPayload<T> {
+        self.lm
+            .iter()
+            .map(|(bcid, bc)| (bcid, bc.list.iter().map(|(_, v)| v.clone()).collect()))
+            .collect()
     }
 }
 
@@ -156,6 +175,8 @@ impl<T: Send + Clone + 'static> PList<T> {
             nlocs: loc.nlocs(),
             ths: ThreadSafety::unlocked(),
             cached_size: 0,
+            size_dirty: false,
+            segment_epoch: 0,
             anywhere_cursor: 0,
             dir: DirectoryShard::new(),
             cache: OwnerCache::from_config(loc.config()),
@@ -225,9 +246,11 @@ impl<T: Send + Clone + 'static> PList<T> {
             (rep.nlocs, rep.bpl)
         };
         let bcid = nlocs * bpl - 1;
+        self.obj.local_mut().size_dirty = true;
         self.route(bcid, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
+            rep.size_dirty = true;
             let ths = rep.ths.clone();
             let _g = ths.guard(methods::PUSH_BACK, 0, bcid);
             rep.bc_mut(bcid).push_back(v);
@@ -236,9 +259,11 @@ impl<T: Send + Clone + 'static> PList<T> {
 
     /// Prepends at the global front. Asynchronous.
     pub fn push_front(&self, v: T) {
+        self.obj.local_mut().size_dirty = true;
         self.route(0, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
+            rep.size_dirty = true;
             let ths = rep.ths.clone();
             let _g = ths.guard(methods::PUSH_FRONT, 0, 0);
             rep.bc_mut(0).push_front(v);
@@ -259,6 +284,7 @@ impl<T: Send + Clone + 'static> PList<T> {
                 let k = rep.anywhere_cursor % nbc;
                 rep.anywhere_cursor = rep.anywhere_cursor.wrapping_add(1);
                 let bcid = rep.lm.bcids().nth(k).expect("nbc > 0");
+                rep.size_dirty = true;
                 let ths = rep.ths.clone();
                 let _g = ths.guard(methods::PUSH_ANYWHERE, 0, bcid);
                 let seq = rep.bc_mut(bcid).push_back(v);
@@ -266,10 +292,12 @@ impl<T: Send + Clone + 'static> PList<T> {
             }
         }
         let bcid = self.me() * self.obj.local().bpl;
+        self.obj.local_mut().size_dirty = true;
         let seq = self
             .route_ret(bcid, move |cell, _| {
                 let mut rep = cell.borrow_mut();
                 let rep = &mut *rep;
+                rep.size_dirty = true;
                 let ths = rep.ths.clone();
                 let _g = ths.guard(methods::PUSH_ANYWHERE, 0, bcid);
                 rep.bc_mut(bcid).push_back(v)
@@ -281,9 +309,11 @@ impl<T: Send + Clone + 'static> PList<T> {
     /// Synchronously inserts before `gid`, returning the new GID, or
     /// `None` when `gid` no longer exists.
     pub fn insert_before(&self, gid: ListGid, v: T) -> Option<ListGid> {
+        self.obj.local_mut().size_dirty = true;
         self.route_ret(gid.bcid, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
+            rep.size_dirty = true;
             let ths = rep.ths.clone();
             let _g = ths.guard(methods::INSERT, gid.seq, gid.bcid);
             rep.bc_mut(gid.bcid)
@@ -306,8 +336,14 @@ impl<T: Send + Clone + 'static> PList<T> {
             bcid,
             dest,
             bcid,
-            move |rep| rep.lm.remove_bcontainer(bcid),
-            move |rep, bc| rep.lm.add_bcontainer(bcid, bc),
+            move |rep| {
+                rep.segment_epoch += 1;
+                rep.lm.remove_bcontainer(bcid)
+            },
+            move |rep, bc| {
+                rep.segment_epoch += 1;
+                rep.lm.add_bcontainer(bcid, bc);
+            },
         );
     }
 
@@ -377,22 +413,17 @@ impl<T: Send + Clone + 'static> PList<T> {
             .get()
     }
 
-    /// **Collective.** All elements in global linearization order —
-    /// a test/debug helper, O(n) communication.
+    /// All elements in global linearization order — a test/debug helper.
+    ///
+    /// **One-sided** gather-to-caller over split RMIs: each peer ships its
+    /// slabs once (one response per location, merged here by BCID), so a
+    /// single caller pays O(n) — unlike the old allreduce, which made
+    /// every location materialize all n elements (O(n·P) on the wire)
+    /// whether it wanted them or not. Any subset of locations may call
+    /// concurrently; peers only need to be polling (e.g. blocked in a
+    /// fence or barrier).
     pub fn collect_ordered(&self) -> Vec<T> {
-        let local: Vec<(Bcid, Vec<T>)> = {
-            let rep = self.obj.local();
-            rep.lm
-                .iter()
-                .map(|(bcid, bc)| (bcid, bc.list.iter().map(|(_, v)| v.clone()).collect()))
-                .collect()
-        };
-        let mut all = self.obj.location().allreduce(local, |mut a, mut b| {
-            a.append(&mut b);
-            a
-        });
-        all.sort_by_key(|(bcid, _)| *bcid);
-        all.into_iter().flat_map(|(_, vs)| vs).collect()
+        crate::gather_by_bcid(&self.obj, ListRep::local_slab_pairs)
     }
 }
 
@@ -401,9 +432,25 @@ impl<T: Send + Clone + 'static> PContainer for PList<T> {
         self.obj.location()
     }
 
-    /// The lazily replicated size (exact right after [`PContainer::commit`]).
+    /// The committed size when clean; after uncommitted mutations (the
+    /// local `size_dirty` flag is set) the count is recomputed with a
+    /// one-sided sweep over all locations, so a location always observes
+    /// at least its *own* earlier inserts/erases without a collective
+    /// `commit()` (per-pair FIFO orders the count query behind the
+    /// caller's directly-routed mutations; ops still forwarding through a
+    /// directory home — e.g. racing a slab migration — may be missed, as
+    /// may mutations in flight from *other* locations). Only `commit()`
+    /// yields the globally agreed count — and restores O(1) reads.
     fn global_size(&self) -> usize {
-        self.obj.local().cached_size
+        if !self.obj.local().size_dirty {
+            return self.obj.local().cached_size;
+        }
+        // No point caching the sweep result: reads stay on this path (and
+        // re-pay the O(P) sweep) until the collective commit() clears the
+        // dirty flag and installs the agreed count.
+        let total: u64 =
+            crate::sweep(&self.obj, |rep: &ListRep<T>| rep.lm.local_len() as u64).into_iter().sum();
+        total as usize
     }
 
     fn local_size(&self) -> usize {
@@ -415,7 +462,11 @@ impl<T: Send + Clone + 'static> PContainer for PList<T> {
         loc.rmi_fence();
         let local = self.local_size() as u64;
         let total = loc.allreduce_sum(local);
-        self.obj.local_mut().cached_size = total as usize;
+        {
+            let mut rep = self.obj.local_mut();
+            rep.cached_size = total as usize;
+            rep.size_dirty = false;
+        }
         loc.barrier();
     }
 
@@ -438,6 +489,8 @@ impl<T: Send + Clone + 'static> DynamicPContainer for PList<T> {
             let mut rep = self.obj.local_mut();
             rep.lm.clear();
             rep.cached_size = 0;
+            rep.size_dirty = false;
+            rep.segment_epoch += 1;
         }
         loc.barrier();
     }
@@ -552,9 +605,11 @@ impl<T: Send + Clone + 'static> SequenceContainer<ListGid> for PList<T> {
     }
 
     fn insert_before_async(&self, gid: ListGid, v: T) {
+        self.obj.local_mut().size_dirty = true;
         self.route(gid.bcid, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
+            rep.size_dirty = true;
             let ths = rep.ths.clone();
             let _g = ths.guard(methods::INSERT, gid.seq, gid.bcid);
             rep.bc_mut(gid.bcid).insert_before(gid.seq, v);
@@ -562,13 +617,137 @@ impl<T: Send + Clone + 'static> SequenceContainer<ListGid> for PList<T> {
     }
 
     fn erase_async(&self, gid: ListGid) {
+        self.obj.local_mut().size_dirty = true;
         self.route(gid.bcid, move |cell, _| {
             let mut rep = cell.borrow_mut();
             let rep = &mut *rep;
+            rep.size_dirty = true;
             let ths = rep.ths.clone();
             let _g = ths.guard(methods::ERASE, gid.seq, gid.bcid);
             rep.bc_mut(gid.bcid).erase(gid.seq);
         });
+    }
+}
+
+impl<T: Send + Clone + 'static> SegmentedContainer for PList<T> {
+    type ItemKey = u64;
+    type ItemVal = T;
+
+    fn segments(&self) -> Vec<SegmentId> {
+        let rep = self.obj.local();
+        (0..rep.nlocs * rep.bpl).collect()
+    }
+
+    fn local_segments(&self) -> Vec<SegmentId> {
+        self.obj.local().lm.bcids().collect()
+    }
+
+    fn is_local_segment(&self, sid: SegmentId) -> bool {
+        self.obj.local().lm.get(sid).is_some()
+    }
+
+    fn segment_epoch(&self) -> u64 {
+        self.obj.local().segment_epoch
+    }
+
+    fn get_segment(&self, sid: SegmentId) -> Vec<(u64, T)> {
+        let mut out = Vec::new();
+        if self.with_segment(sid, &mut |seq, v| out.push((*seq, v.clone()))) {
+            return out;
+        }
+        self.obj.location().note_segment_request();
+        self.route_ret(sid, move |cell, _| {
+            cell.borrow().bc(sid).iter().map(|(seq, v)| (seq, v.clone())).collect::<Vec<_>>()
+        })
+        .get()
+    }
+
+    /// Appends the payloads in order under fresh sequence numbers (the
+    /// given keys are advisory, as the trait specifies for sequences).
+    fn append_segment(&self, sid: SegmentId, items: Vec<(u64, T)>) {
+        if !self.is_local_segment(sid) {
+            self.obj.location().note_segment_request();
+        }
+        self.obj.local_mut().size_dirty = true;
+        self.route(sid, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            rep.size_dirty = true;
+            let ths = rep.ths.clone();
+            let _g = ths.guard(methods::PUSH_BACK, 0, sid);
+            let bc = rep.bc_mut(sid);
+            for (_, v) in items {
+                bc.push_back(v);
+            }
+        });
+    }
+
+    fn set_segment(&self, sid: SegmentId, items: Vec<(u64, T)>) {
+        if !self.is_local_segment(sid) {
+            self.obj.location().note_segment_request();
+        }
+        self.route(sid, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let ths = rep.ths.clone();
+            let _g = ths.guard(methods::SET, 0, sid);
+            let bc = rep.bc_mut(sid);
+            for (seq, v) in items {
+                if let Some(slot) = bc.get_mut(seq) {
+                    *slot = v;
+                }
+            }
+        });
+    }
+
+    fn apply_segment<F>(&self, sid: SegmentId, f: F)
+    where
+        F: Fn(&u64, &mut T) + Clone + Send + 'static,
+    {
+        if !self.is_local_segment(sid) {
+            self.obj.location().note_segment_request();
+        }
+        self.route(sid, move |cell, _| {
+            let mut rep = cell.borrow_mut();
+            let rep = &mut *rep;
+            let ths = rep.ths.clone();
+            let _g = ths.guard(methods::APPLY, 0, sid);
+            // SlabList has no ordered iter_mut; walk ids, then mutate.
+            let seqs: Vec<u64> = rep.bc(sid).iter().map(|(seq, _)| seq).collect();
+            let bc = rep.bc_mut(sid);
+            for seq in seqs {
+                f(&seq, bc.get_mut(seq).expect("live"));
+            }
+        });
+    }
+
+    fn with_segment(&self, sid: SegmentId, f: &mut dyn FnMut(&u64, &T)) -> bool {
+        let rep = self.obj.local();
+        let Some(bc) = rep.lm.get(sid) else { return false };
+        self.obj.location().note_localized_chunk();
+        let _g = rep.ths.guard(methods::GET, 0, sid);
+        for (seq, v) in bc.list.iter() {
+            f(&seq, v);
+        }
+        true
+    }
+
+    fn with_segment_mut(&self, sid: SegmentId, f: &mut dyn FnMut(&u64, &mut T)) -> bool {
+        let seqs: Vec<u64> = {
+            let rep = self.obj.local();
+            let Some(bc) = rep.lm.get(sid) else { return false };
+            bc.list.iter().map(|(seq, _)| seq).collect()
+        };
+        self.obj.location().note_localized_chunk();
+        let mut rep = self.obj.local_mut();
+        let rep = &mut *rep;
+        let ths = rep.ths.clone();
+        let _g = ths.guard(methods::APPLY, 0, sid);
+        let bc = rep.bc_mut(sid);
+        for seq in seqs {
+            f(&seq, bc.get_mut(seq).expect("live"));
+        }
+        true
     }
 }
 
@@ -640,10 +819,9 @@ mod tests {
                 assert!(l.contains(c));
             }
             l.commit();
+            // collect_ordered is one-sided: only the consumer calls it.
             if loc.id() == 0 {
                 assert_eq!(l.collect_ordered(), vec![1, 5, 10]);
-            } else {
-                l.collect_ordered(); // collective participation
             }
         });
     }
@@ -824,6 +1002,116 @@ mod tests {
             }
             l.commit();
             assert_eq!(l.global_size(), 1);
+        });
+    }
+
+    #[test]
+    fn global_size_sees_own_uncommitted_mutations() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let l: PList<u64> = PList::new(loc);
+            loc.rmi_fence();
+            if loc.id() == 0 {
+                for i in 0..16 {
+                    l.push_anywhere(i);
+                }
+                // Regression: this used to return the stale cached 0 until
+                // an explicit commit().
+                assert_eq!(l.global_size(), 16, "must observe own uncommitted inserts");
+                // Remote append (the tail slab lives on the last location).
+                PList::push_back(&l, 99);
+                assert_eq!(l.global_size(), 17, "must observe own remote push_back");
+                let g = l.push_anywhere(1);
+                SequenceContainer::erase_async(&l, g);
+                assert_eq!(l.global_size(), 17, "must observe own erase");
+            }
+            l.commit();
+            // After commit every location agrees, and reads are O(1) again.
+            assert_eq!(l.global_size(), 17);
+        });
+    }
+
+    #[test]
+    fn segment_transport_matches_elementwise() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let l: PList<u64> = PList::new(loc);
+            let mine: Vec<ListGid> =
+                (0..4).map(|i| l.push_anywhere(loc.id() as u64 * 10 + i)).collect();
+            l.commit();
+            let all: Vec<Vec<ListGid>> = loc.allgather(mine);
+            // Migrate location 1's slab so a segment is neither at its
+            // birth owner nor resolvable without the directory.
+            if loc.id() == 0 {
+                l.migrate_bcontainer(1, 2);
+            }
+            loc.rmi_fence();
+            // get_segment (local or remote) must agree with element gets.
+            for (owner, gids) in all.iter().enumerate() {
+                let seg = l.get_segment(owner);
+                let baseline: Vec<(u64, u64)> =
+                    gids.iter().map(|g| (g.seq, l.try_get(*g).unwrap())).collect();
+                assert_eq!(seg, baseline, "segment {owner} disagrees with element-wise reads");
+            }
+            loc.barrier();
+            // Whole-segment write-back: double everything, one RMI/slab.
+            if loc.id() == 0 {
+                for sid in l.segments() {
+                    let doubled: Vec<(u64, u64)> =
+                        l.get_segment(sid).into_iter().map(|(s, v)| (s, v * 2)).collect();
+                    l.set_segment(sid, doubled);
+                }
+            }
+            loc.rmi_fence();
+            for gids in &all {
+                for g in gids {
+                    assert_eq!(l.try_get(*g).unwrap() % 2, 0);
+                }
+            }
+            loc.barrier();
+            // Owner-side sweep: one closure per segment.
+            if loc.id() == 1 {
+                for sid in l.segments() {
+                    l.apply_segment(sid, |_, v| *v += 1);
+                }
+            }
+            loc.rmi_fence();
+            let vals = l.collect_ordered();
+            assert_eq!(
+                vals,
+                vec![1, 3, 5, 7, 21, 23, 25, 27, 41, 43, 45, 47],
+                "set_segment + apply_segment must act on every element exactly once"
+            );
+        });
+    }
+
+    #[test]
+    fn append_segment_and_epoch() {
+        execute(RtsConfig::default(), 2, |loc| {
+            let l: PList<u32> = PList::new(loc);
+            let epoch0 = l.segment_epoch();
+            if loc.id() == 0 {
+                // Bulk append into the remote slab: one segment RMI.
+                let before = loc.stats().segment_requests;
+                l.append_segment(1, vec![(0, 7), (0, 8), (0, 9)]);
+                assert_eq!(loc.stats().segment_requests, before + 1);
+                assert_eq!(l.global_size(), 3, "dirty read sees the bulk append");
+            }
+            l.commit();
+            assert_eq!(l.collect_ordered(), vec![7, 8, 9]);
+            // with_segment only serves local segments.
+            let mut n = 0;
+            let served = l.with_segment(1, &mut |_, _| n += 1);
+            assert_eq!(served, loc.id() == 1);
+            assert_eq!(n, if loc.id() == 1 { 3 } else { 0 });
+            loc.barrier();
+            // Migration bumps the placement epoch on both ends.
+            if loc.id() == 0 {
+                l.migrate_bcontainer(1, 0);
+            }
+            loc.rmi_fence();
+            assert!(
+                l.segment_epoch() > epoch0 || !matches!(loc.id(), 0 | 1),
+                "migration must bump the epoch at source and destination"
+            );
         });
     }
 }

@@ -1,0 +1,171 @@
+//! Property tests for the dynamic-container segmented transport: the
+//! segment-at-a-time paths (`get_segment`/`set_segment`/`append_segment`/
+//! `merge_segment` and the segmented algorithms) must agree with the
+//! element-wise baselines on random pList/pAssoc workloads — with random
+//! slab migrations thrown in, owner cache on and off, P ∈ {1..4} (the
+//! mirror of PR 4's `bulk_props.rs` for the non-indexed containers).
+
+use proptest::prelude::*;
+use stapl_algorithms::segmented::{p_copy_segmented, p_equal_segmented, p_reduce_segmented};
+use stapl_containers::associative::PHashMap;
+use stapl_containers::list::PList;
+use stapl_core::interfaces::{
+    AssociativeContainer, LocalIteration, PContainer, SegmentedContainer,
+};
+use stapl_rts::{execute, RtsConfig};
+
+fn cfg(cache: bool) -> RtsConfig {
+    RtsConfig { dir_cache: cache, ..RtsConfig::base() }
+}
+
+/// Builds a pList with `per` elements pushed on every location, then
+/// applies the fuzzed slab migrations (issued by location 0).
+fn fuzzed_list(
+    loc: &stapl_rts::Location,
+    per: usize,
+    bpl: usize,
+    migrations: &[(usize, usize)],
+    value_of: impl Fn(usize, usize) -> u64,
+) -> PList<u64> {
+    let l: PList<u64> = PList::with_bcontainers(loc, bpl);
+    for i in 0..per {
+        l.push_anywhere(value_of(loc.id(), i));
+    }
+    l.commit();
+    if loc.id() == 0 {
+        for (slab_pick, dest_pick) in migrations {
+            let sid = slab_pick % (loc.nlocs() * bpl);
+            l.migrate_bcontainer(sid, dest_pick % loc.nlocs());
+        }
+    }
+    loc.rmi_fence();
+    l
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Concatenating `get_segment` over all slabs (from any location)
+    /// reproduces exactly the element-wise global linearization, under
+    /// random migrations, with the owner cache on and off.
+    #[test]
+    fn plist_segment_reads_agree_with_elementwise(
+        per in 0usize..6,
+        p in 1usize..5,
+        bpl in 1usize..3,
+        cache_pick in 0usize..2,
+        migrations in proptest::collection::vec((0usize..64, 0usize..4), 0..4),
+    ) {
+        execute(cfg(cache_pick == 1), p, |loc| {
+            let l = fuzzed_list(loc, per, bpl, &migrations, |id, i| (id * 100 + i) as u64);
+            // Element-wise model: local iteration allgathered and ordered
+            // by (bcid, seq) — the global linearization.
+            let mut mine: Vec<(usize, u64, u64)> = Vec::new();
+            l.for_each_local(|g, v| mine.push((g.bcid, g.seq, *v)));
+            let mut model = loc.allreduce(mine, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+            model.sort_unstable();
+            // Segmented traversal: one bulk read per slab, every location.
+            let mut seg: Vec<(usize, u64, u64)> = Vec::new();
+            for sid in l.segments() {
+                for (s, v) in l.get_segment(sid) {
+                    seg.push((sid, s, v));
+                }
+            }
+            assert_eq!(seg, model, "segment reads disagree with element-wise model");
+            // And the gather-based collector agrees with both.
+            let vals: Vec<u64> = model.iter().map(|(_, _, v)| *v).collect();
+            assert_eq!(l.collect_ordered(), vals);
+            loc.barrier();
+        });
+    }
+
+    /// Segmented copy between twin pLists (dst slabs randomly migrated)
+    /// equals the element-wise baseline copy; `p_equal_segmented` and
+    /// `p_reduce_segmented` agree with their element-wise counterparts.
+    #[test]
+    fn plist_segmented_copy_agrees_with_elementwise(
+        per in 0usize..6,
+        p in 1usize..5,
+        bpl in 1usize..3,
+        cache_pick in 0usize..2,
+        migrations in proptest::collection::vec((0usize..64, 0usize..4), 0..4),
+    ) {
+        execute(cfg(cache_pick == 1), p, |loc| {
+            let src = fuzzed_list(loc, per, bpl, &[], |id, i| (id * 100 + i) as u64 + 1);
+            let dst_seg = fuzzed_list(loc, per, bpl, &migrations, |_, _| 0);
+            let dst_elem = fuzzed_list(loc, per, bpl, &migrations, |_, _| 0);
+            p_copy_segmented(&src, &dst_seg);
+            stapl_algorithms::map_func::p_copy_elementwise(&src, &dst_elem);
+            assert_eq!(dst_seg.collect_ordered(), src.collect_ordered());
+            assert_eq!(dst_elem.collect_ordered(), src.collect_ordered());
+            assert!(p_equal_segmented(&src, &dst_seg));
+            assert!(p_equal_segmented(&dst_seg, &dst_elem));
+            let seg_sum = p_reduce_segmented(&src, |_, v| *v, |a, b| a + b);
+            let elem_sum = stapl_algorithms::map_func::p_reduce(&src, |_, v| *v, |a, b| a + b);
+            assert_eq!(seg_sum, elem_sum);
+            loc.barrier();
+        });
+    }
+
+    /// pAssoc: bucket-grained `append_segment`/`merge_segment` produce the
+    /// same container as element-wise `insert_async`/`apply_or_insert` on
+    /// random key/value workloads with random bucket counts.
+    #[test]
+    fn passoc_segmented_writes_agree_with_elementwise(
+        p in 1usize..5,
+        buckets in 1usize..7,
+        cache_pick in 0usize..2,
+        pairs in proptest::collection::vec((0u64..40, 0u64..1000), 0..24),
+    ) {
+        execute(cfg(cache_pick == 1), p, |loc| {
+            let bulk: PHashMap<u64, u64> = PHashMap::with_buckets(loc, buckets);
+            let elem: PHashMap<u64, u64> = PHashMap::with_buckets(loc, buckets);
+            // One writer so duplicate keys resolve last-write-wins
+            // identically on both sides (bucket groups preserve emission
+            // order within a bucket).
+            if loc.id() == 0 {
+                let mut groups: std::collections::HashMap<usize, Vec<(u64, u64)>> =
+                    Default::default();
+                for (k, v) in &pairs {
+                    groups.entry(bulk.bucket_of(k)).or_default().push((*k, *v));
+                }
+                for (sid, items) in groups {
+                    bulk.append_segment(sid, items);
+                }
+                for (k, v) in &pairs {
+                    elem.insert_async(*k, *v);
+                }
+            }
+            bulk.commit();
+            elem.commit();
+            assert_eq!(bulk.global_size(), elem.global_size());
+            assert!(
+                p_equal_segmented(&bulk, &elem),
+                "append_segment disagrees with insert_async"
+            );
+            loc.barrier();
+            // Combining writes: merge_segment vs apply_or_insert, from
+            // every location concurrently (commutative combine).
+            let mut groups: std::collections::HashMap<usize, Vec<(u64, u64)>> = Default::default();
+            for (k, _) in &pairs {
+                groups.entry(bulk.bucket_of(k)).or_default().push((*k, 1));
+            }
+            for (sid, items) in groups {
+                bulk.merge_segment(sid, items, 0, |a, b| *a += b);
+            }
+            for (k, _) in &pairs {
+                elem.apply_or_insert(*k, 0, |v| *v += 1);
+            }
+            bulk.commit();
+            elem.commit();
+            assert!(
+                p_equal_segmented(&bulk, &elem),
+                "merge_segment disagrees with apply_or_insert"
+            );
+            loc.barrier();
+        });
+    }
+}

@@ -270,6 +270,37 @@ where
     });
 }
 
+/// Bulk [`dir_insert`]: registers every `(g, bcid, owner)` entry with
+/// **one RMI per involved home location** instead of one per entry — the
+/// registration half of segment-grained bulk creation. Asynchronous;
+/// visible after the next fence; the caller's owner cache is primed
+/// eagerly for every entry.
+pub fn dir_insert_bulk<Rep, G>(obj: &PObject<Rep>, entries: Vec<(G, Bcid, LocId)>)
+where
+    Rep: HasDirectory<G>,
+    G: Gid,
+{
+    if let Some(c) = obj.rep_cell().borrow().owner_cache() {
+        for (g, bcid, owner) in &entries {
+            c.record(*g, *bcid, *owner);
+        }
+    }
+    let nlocs = obj.location().nlocs();
+    let mut per_home: HashMap<LocId, Vec<(G, Bcid, LocId)>> = HashMap::new();
+    for e in entries {
+        per_home.entry(home_of(&e.0, nlocs)).or_default().push(e);
+    }
+    for (home, batch) in per_home {
+        obj.invoke_at(home, move |rep, _| {
+            let mut rep = rep.borrow_mut();
+            let dir = rep.directory_mut();
+            for (g, bcid, owner) in batch {
+                dir.insert(g, bcid, owner);
+            }
+        });
+    }
+}
+
 /// Deletes `g`'s directory entry. Asynchronous. The caller's own cached
 /// owner for `g` is dropped eagerly.
 pub fn dir_remove<Rep, G>(obj: &PObject<Rep>, g: G)

@@ -205,6 +205,106 @@ pub trait DynamicPContainer: PContainer {
     fn clear(&self);
 }
 
+/// Identifier of one base-container *segment* of a dynamic container: the
+/// pList slab, pAssoc bucket, or pGraph vertex-partition BCID.
+pub type SegmentId = Bcid;
+
+/// Dynamic containers with **segment-at-a-time bulk transport** — the
+/// non-indexed sibling of [`RangedContainer`]. Dynamic containers have no
+/// dense GID ranges to coarsen over, but they *are* organized as base
+/// containers, so a whole base container (a pList slab, a pAssoc bucket,
+/// a pGraph vertex partition) can move as **one RMI per (owner, segment)**
+/// instead of one boxed request per element, and local segments are
+/// served by a direct borrow (one `RefCell` borrow per segment).
+///
+/// Items travel as `(key, payload)` pairs, where the key is the item's
+/// stable identifier *within* the container (pList sequence number, pAssoc
+/// key, pGraph vertex descriptor) so segmented writes can address existing
+/// items. Instrumentation: remote segment RMIs bump `segment_requests`,
+/// direct borrows bump `localized_chunks`.
+pub trait SegmentedContainer: PContainer {
+    /// Stable per-item identifier (pList `(bcid, seq)`'s sequence number,
+    /// pAssoc key, pGraph vertex descriptor).
+    type ItemKey: Send + Clone + 'static;
+    /// The transported per-item payload.
+    type ItemVal: Send + Clone + 'static;
+
+    /// All segment ids of the container, ascending — replicated metadata,
+    /// no communication. Segments may currently live anywhere.
+    fn segments(&self) -> Vec<SegmentId>;
+
+    /// Segment ids currently stored on this location, ascending.
+    fn local_segments(&self) -> Vec<SegmentId>;
+
+    /// True when `sid` is stored on this location (no communication).
+    fn is_local_segment(&self, sid: SegmentId) -> bool {
+        self.local_segments().contains(&sid)
+    }
+
+    /// Monotone counter bumped whenever this location's segment placement
+    /// changes (slab/vertex migration, rebalance, clear). Layers that
+    /// memoize placement compare epochs to invalidate; the counter is
+    /// per-location knowledge — peers not party to a migration self-heal
+    /// through the directory instead.
+    fn segment_epoch(&self) -> u64;
+
+    /// Bulk read of a whole segment in segment order: one RMI when the
+    /// segment is remote, one borrow when local.
+    fn get_segment(&self, sid: SegmentId) -> Vec<(Self::ItemKey, Self::ItemVal)>;
+
+    /// Asynchronous bulk insert of `items` into segment `sid`: one RMI per
+    /// (owner, segment), complete by the next fence. Sequence containers
+    /// append in order under fresh keys (the given keys are advisory);
+    /// associative/relational containers insert-or-overwrite under the
+    /// given keys.
+    fn append_segment(&self, sid: SegmentId, items: Vec<(Self::ItemKey, Self::ItemVal)>);
+
+    /// Asynchronous bulk write of the payloads of *existing* items named
+    /// by the keys (absent keys are skipped) — the segmented sibling of
+    /// `set_element`, one RMI per (owner, segment).
+    fn set_segment(&self, sid: SegmentId, items: Vec<(Self::ItemKey, Self::ItemVal)>);
+
+    /// Asynchronous owner-side read-modify-write over every item of the
+    /// segment: ships one closure per (owner, segment) — the property-
+    /// sweep primitive.
+    fn apply_segment<F>(&self, sid: SegmentId, f: F)
+    where
+        F: Fn(&Self::ItemKey, &mut Self::ItemVal) + Clone + Send + 'static;
+
+    /// Visits each (key, payload) of a **local** segment in segment order
+    /// under a single borrow — the direct-borrow fast path (no clone, no
+    /// RMI). Returns `false` without calling `f` when the segment is not
+    /// on this location; callers fall back to
+    /// [`SegmentedContainer::get_segment`].
+    fn with_segment(
+        &self,
+        sid: SegmentId,
+        f: &mut dyn FnMut(&Self::ItemKey, &Self::ItemVal),
+    ) -> bool;
+
+    /// Chunk-at-a-time traversal of this location's segments: one call
+    /// per local segment with its (key, payload) pairs materialized once
+    /// (one borrow, one allocation per segment) — the traversal the
+    /// chunked views build on.
+    fn for_each_local_chunk(&self, mut f: impl FnMut(SegmentId, &[(Self::ItemKey, Self::ItemVal)]))
+    where
+        Self: Sized,
+    {
+        for sid in self.local_segments() {
+            let mut pairs = Vec::new();
+            self.with_segment(sid, &mut |k, v| pairs.push((k.clone(), v.clone())));
+            f(sid, &pairs);
+        }
+    }
+
+    /// Mutable counterpart of [`SegmentedContainer::with_segment`].
+    fn with_segment_mut(
+        &self,
+        sid: SegmentId,
+        f: &mut dyn FnMut(&Self::ItemKey, &mut Self::ItemVal),
+    ) -> bool;
+}
+
 /// Associative pContainers (Table XVI): key → value storage.
 pub trait AssociativeContainer<K: crate::gid::Key>: PContainer {
     type Mapped: Send + Clone + 'static;

@@ -198,6 +198,18 @@ impl Location {
         self.inner.shared.stats.element_fallbacks.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one segment RMI: a whole (owner, base-container segment)
+    /// shipped as a single message by the dynamic-container bulk transport.
+    pub fn note_segment_request(&self) {
+        self.inner.shared.stats.segment_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` items shipped as payload by a data-collecting gather or
+    /// broadcast — the bytes-on-the-wire proxy of the simulated machine.
+    pub fn note_gather_items(&self, n: u64) {
+        self.inner.shared.stats.gather_items.fetch_add(n, Ordering::Relaxed);
+    }
+
     // ------------------------------------------------------------------
     // p_object registry
     // ------------------------------------------------------------------

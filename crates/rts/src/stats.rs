@@ -44,6 +44,15 @@ pub(crate) struct Stats {
     /// for but unavailable (non-contiguous storage, runs below
     /// `bulk_threshold`, or a view without a localized override).
     pub element_fallbacks: AtomicU64,
+    /// Segment RMIs issued by the dynamic-container bulk transport: one
+    /// per (owner, base-container segment) shipped as a single message by
+    /// `get_segment`/`append_segment`/`set_segment`/`apply_segment` and
+    /// the grouped MapReduce merge.
+    pub segment_requests: AtomicU64,
+    /// Items shipped as payload by the data-collecting operations
+    /// (`collect_ordered` gathers, opt-in broadcasts): the simulated
+    /// bytes-on-the-wire proxy the O(N·P) → O(N) assertions measure.
+    pub gather_items: AtomicU64,
 }
 
 impl Stats {
@@ -64,6 +73,8 @@ impl Stats {
             bulk_requests: self.bulk_requests.load(Ordering::Relaxed),
             localized_chunks: self.localized_chunks.load(Ordering::Relaxed),
             element_fallbacks: self.element_fallbacks.load(Ordering::Relaxed),
+            segment_requests: self.segment_requests.load(Ordering::Relaxed),
+            gather_items: self.gather_items.load(Ordering::Relaxed),
         }
     }
 }
@@ -87,6 +98,8 @@ pub struct StatsSnapshot {
     pub bulk_requests: u64,
     pub localized_chunks: u64,
     pub element_fallbacks: u64,
+    pub segment_requests: u64,
+    pub gather_items: u64,
 }
 
 impl StatsSnapshot {

@@ -15,11 +15,13 @@
 //! | `transform_pview` | [`array_view::TransformView`] |
 //! | `overlap_pview` | [`array_view::OverlapView`] |
 //! | `static_list_pview` / `list_pview` | [`list_view::StaticListView`] / [`list_view::ListView`] |
+//! | associative views (pMap/pHashMap) | [`assoc_view::MapView`] (`HashMapView`, `SortedMapView`) |
 //! | `matrix_pview` (rows/cols/linear) | [`matrix_view`] |
 //! | `graph_pview` (+ region/inner/boundary) | [`graph_view::GraphView`] |
 //! | "views that generate values dynamically" | [`generator_view::GeneratorView`], [`generator_view::ZipView`] |
 
 pub mod array_view;
+pub mod assoc_view;
 pub mod generator_view;
 pub mod graph_view;
 pub mod list_view;
@@ -31,6 +33,7 @@ pub mod prelude {
         balanced_view, native_view, ArrayView, BalancedView, OverlapView, RoView, StridedView,
         TransformView,
     };
+    pub use crate::assoc_view::{HashMapView, MapView, SortedMapView};
     pub use crate::generator_view::{GeneratorView, ZipView};
     pub use crate::graph_view::{GraphRegion, GraphView};
     pub use crate::list_view::{ListView, StaticListView};

@@ -3,7 +3,10 @@
 //! the paper parallelizes list algorithms without random access.
 
 use stapl_containers::list::{ListGid, PList};
-use stapl_core::interfaces::{ElementRead, ElementWrite, LocalIteration, PContainer, SequenceContainer};
+use stapl_core::interfaces::{
+    ElementRead, ElementWrite, LocalIteration, PContainer, SegmentId, SegmentedContainer,
+    SequenceContainer,
+};
 use stapl_rts::Location;
 
 /// Read-only segmented view of a pList (`static_list_pview`).
@@ -33,6 +36,30 @@ impl<T: Send + Clone + 'static> StaticListView<T> {
 
     pub fn read(&self, gid: ListGid) -> T {
         self.list.get_element(gid)
+    }
+
+    /// All slab (segment) ids of the viewed list.
+    pub fn segments(&self) -> Vec<SegmentId> {
+        self.list.segments()
+    }
+
+    /// The slab ids currently stored on this location.
+    pub fn local_segments(&self) -> Vec<SegmentId> {
+        self.list.local_segments()
+    }
+
+    /// Chunk-at-a-time traversal of this location's slabs: one call per
+    /// slab with its (sequence, value) pairs materialized once — the bulk
+    /// sibling of [`StaticListView::for_each_local`].
+    pub fn for_each_chunk(&self, f: impl FnMut(SegmentId, &[(u64, T)])) {
+        self.list.for_each_local_chunk(f);
+    }
+
+    /// Bulk read of any slab, local or remote (one segment RMI when
+    /// remote) — how a location traverses list data it does not own
+    /// without paying one request per element.
+    pub fn read_segment(&self, sid: SegmentId) -> Vec<(u64, T)> {
+        self.list.get_segment(sid)
     }
 
     pub fn location(&self) -> &Location {
@@ -88,6 +115,30 @@ impl<T: Send + Clone + 'static> ListView<T> {
         self.list.push_anywhere(v);
     }
 
+    /// Chunk-at-a-time traversal; see [`StaticListView::for_each_chunk`].
+    pub fn for_each_chunk(&self, f: impl FnMut(SegmentId, &[(u64, T)])) {
+        self.list.for_each_local_chunk(f);
+    }
+
+    /// In-place chunk mutation of this location's slabs: one borrow per
+    /// slab, no per-element routing.
+    pub fn for_each_chunk_mut(&self, mut f: impl FnMut(SegmentId, &u64, &mut T)) {
+        for sid in self.list.local_segments() {
+            self.list.with_segment_mut(sid, &mut |seq, v| f(sid, seq, v));
+        }
+    }
+
+    /// Bulk read of any slab; see [`StaticListView::read_segment`].
+    pub fn read_segment(&self, sid: SegmentId) -> Vec<(u64, T)> {
+        self.list.get_segment(sid)
+    }
+
+    /// Bulk write-back of payloads to existing elements of slab `sid`
+    /// (one segment RMI when remote).
+    pub fn write_segment(&self, sid: SegmentId, items: Vec<(u64, T)>) {
+        self.list.set_segment(sid, items);
+    }
+
     pub fn location(&self) -> &Location {
         self.list.location()
     }
@@ -114,6 +165,38 @@ mod tests {
                 n += 1;
             });
             assert_eq!(loc.allreduce_sum(n), 12);
+        });
+    }
+
+    #[test]
+    fn chunked_traversal_covers_all_segments() {
+        execute(RtsConfig::default(), 3, |loc| {
+            let l: PList<u64> = PList::new(loc);
+            for i in 0..5 {
+                l.push_anywhere(loc.id() as u64 * 100 + i);
+            }
+            l.commit();
+            let v = StaticListView::new(l.clone());
+            // Local chunks: one per slab, in list order, no communication.
+            let before = loc.stats().remote_requests;
+            let mut mine = Vec::new();
+            v.for_each_chunk(|_, pairs| mine.extend(pairs.iter().map(|(_, x)| *x)));
+            assert_eq!(loc.stats().remote_requests, before, "local chunks must not communicate");
+            assert_eq!(mine, (0..5).map(|i| loc.id() as u64 * 100 + i).collect::<Vec<_>>());
+            loc.barrier();
+            // Remote segments: one bulk RMI each, full coverage from root.
+            if loc.id() == 0 {
+                let total: usize = v.segments().iter().map(|s| v.read_segment(*s).len()).sum();
+                assert_eq!(total, 15);
+            }
+            loc.barrier();
+            // Chunked in-place mutation through the mutable view.
+            let w = ListView::new(l.clone());
+            w.for_each_chunk_mut(|_, _, x| *x += 1);
+            loc.barrier();
+            let mut after = Vec::new();
+            w.for_each_chunk(|_, pairs| after.extend(pairs.iter().map(|(_, x)| *x)));
+            assert!(after.iter().zip(&mine).all(|(a, m)| *a == m + 1));
         });
     }
 
