@@ -37,7 +37,7 @@ fn algo_dynamic(loc: &stapl_rts::Location, n: usize, kind: GraphPartitionKind) -
 fn fig49_methods(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig49_pgraph_methods");
     let n = 2_000usize;
-    let params = Ssca2Params { n, max_clique_size: 8, inter_clique_prob: 0.05, seed: 42 };
+    let params = Ssca2Params { n, max_clique_size: 8, inter_clique_prob: 0.05, seed: stapl_bench::BENCH_SEED + 42 };
     for (name, kind) in [
         ("static", None),
         ("dyn_fwd", Some(GraphPartitionKind::DynamicFwd)),
@@ -110,7 +110,7 @@ fn fig52_partitions(c: &mut Criterion) {
 fn fig53_algorithms(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig53_pgraph_algos");
     let n = 2_000usize;
-    let params = Ssca2Params { n, max_clique_size: 6, inter_clique_prob: 0.1, seed: 5 };
+    let params = Ssca2Params { n, max_clique_size: 6, inter_clique_prob: 0.1, seed: stapl_bench::BENCH_SEED + 5 };
     g.bench_function("bfs", |b| {
         b.iter(|| {
             execute(RtsConfig::default(), 2, |loc| {

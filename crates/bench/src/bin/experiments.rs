@@ -14,7 +14,8 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use stapl_algorithms::prelude::*;
 use stapl_bench::{
-    fmt_per_op, fmt_time, skewed_generate, time_kernel, time_kernel_nofence, ExecMode, Table,
+    fmt_per_op, fmt_time, harness, skewed_generate, time_kernel, time_kernel_nofence, ExecMode,
+    Table, BENCH_SEED,
 };
 use stapl_containers::associative::PHashMap;
 use stapl_containers::composed::LocalArray;
@@ -157,7 +158,7 @@ fn fig31() {
             let half = n / loc.nlocs();
             let my_lo = loc.id() * half;
             let peer_lo = (loc.id() + 1) % loc.nlocs() * half;
-            let mut rng = StdRng::seed_from_u64(7 + loc.id() as u64);
+            let mut rng = StdRng::seed_from_u64(BENCH_SEED + 7 + loc.id() as u64);
             let idx: Vec<usize> = (0..ops)
                 .map(|k| {
                     if rng.random_range(0..100) < pct {
@@ -401,7 +402,7 @@ fn fig42() {
             let l: PList<u64> = PList::new(loc);
             let mut gids: Vec<_> = (0..n0 / 2).map(|k| l.push_anywhere(k as u64)).collect();
             loc.rmi_fence();
-            let mut rng = StdRng::seed_from_u64(3 + loc.id() as u64);
+            let mut rng = StdRng::seed_from_u64(BENCH_SEED + 3 + loc.id() as u64);
             time_kernel(loc, || {
                 for k in 0..ops {
                     let g = gids[rng.random_range(0..gids.len())];
@@ -421,7 +422,7 @@ fn fig42() {
         });
         let vec_t = run(RtsConfig::default(), 2, move |loc| {
             let v: PVector<u64> = PVector::new(loc, n0, 0);
-            let mut rng = StdRng::seed_from_u64(3 + loc.id() as u64);
+            let mut rng = StdRng::seed_from_u64(BENCH_SEED + 3 + loc.id() as u64);
             time_kernel(loc, || {
                 for k in 0..ops {
                     let i = rng.random_range(0..n0);
@@ -507,7 +508,7 @@ fn fig49() {
                 None => static_digraph(loc, n),
                 Some(k) => dynamic_digraph_with_vertices(loc, n, k),
             };
-            let params = Ssca2Params { n, max_clique_size: 8, inter_clique_prob: 0.05, seed: 42 };
+            let params = Ssca2Params { n, max_clique_size: 8, inter_clique_prob: 0.05, seed: BENCH_SEED + 42 };
             let secs = time_kernel_nofence(loc, || {
                 fill_ssca2(loc, &g, &params, ());
             });
@@ -609,7 +610,7 @@ fn fig53() {
         let (fs, b, cc, pr) = run(RtsConfig::default(), p, move |loc| {
             let g: AlgoGraph =
                 PGraph::new_static(loc, n, Directedness::Directed, VProps::default());
-            let params = Ssca2Params { n, max_clique_size: 6, inter_clique_prob: 0.1, seed: 5 };
+            let params = Ssca2Params { n, max_clique_size: 6, inter_clique_prob: 0.1, seed: BENCH_SEED + 5 };
             fill_ssca2(loc, &g, &params, ());
             let fs = time_kernel_nofence(loc, || {
                 std::hint::black_box(find_sources(&g));
@@ -669,7 +670,7 @@ fn fig59() {
     for p in PS {
         let words = 100_000usize;
         let (secs, distinct) = run(RtsConfig::default(), p, move |loc| {
-            let text = synthetic_corpus(loc, words, 20_000, 11);
+            let text = synthetic_corpus(loc, words, 20_000, BENCH_SEED);
             let mut out = 0;
             let secs = time_kernel_nofence(loc, || {
                 let counts = word_count(loc, &text);
@@ -1230,7 +1231,7 @@ fn dynamic_exp() {
             let (secs, remote, segs) = run(RtsConfig::default(), p, move |loc| {
                 // Distributed documents: one corpus shard per location.
                 let docs: PHashMap<u64, String> = PHashMap::new(loc);
-                let text = synthetic_corpus(loc, words_per_loc, 500, 11);
+                let text = synthetic_corpus(loc, words_per_loc, 500, BENCH_SEED);
                 docs.insert_async(loc.id() as u64, text.clone());
                 docs.commit();
                 // Sequential model over the full collection.
@@ -1327,45 +1328,132 @@ fn dynamic_exp() {
     );
 }
 
-fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let all = which == "all";
-    let mut ran = false;
-    let mut run_if = |name: &str, f: &dyn Fn()| {
-        if all || which == name {
-            f();
-            ran = true;
+/// Every experiment id, in report order. Single source of truth for
+/// dispatch, `--list`, and the unknown-id error message.
+const EXPERIMENTS: &[(&str, fn())] = &[
+    ("fig27", fig27),
+    ("fig28", fig28),
+    ("fig30", fig30),
+    ("fig31", fig31),
+    ("fig32", fig32),
+    ("fig33", fig33),
+    ("fig34", fig34),
+    ("fig39", fig39),
+    ("fig40", fig40),
+    ("fig41", fig41),
+    ("fig42", fig42),
+    ("fig43", fig43),
+    ("fig44", fig44),
+    ("fig49", fig49),
+    ("fig51", fig51),
+    ("fig52", fig52),
+    ("fig53", fig53),
+    ("fig56", fig56),
+    ("fig59", fig59),
+    ("fig60", fig60),
+    ("fig62", fig62),
+    ("agg", agg),
+    ("ths", ths),
+    ("executor", executor_exp),
+    ("directory", directory_exp),
+    ("localize", localize_exp),
+    ("dynamic", dynamic_exp),
+];
+
+fn list_experiments() {
+    println!("experiments: {}", EXPERIMENTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" "));
+    println!("harness areas (--json): {}", harness::AREAS.join(" "));
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("experiments: {msg}");
+    eprintln!("usage: experiments [all | <id>...] | --list | --json DIR [--tier T] [<area>...]");
+    eprintln!("  ids: {}", EXPERIMENTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" "));
+    eprintln!("  areas: {} (default all)", harness::AREAS.join(" "));
+    eprintln!("  tiers: kick-tires lite full (default kick-tires)");
+    std::process::exit(2);
+}
+
+/// `--json DIR [--tier T] [<area>...]`: run the tiered harness and write
+/// one `BENCH_<area>.json` per area into DIR. The paper-style figure
+/// experiments above print tables for humans; this mode is the
+/// machine-readable perf-trajectory feed that `bench-compare` gates on.
+fn run_json_mode(mut rest: std::iter::Peekable<impl Iterator<Item = String>>) {
+    let Some(dir) = rest.next() else { usage_error("--json needs an output DIR") };
+    let dir = std::path::PathBuf::from(dir);
+    let mut tier = harness::Tier::KickTires;
+    let mut areas: Vec<String> = Vec::new();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--tier" => {
+                let t = rest.next().unwrap_or_default();
+                tier = harness::Tier::parse(&t)
+                    .unwrap_or_else(|| usage_error(&format!("unknown tier {t:?}")));
+            }
+            a if harness::AREAS.contains(&a) => areas.push(a.to_string()),
+            // Accept the experiment spelling for the localization area.
+            "localize" => areas.push("localization".to_string()),
+            other => usage_error(&format!("unknown area {other:?}")),
         }
-    };
-    run_if("fig27", &fig27);
-    run_if("fig28", &fig28);
-    run_if("fig30", &fig30);
-    run_if("fig31", &fig31);
-    run_if("fig32", &fig32);
-    run_if("fig33", &fig33);
-    run_if("fig34", &fig34);
-    run_if("fig39", &fig39);
-    run_if("fig40", &fig40);
-    run_if("fig41", &fig41);
-    run_if("fig42", &fig42);
-    run_if("fig43", &fig43);
-    run_if("fig44", &fig44);
-    run_if("fig49", &fig49);
-    run_if("fig51", &fig51);
-    run_if("fig52", &fig52);
-    run_if("fig53", &fig53);
-    run_if("fig56", &fig56);
-    run_if("fig59", &fig59);
-    run_if("fig60", &fig60);
-    run_if("fig62", &fig62);
-    run_if("agg", &agg);
-    run_if("ths", &ths);
-    run_if("executor", &executor_exp);
-    run_if("directory", &directory_exp);
-    run_if("localize", &localize_exp);
-    run_if("dynamic", &dynamic_exp);
-    if !ran {
-        eprintln!("unknown experiment id: {which}");
-        std::process::exit(1);
+    }
+    if areas.is_empty() {
+        areas = harness::AREAS.iter().map(|a| a.to_string()).collect();
+    }
+    for area in &areas {
+        let report = harness::run_area(area, tier).expect("area validated above");
+        let path = report.write_to(&dir).unwrap_or_else(|e| {
+            eprintln!("experiments: writing {area}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "wrote {} ({} records, tier {})",
+            path.display(),
+            report.records.len(),
+            tier.name()
+        );
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    match args.peek().map(String::as_str) {
+        None => {
+            for (_, f) in EXPERIMENTS {
+                f();
+            }
+        }
+        Some("--list") | Some("-l") => list_experiments(),
+        Some("--help") | Some("-h") => {
+            println!("usage: experiments [all | <id>...] | --list | --json DIR [--tier T] [<area>...]");
+            list_experiments();
+        }
+        Some("--json") => {
+            args.next();
+            run_json_mode(args);
+        }
+        Some(_) => {
+            let names: Vec<String> = args.collect();
+            if names.iter().any(|n| n == "all") {
+                if names.len() > 1 {
+                    usage_error("'all' cannot be combined with other ids");
+                }
+                for (_, f) in EXPERIMENTS {
+                    f();
+                }
+                return;
+            }
+            // Validate every name before running anything: a typo half-way
+            // through a list must not leave a partial (expensive) run.
+            let mut picked: Vec<fn()> = Vec::new();
+            for name in &names {
+                match EXPERIMENTS.iter().find(|(n, _)| n == name) {
+                    Some((_, f)) => picked.push(*f),
+                    None => usage_error(&format!("unknown experiment id {name:?}")),
+                }
+            }
+            for f in picked {
+                f();
+            }
+        }
     }
 }

@@ -1,0 +1,398 @@
+//! Baseline comparison for `BENCH_*.json` reports: the policy half of the
+//! perf-regression gate (`bench-compare` is a thin CLI over this).
+//!
+//! Wall-clock is **advisory** — CI machines are too noisy to gate on —
+//! so the gate runs on the deterministic `StatsSnapshot` counters each
+//! record declares in its `"gated"` list. Every gated counter has a
+//! regression *direction*:
+//!
+//! * traffic counters (`remote_requests`, `bulk_requests`,
+//!   `element_fallbacks`, `segment_requests`, `gather_items`,
+//!   `dir_cache_misses`, `dir_cache_stale`) regress **upward** — doing
+//!   more wire work for the same scenario is the failure; doing less is
+//!   an improvement and passes (with a note, so baselines get refreshed);
+//! * benefit counters (`localized_chunks`, `dir_cache_hits`) regress
+//!   **downward** — the optimization silently stopped applying;
+//! * anything else (e.g. `tasks_executed`) is an exactness check: drift
+//!   in either direction beyond tolerance is a regression.
+//!
+//! Tolerance per counter is `max(tol_abs, baseline * tol_rel)`; `--exact`
+//! sets both to zero, which is what the determinism self-test uses.
+//! Missing fresh files, missing record ids, and missing gated counters
+//! are regressions (a deleted benchmark must be a deliberate baseline
+//! update, not a silent skip); extra fresh records — e.g. a lite run
+//! diffed against kick-tires baselines, tiers are supersets — are
+//! informational only.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::harness::{ParsedArea, ParsedRecord};
+
+/// Allowed drift for a gated counter: `max(abs, baseline * rel)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerance {
+    pub rel: f64,
+    pub abs: u64,
+}
+
+impl Tolerance {
+    /// The CI default: counters are deterministic by construction, but a
+    /// hair of slack keeps the gate from firing on incidental ±1 drift
+    /// in large counters while still catching real path changes.
+    pub fn default_gate() -> Tolerance {
+        Tolerance { rel: 0.05, abs: 2 }
+    }
+
+    /// Zero slack — for the run-twice determinism self-test.
+    pub fn exact() -> Tolerance {
+        Tolerance { rel: 0.0, abs: 0 }
+    }
+
+    fn slack(&self, baseline: u64) -> u64 {
+        let rel = (baseline as f64 * self.rel).ceil() as u64;
+        self.abs.max(rel)
+    }
+}
+
+/// The direction(s) in which drift beyond slack counts as a regression;
+/// drift the other way is an improvement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    Up,
+    Down,
+    Both,
+}
+
+fn direction_of(counter: &str) -> Direction {
+    match counter {
+        "remote_requests" | "bulk_requests" | "element_fallbacks" | "segment_requests"
+        | "gather_items" | "dir_cache_misses" | "dir_cache_stale" => Direction::Up,
+        "localized_chunks" | "dir_cache_hits" => Direction::Down,
+        _ => Direction::Both,
+    }
+}
+
+/// The outcome of diffing one fresh run against one baseline directory.
+pub struct CompareOutcome {
+    /// Human-readable report lines, in emission order.
+    pub lines: Vec<String>,
+    /// Gate failures: counter regressions, missing files/records/counters.
+    pub regressions: usize,
+    /// Gated counters that moved in the *good* direction beyond slack.
+    pub improvements: usize,
+    /// (record, counter) pairs actually compared.
+    pub compared: usize,
+}
+
+impl CompareOutcome {
+    pub fn passed(&self) -> bool {
+        self.regressions == 0
+    }
+
+    pub fn report(&self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+fn read_area(path: &Path) -> Result<ParsedArea, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    ParsedArea::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Lists the `BENCH_*.json` files in `dir`, sorted by name.
+fn bench_files(dir: &Path) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn pct(baseline: f64, fresh: f64) -> String {
+    if baseline <= 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", (fresh - baseline) / baseline * 100.0)
+}
+
+/// Diffs every `BENCH_*.json` under `baseline_dir` against its
+/// counterpart in `fresh_dir`. `Err` means the inputs themselves were
+/// unusable (missing baseline dir, malformed JSON) — callers exit 2;
+/// a returned outcome with `regressions > 0` is the gate firing (exit 1).
+pub fn compare_dirs(
+    baseline_dir: &Path,
+    fresh_dir: &Path,
+    tol: Tolerance,
+) -> Result<CompareOutcome, String> {
+    let baseline_files = bench_files(baseline_dir)?;
+    if baseline_files.is_empty() {
+        return Err(format!("no BENCH_*.json baselines in {}", baseline_dir.display()));
+    }
+    let mut out = CompareOutcome {
+        lines: Vec::new(),
+        regressions: 0,
+        improvements: 0,
+        compared: 0,
+    };
+    for base_path in baseline_files {
+        let file_name = base_path.file_name().expect("bench file name").to_owned();
+        let baseline = read_area(&base_path)?;
+        let fresh_path = fresh_dir.join(&file_name);
+        if !fresh_path.exists() {
+            out.regressions += 1;
+            out.lines.push(format!(
+                "REGRESSION {}: fresh run produced no {} (area dropped?)",
+                baseline.area,
+                file_name.to_string_lossy()
+            ));
+            continue;
+        }
+        let fresh = read_area(&fresh_path)?;
+        compare_area(&baseline, &fresh, tol, &mut out);
+    }
+    out.lines.push(format!(
+        "summary: {} gated counters compared, {} regressions, {} improvements -> {}",
+        out.compared,
+        out.regressions,
+        out.improvements,
+        if out.passed() { "PASS" } else { "FAIL" }
+    ));
+    Ok(out)
+}
+
+fn compare_area(
+    baseline: &ParsedArea,
+    fresh: &ParsedArea,
+    tol: Tolerance,
+    out: &mut CompareOutcome,
+) {
+    let fresh_by_id: BTreeMap<&str, &ParsedRecord> =
+        fresh.records.iter().map(|r| (r.id.as_str(), r)).collect();
+    for b in &baseline.records {
+        let Some(f) = fresh_by_id.get(b.id.as_str()) else {
+            out.regressions += 1;
+            out.lines.push(format!(
+                "REGRESSION {}/{}: record missing from fresh run",
+                baseline.area, b.id
+            ));
+            continue;
+        };
+        compare_record(&baseline.area, b, f, tol, out);
+    }
+    let extra = fresh
+        .records
+        .iter()
+        .filter(|f| !baseline.records.iter().any(|b| b.id == f.id))
+        .count();
+    if extra > 0 {
+        out.lines.push(format!(
+            "note {}: {extra} fresh record(s) have no baseline (higher tier?) — not gated",
+            baseline.area
+        ));
+    }
+}
+
+fn compare_record(
+    area: &str,
+    b: &ParsedRecord,
+    f: &ParsedRecord,
+    tol: Tolerance,
+    out: &mut CompareOutcome,
+) {
+    for counter in &b.gated {
+        let base = match b.counters.get(counter) {
+            Some(v) => *v,
+            // Baseline predates the counter: nothing to gate against.
+            None => continue,
+        };
+        let Some(&val) = f.counters.get(counter) else {
+            out.regressions += 1;
+            out.lines.push(format!(
+                "REGRESSION {area}/{}: gated counter {counter} missing from fresh run",
+                b.id
+            ));
+            continue;
+        };
+        out.compared += 1;
+        let slack = tol.slack(base);
+        let (grew, drift) =
+            if val >= base { (true, val - base) } else { (false, base - val) };
+        if drift <= slack {
+            continue;
+        }
+        let bad = match direction_of(counter) {
+            Direction::Up => grew,
+            Direction::Down => !grew,
+            Direction::Both => true,
+        };
+        if bad {
+            out.regressions += 1;
+            out.lines.push(format!(
+                "REGRESSION {area}/{}: {counter} {base} -> {val} (allowed +/-{slack})",
+                b.id
+            ));
+        } else {
+            out.improvements += 1;
+            out.lines.push(format!(
+                "improved {area}/{}: {counter} {base} -> {val} — consider refreshing baselines",
+                b.id
+            ));
+        }
+    }
+    // Wall-clock: advisory only. Flag big swings so a human looks, but
+    // never gate — CI machines are shared and noisy.
+    if b.wall_s > 0.0 && f.wall_s > 0.0 {
+        let ratio = f.wall_s / b.wall_s;
+        if !(0.5..=2.0).contains(&ratio) {
+            out.lines.push(format!(
+                "wall-clock {area}/{}: {:.2e}s -> {:.2e}s ({}) [advisory]",
+                b.id,
+                b.wall_s,
+                f.wall_s,
+                pct(b.wall_s, f.wall_s)
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, gated: &[&str], counters: &[(&str, u64)], wall_s: f64) -> ParsedRecord {
+        ParsedRecord {
+            id: id.into(),
+            wall_s,
+            gated: gated.iter().map(|s| s.to_string()).collect(),
+            counters: counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    fn area(records: Vec<ParsedRecord>) -> ParsedArea {
+        ParsedArea {
+            schema: crate::harness::SCHEMA_VERSION,
+            area: "localization".into(),
+            tier: "kick-tires".into(),
+            records,
+        }
+    }
+
+    fn outcome() -> CompareOutcome {
+        CompareOutcome { lines: Vec::new(), regressions: 0, improvements: 0, compared: 0 }
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let b = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 100)], 1.0)]);
+        let f = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 100)], 1.0)]);
+        let mut out = outcome();
+        compare_area(&b, &f, Tolerance::exact(), &mut out);
+        assert_eq!(out.regressions, 0);
+        assert_eq!(out.compared, 1);
+    }
+
+    #[test]
+    fn traffic_counter_up_is_regression_down_is_improvement() {
+        let tol = Tolerance::default_gate();
+        let b = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 100)], 1.0)]);
+        let worse = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 120)], 1.0)]);
+        let better = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 50)], 1.0)]);
+        let mut out = outcome();
+        compare_area(&b, &worse, tol, &mut out);
+        assert_eq!((out.regressions, out.improvements), (1, 0));
+        let mut out = outcome();
+        compare_area(&b, &better, tol, &mut out);
+        assert_eq!((out.regressions, out.improvements), (0, 1));
+    }
+
+    #[test]
+    fn benefit_counter_down_is_regression() {
+        let tol = Tolerance::default_gate();
+        let b = area(vec![rec("a", &["localized_chunks"], &[("localized_chunks", 40)], 1.0)]);
+        let worse = area(vec![rec("a", &["localized_chunks"], &[("localized_chunks", 0)], 1.0)]);
+        let mut out = outcome();
+        compare_area(&b, &worse, tol, &mut out);
+        assert_eq!(out.regressions, 1);
+        assert!(out.lines[0].contains("localized_chunks 40 -> 0"), "{}", out.lines[0]);
+    }
+
+    #[test]
+    fn exactness_counter_drifts_both_ways() {
+        let b = area(vec![rec("a", &["tasks_executed"], &[("tasks_executed", 128)], 1.0)]);
+        for fresh_v in [120u64, 136] {
+            let f = area(vec![rec("a", &["tasks_executed"], &[("tasks_executed", fresh_v)], 1.0)]);
+            let mut out = outcome();
+            compare_area(&b, &f, Tolerance::exact(), &mut out);
+            assert_eq!(out.regressions, 1, "{fresh_v} should regress");
+        }
+    }
+
+    #[test]
+    fn tolerance_slack_absorbs_small_drift() {
+        let tol = Tolerance { rel: 0.05, abs: 2 };
+        // 5% of 100 = 5: drift of 5 passes, 6 fails.
+        let b = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 100)], 1.0)]);
+        let ok = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 105)], 1.0)]);
+        let bad = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 106)], 1.0)]);
+        let mut out = outcome();
+        compare_area(&b, &ok, tol, &mut out);
+        assert_eq!(out.regressions, 0);
+        let mut out = outcome();
+        compare_area(&b, &bad, tol, &mut out);
+        assert_eq!(out.regressions, 1);
+        // abs floor dominates for tiny baselines: 3 -> 5 passes.
+        let b = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 3)], 1.0)]);
+        let f = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 5)], 1.0)]);
+        let mut out = outcome();
+        compare_area(&b, &f, tol, &mut out);
+        assert_eq!(out.regressions, 0);
+    }
+
+    #[test]
+    fn missing_record_and_counter_are_regressions() {
+        let b = area(vec![
+            rec("a", &["remote_requests"], &[("remote_requests", 10)], 1.0),
+            rec("b", &["remote_requests"], &[("remote_requests", 10)], 1.0),
+        ]);
+        let f = area(vec![rec("a", &["remote_requests"], &[], 1.0)]);
+        let mut out = outcome();
+        compare_area(&b, &f, Tolerance::default_gate(), &mut out);
+        // record "b" missing + counter missing from record "a".
+        assert_eq!(out.regressions, 2);
+        assert!(out.lines.iter().any(|l| l.contains("record missing")));
+        assert!(out.lines.iter().any(|l| l.contains("counter remote_requests missing")));
+    }
+
+    #[test]
+    fn extra_fresh_records_are_informational() {
+        let b = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 10)], 1.0)]);
+        let f = area(vec![
+            rec("a", &["remote_requests"], &[("remote_requests", 10)], 1.0),
+            rec("lite-only", &["remote_requests"], &[("remote_requests", 999)], 1.0),
+        ]);
+        let mut out = outcome();
+        compare_area(&b, &f, Tolerance::exact(), &mut out);
+        assert_eq!(out.regressions, 0);
+        assert!(out.lines.iter().any(|l| l.contains("no baseline")));
+    }
+
+    #[test]
+    fn wall_clock_is_advisory_only() {
+        let b = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 10)], 0.001)]);
+        let f = area(vec![rec("a", &["remote_requests"], &[("remote_requests", 10)], 0.1)]);
+        let mut out = outcome();
+        compare_area(&b, &f, Tolerance::exact(), &mut out);
+        assert_eq!(out.regressions, 0, "100x wall-clock must not gate");
+        assert!(out.lines.iter().any(|l| l.contains("advisory")));
+    }
+}

@@ -15,6 +15,12 @@ use std::time::Instant;
 
 use stapl_rts::Location;
 
+pub mod compare;
+pub mod harness;
+pub mod json;
+
+pub use harness::BENCH_SEED;
+
 /// Times `f` on every location and returns the maximum elapsed seconds
 /// (the Fig. 24 kernel: the reported time includes the fence).
 ///

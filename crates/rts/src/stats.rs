@@ -79,6 +79,34 @@ impl Stats {
     }
 }
 
+/// Expands `$m!(field, field, ...)` with every counter field of
+/// [`StatsSnapshot`], in declaration order. Single source of truth for the
+/// name-indexed access, the JSON serialization, and `since`: adding a
+/// counter here (and to both structs) extends all of them at once.
+macro_rules! with_counter_fields {
+    ($m:ident) => {
+        $m!(
+            local_invocations,
+            remote_requests,
+            batches_sent,
+            responses_sent,
+            fence_rounds,
+            tasks_executed,
+            tasks_stolen,
+            steal_requests,
+            dir_cache_hits,
+            dir_cache_misses,
+            dir_cache_stale,
+            aged_flushes,
+            bulk_requests,
+            localized_chunks,
+            element_fallbacks,
+            segment_requests,
+            gather_items
+        )
+    };
+}
+
 /// A point-in-time copy of the global runtime counters (aggregated over all
 /// locations of one execution).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -100,6 +128,92 @@ pub struct StatsSnapshot {
     pub element_fallbacks: u64,
     pub segment_requests: u64,
     pub gather_items: u64,
+}
+
+impl StatsSnapshot {
+    /// Every counter name, in declaration order (the order `to_json` emits
+    /// and the benchmark JSON schema uses).
+    pub fn counter_names() -> &'static [&'static str] {
+        macro_rules! names {
+            ($($f:ident),*) => { &[$(stringify!($f)),*] };
+        }
+        with_counter_fields!(names)
+    }
+
+    /// Looks a counter up by name; `None` for unknown names.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        macro_rules! get {
+            ($($f:ident),*) => {
+                match name { $(stringify!($f) => Some(self.$f),)* _ => None }
+            };
+        }
+        with_counter_fields!(get)
+    }
+
+    /// All `(name, value)` pairs, in declaration order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! pairs {
+            ($($f:ident),*) => { vec![$((stringify!($f), self.$f)),*] };
+        }
+        with_counter_fields!(pairs)
+    }
+
+    /// The per-counter delta against an `earlier` snapshot of the same
+    /// execution (saturating, so a reordered pair degrades to zero instead
+    /// of wrapping). This is how benchmark scenarios scope counters: take a
+    /// snapshot after setup, run the kernel, and subtract — back-to-back
+    /// scenarios in one process then cannot cross-contaminate records.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        macro_rules! sub {
+            ($($f:ident),*) => {
+                StatsSnapshot { $($f: self.$f.saturating_sub(earlier.$f)),* }
+            };
+        }
+        with_counter_fields!(sub)
+    }
+
+    /// Serializes the counters as a single-line JSON object,
+    /// `{"local_invocations":N,...}`, in declaration order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (name, v)) in self.counters().into_iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(name);
+            s.push_str("\":");
+            s.push_str(&v.to_string());
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses a JSON object of `"name": integer` pairs as produced by
+    /// [`StatsSnapshot::to_json`]. Unknown keys are ignored (schema
+    /// forward-compatibility); missing keys stay zero. Returns `None` on
+    /// malformed input (no braces, an unterminated string, or a
+    /// non-integer value).
+    pub fn from_json(json: &str) -> Option<StatsSnapshot> {
+        let body = json.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut snap = StatsSnapshot::default();
+        for pair in body.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair.split_once(':')?;
+            let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let value: u64 = value.trim().parse().ok()?;
+            macro_rules! set {
+                ($($f:ident),*) => {
+                    match key { $(stringify!($f) => snap.$f = value,)* _ => {} }
+                };
+            }
+            with_counter_fields!(set);
+        }
+        Some(snap)
+    }
 }
 
 impl StatsSnapshot {
@@ -127,11 +241,12 @@ impl StatsSnapshot {
     /// (one-hop instead of home-forwarding). Stale guesses still count as
     /// hits here; subtract `dir_cache_stale` for the useful-hit rate.
     pub fn dir_cache_hit_rate(&self) -> f64 {
-        let total = self.dir_cache_hits + self.dir_cache_misses;
-        if total == 0 {
+        // Sum in f64: saturated counters must not overflow the total.
+        let total = self.dir_cache_hits as f64 + self.dir_cache_misses as f64;
+        if total == 0.0 {
             0.0
         } else {
-            self.dir_cache_hits as f64 / total as f64
+            self.dir_cache_hits as f64 / total
         }
     }
 
@@ -140,21 +255,21 @@ impl StatsSnapshot {
     /// coarse health signal: 1.0 means every chunk localized, values near
     /// 0.0 mean the element-wise fallback dominated.
     pub fn localization_rate(&self) -> f64 {
-        let total = self.localized_chunks + self.element_fallbacks;
-        if total == 0 {
+        let total = self.localized_chunks as f64 + self.element_fallbacks as f64;
+        if total == 0.0 {
             0.0
         } else {
-            self.localized_chunks as f64 / total as f64
+            self.localized_chunks as f64 / total
         }
     }
 
     /// Fraction of element-wise invocations that were remote.
     pub fn remote_fraction(&self) -> f64 {
-        let total = self.local_invocations + self.remote_requests;
-        if total == 0 {
+        let total = self.local_invocations as f64 + self.remote_requests as f64;
+        if total == 0.0 {
             0.0
         } else {
-            self.remote_requests as f64 / total as f64
+            self.remote_requests as f64 / total
         }
     }
 }
@@ -205,5 +320,134 @@ mod tests {
         };
         assert!((s.aggregation_ratio() - 10.0).abs() < 1e-12);
         assert!((s.remote_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    /// Every counter at its max: the derived ratios must stay finite,
+    /// non-negative, and (for the fraction-shaped ones) within [0, 1] —
+    /// no overflow panic, NaN, or infinity anywhere.
+    #[test]
+    fn ratios_survive_saturated_counters() {
+        for name in StatsSnapshot::counter_names() {
+            // Set each field by name through from_json; each single-field
+            // saturation must leave every ratio well-defined.
+            let patched =
+                StatsSnapshot::from_json(&format!("{{\"{name}\":{}}}", u64::MAX)).unwrap();
+            assert_eq!(patched.counter(name), Some(u64::MAX));
+            for r in [
+                patched.aggregation_ratio(),
+                patched.steal_fraction(),
+                patched.dir_cache_hit_rate(),
+                patched.localization_rate(),
+                patched.remote_fraction(),
+            ] {
+                assert!(r.is_finite() && r >= 0.0, "{name} saturated: bad ratio {r}");
+            }
+        }
+        let all_max = StatsSnapshot::from_json(
+            &StatsSnapshot::default().to_json().replace(":0", &format!(":{}", u64::MAX)),
+        )
+        .unwrap();
+        assert_eq!(all_max.remote_requests, u64::MAX);
+        for r in [
+            all_max.aggregation_ratio(),
+            all_max.steal_fraction(),
+            all_max.dir_cache_hit_rate(),
+            all_max.localization_rate(),
+            all_max.remote_fraction(),
+        ] {
+            assert!(r.is_finite(), "ratio must be finite, got {r}");
+            assert!(r >= 0.0, "ratio must be non-negative, got {r}");
+        }
+        // `hits + misses` sums past u64::MAX in f64 space without wrapping,
+        // so the fractions stay in [0, 1].
+        assert!(all_max.steal_fraction() <= 1.0 + 1e-9);
+        assert!(all_max.dir_cache_hit_rate() <= 1.0);
+        assert!(all_max.localization_rate() <= 1.0);
+        assert!(all_max.remote_fraction() <= 1.0);
+    }
+
+    /// One-sided saturation: numerator maxed while the denominator is tiny.
+    #[test]
+    fn ratios_with_lopsided_saturation() {
+        let s = StatsSnapshot { remote_requests: u64::MAX, batches_sent: 1, ..Default::default() };
+        assert!(s.aggregation_ratio().is_finite());
+        assert!((s.aggregation_ratio() - u64::MAX as f64).abs() < 1e30);
+        let s = StatsSnapshot { tasks_stolen: u64::MAX, tasks_executed: 1, ..Default::default() };
+        assert!(s.steal_fraction().is_finite()); // >1 is fine; it must not be NaN/inf
+    }
+
+    #[test]
+    fn counter_names_match_fields() {
+        let names = StatsSnapshot::counter_names();
+        assert_eq!(names.len(), 17);
+        assert_eq!(names[0], "local_invocations");
+        assert_eq!(names[16], "gather_items");
+        let s = StatsSnapshot { gather_items: 9, ..Default::default() };
+        assert_eq!(s.counter("gather_items"), Some(9));
+        assert_eq!(s.counter("no_such_counter"), None);
+        assert_eq!(s.counters().len(), names.len());
+    }
+
+    #[test]
+    fn json_round_trips_distinct_values() {
+        // Give every field a distinct value so a swapped pair cannot pass.
+        let mut json = String::from("{");
+        for (i, name) in StatsSnapshot::counter_names().iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!("\"{name}\":{}", (i as u64 + 1) * 3));
+        }
+        json.push('}');
+        let snap = StatsSnapshot::from_json(&json).unwrap();
+        for (i, (_, v)) in snap.counters().into_iter().enumerate() {
+            assert_eq!(v, (i as u64 + 1) * 3);
+        }
+        assert_eq!(StatsSnapshot::from_json(&snap.to_json()), Some(snap));
+    }
+
+    #[test]
+    fn json_round_trips_extremes() {
+        let snap = StatsSnapshot {
+            remote_requests: u64::MAX,
+            gather_items: u64::MAX - 1,
+            ..Default::default()
+        };
+        assert_eq!(StatsSnapshot::from_json(&snap.to_json()), Some(snap));
+        // Whitespace tolerance and unknown-key forward compatibility.
+        let s = StatsSnapshot::from_json(
+            "{ \"remote_requests\" : 7 , \"a_future_counter\": 1 }",
+        )
+        .unwrap();
+        assert_eq!(s.remote_requests, 7);
+        assert_eq!(s.local_invocations, 0);
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        for bad in [
+            "",
+            "remote_requests:1",
+            "{\"remote_requests\":}",
+            "{\"remote_requests\":-1}",
+            "{\"remote_requests\":1.5}",
+            "{\"remote_requests\" 1}",
+            "{unquoted:1}",
+        ] {
+            assert_eq!(StatsSnapshot::from_json(bad), None, "should reject {bad:?}");
+        }
+        // Empty object is valid: all counters zero.
+        assert_eq!(StatsSnapshot::from_json("{}"), Some(StatsSnapshot::default()));
+    }
+
+    #[test]
+    fn since_subtracts_and_saturates() {
+        let before = StatsSnapshot { remote_requests: 10, batches_sent: 4, ..Default::default() };
+        let after = StatsSnapshot { remote_requests: 25, batches_sent: 3, ..Default::default() };
+        let d = after.since(&before);
+        assert_eq!(d.remote_requests, 15);
+        assert_eq!(d.batches_sent, 0, "must saturate, not wrap");
+        assert_eq!(d.local_invocations, 0);
+        assert_eq!(after.since(&StatsSnapshot::default()), after);
     }
 }

@@ -1,0 +1,5 @@
+#!/usr/bin/env bash
+# Full tier: the whole sweep at evaluation sizes (superset of lite).
+# For real machine evaluations; not run in CI.
+. "$(dirname "$0")/common.sh"
+run_tier full

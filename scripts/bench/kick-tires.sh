@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Kick-tires tier: the <1 minute sanity sweep CI gates on. Runs every
+# benchmark area at minimal sizes and diffs the deterministic counters
+# against bench/baselines/.
+. "$(dirname "$0")/common.sh"
+run_tier kick-tires

@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Lite tier: a few minutes. Everything kick-tires runs (so the baseline
+# gate still applies) plus more placements, P values, larger sizes, and
+# the skewed-executor scenarios.
+. "$(dirname "$0")/common.sh"
+run_tier lite

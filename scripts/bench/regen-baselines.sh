@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Regenerates bench/baselines/ from a fresh kick-tires run. Use after a
+# deliberate perf-relevant change, and commit the diff — the per-line
+# counter layout makes the regression review part of the PR review.
+. "$(dirname "$0")/common.sh"
+BENCH_OUT="$BASELINES" BENCH_COMPARE=0 run_tier kick-tires
+echo "baselines refreshed in $BASELINES — review and commit the diff"
