@@ -58,7 +58,7 @@ where
             continue;
         }
         if dest != loc.id() {
-            loc.note_bulk_request();
+            loc.note_bulk_request(batch.len() as u64);
         }
         buckets.invoke_at(dest, move |cell, _| cell.borrow_mut().extend(batch));
     }

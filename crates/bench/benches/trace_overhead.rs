@@ -1,0 +1,61 @@
+//! Wall-clock cost of the trace layer on the localization kick-tires
+//! kernel (misaligned `p_copy`, the heaviest RMI mix in the suite):
+//!
+//! * `off`  — `RtsConfig::base()`: the single `Option` branch per
+//!   would-be event is all that remains; should be indistinguishable
+//!   from the pre-trace baseline;
+//! * `on`   — same kernel with per-location ring buffers recording.
+//!
+//! The stats-level half of the claim (zero counter traffic) is asserted
+//! by `tests/trace_overhead.rs`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stapl_algorithms::map_func::p_copy;
+use stapl_containers::array::PArray;
+use stapl_core::mapper::GeneralMapper;
+use stapl_core::partition::{BlockedPartition, IndexPartition};
+use stapl_rts::{execute, RtsConfig};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(150))
+        .without_plots()
+}
+
+fn run_copy_misaligned(cfg: RtsConfig, n: usize) {
+    let p = 4;
+    execute(cfg, p, move |loc| {
+        let nlocs = loc.nlocs();
+        let src = PArray::from_fn(loc, n, |i| i as u64);
+        let part = BlockedPartition::new(n, n / nlocs + 17);
+        let parts = IndexPartition::num_subdomains(&part);
+        let dst = PArray::with_partition(
+            loc,
+            Box::new(part),
+            Box::new(GeneralMapper::new(nlocs, (0..parts).map(|b| (b + 1) % nlocs).collect())),
+            0u64,
+        );
+        p_copy(&src, &dst);
+    });
+}
+
+fn trace_overhead(c: &mut Criterion) {
+    let n = 4096;
+    let mut grp = c.benchmark_group("trace_overhead_copy_misaligned");
+    grp.bench_function("off", |b| b.iter(|| run_copy_misaligned(RtsConfig::base(), n)));
+    grp.bench_function("on", |b| {
+        b.iter(|| run_copy_misaligned(RtsConfig { trace: true, ..RtsConfig::base() }, n))
+    });
+    grp.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = trace_overhead
+}
+criterion_main!(benches);

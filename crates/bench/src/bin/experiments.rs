@@ -29,12 +29,97 @@ use stapl_core::interfaces::*;
 use stapl_core::mapper::CyclicMapper;
 use stapl_core::partition::{BalancedPartition, MatrixLayout};
 use stapl_core::thread_safety::*;
-use stapl_rts::{execute_collect, RtsConfig};
+use stapl_rts::{execute_collect, execute_collect_traced, RtsConfig};
 
 const PS: [usize; 3] = [1, 2, 4];
 
+/// Global observability switches, set once in `main` before any
+/// experiment runs and consulted by [`run`] (the single funnel every
+/// experiment's executions go through). Chrome event lines accumulate
+/// here across executions; `runs` numbers them so each gets a disjoint
+/// pid range in the merged timeline.
+struct TraceCtx {
+    trace: bool,
+    metrics: bool,
+    chrome: Vec<String>,
+    runs: u64,
+}
+
+static TRACE: std::sync::Mutex<TraceCtx> =
+    std::sync::Mutex::new(TraceCtx { trace: false, metrics: false, chrome: Vec::new(), runs: 0 });
+
 fn run<R: Send>(cfg: RtsConfig, p: usize, f: impl Fn(&stapl_rts::Location) -> R + Send + Sync) -> R {
-    execute_collect(cfg, p, f).remove(0)
+    let wanted = {
+        let t = TRACE.lock().expect("trace ctx poisoned");
+        t.trace || t.metrics
+    };
+    if !wanted {
+        return execute_collect(cfg, p, f).remove(0);
+    }
+    let cfg = RtsConfig { trace: true, ..cfg };
+    let (mut results, trace) = execute_collect_traced(cfg, p, f);
+    let rt = trace.expect("tracing requested");
+    let mut t = TRACE.lock().expect("trace ctx poisoned");
+    let run_idx = t.runs;
+    t.runs += 1;
+    if t.trace {
+        // 1000 pids per execution keeps locations of different runs in
+        // disjoint ranges of the merged timeline.
+        rt.push_chrome_events(1 + run_idx * 1000, &format!("run {run_idx}"), &mut t.chrome);
+    }
+    if t.metrics {
+        print_run_metrics(run_idx, &rt);
+    }
+    results.remove(0)
+}
+
+/// `--metrics`: one row per location of one execution — event volume,
+/// RMI traffic, and the latency quantiles the trace histograms carry.
+fn print_run_metrics(run_idx: u64, rt: &stapl_rts::RunTrace) {
+    use stapl_rts::TraceEventKind;
+    let q = |l: &stapl_rts::LocationTrace, name: &str, pick: fn(&stapl_rts::LatencyHistogram) -> u64| {
+        let h = l.histogram(name).expect("known histogram");
+        if h.count() == 0 { "-".to_string() } else { fmt_time(pick(h) as f64 * 1e-9) }
+    };
+    let mut t = Table::new(
+        &format!("trace metrics: run {run_idx} (P={})", rt.nlocs),
+        &[
+            "loc", "events", "sends", "execs", "tasks", "sync n", "sync p50", "sync p99",
+            "wait p99", "barrier p99",
+        ],
+    );
+    for l in &rt.locs {
+        t.row(vec![
+            l.loc.to_string(),
+            (l.events.len() as u64 + l.dropped).to_string(),
+            l.count(TraceEventKind::RmiSend).to_string(),
+            l.count(TraceEventKind::RmiExecute).to_string(),
+            l.count(TraceEventKind::TaskSpan).to_string(),
+            l.histogram("sync_rmi").expect("known histogram").count().to_string(),
+            q(l, "sync_rmi", stapl_rts::LatencyHistogram::p50),
+            q(l, "sync_rmi", stapl_rts::LatencyHistogram::p99),
+            q(l, "future_wait", stapl_rts::LatencyHistogram::p99),
+            q(l, "barrier_wait", stapl_rts::LatencyHistogram::p99),
+        ]);
+    }
+    t.print();
+}
+
+/// Writes the accumulated Chrome trace-event lines of every traced
+/// execution as one JSON array (the format `chrome://tracing` / Perfetto
+/// load directly).
+fn write_chrome_trace(path: &str) {
+    let t = TRACE.lock().expect("trace ctx poisoned");
+    let body = format!("[\n{}\n]\n", t.chrome.join(",\n"));
+    if let Err(e) = std::fs::write(path, &body) {
+        eprintln!("experiments: writing trace {path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "wrote {path} ({} events from {} traced executions)",
+        t.chrome.len(),
+        t.runs
+    );
 }
 
 /// Fig. 27: pArray constructor time for various sizes / location counts.
@@ -1365,13 +1450,41 @@ fn list_experiments() {
     println!("harness areas (--json): {}", harness::AREAS.join(" "));
 }
 
+const USAGE: &str = "usage: experiments [--trace FILE] [--metrics] [all | <id>...] \
+     | --list | --json DIR [--tier T] [<area>...] | --validate-trace FILE";
+
 fn usage_error(msg: &str) -> ! {
     eprintln!("experiments: {msg}");
-    eprintln!("usage: experiments [all | <id>...] | --list | --json DIR [--tier T] [<area>...]");
+    eprintln!("{USAGE}");
     eprintln!("  ids: {}", EXPERIMENTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" "));
     eprintln!("  areas: {} (default all)", harness::AREAS.join(" "));
     eprintln!("  tiers: kick-tires lite full (default kick-tires)");
+    eprintln!("  --trace FILE: write a Chrome trace-event JSON timeline of every execution");
+    eprintln!("  --metrics: print per-location event counts and latency quantiles");
+    eprintln!("  --validate-trace FILE: check a trace file's structure and exit");
     std::process::exit(2);
+}
+
+/// `--validate-trace FILE`: structural check of a Chrome trace-event file
+/// (the `trace-smoke` CI step); exit 0 when loadable, 2 otherwise.
+fn run_validate_trace(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("experiments: reading {path}: {e}");
+        std::process::exit(2);
+    });
+    match stapl_bench::trace_check::validate_chrome_trace(&text) {
+        Ok(check) => {
+            println!(
+                "{path}: ok ({} events, {} spans, {} instants, {} lanes)",
+                check.events, check.spans, check.instants, check.lanes
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid trace: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// `--json DIR [--tier T] [<area>...]`: run the tiered harness and write
@@ -1415,7 +1528,36 @@ fn run_json_mode(mut rest: std::iter::Peekable<impl Iterator<Item = String>>) {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1).peekable();
+    // Peel off the observability flags first: they compose with any list
+    // of experiment ids (but not with --json, whose harness runs scope
+    // their own tracing into BENCH_*.json).
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path: Option<String> = None;
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--trace" => {
+                if i + 1 >= raw.len() {
+                    usage_error("--trace needs an output FILE");
+                }
+                trace_path = Some(raw.remove(i + 1));
+                raw.remove(i);
+                TRACE.lock().expect("trace ctx poisoned").trace = true;
+            }
+            "--metrics" => {
+                raw.remove(i);
+                TRACE.lock().expect("trace ctx poisoned").metrics = true;
+            }
+            "--validate-trace" => {
+                if i + 1 >= raw.len() {
+                    usage_error("--validate-trace needs a FILE");
+                }
+                run_validate_trace(&raw[i + 1]);
+            }
+            _ => i += 1,
+        }
+    }
+    let mut args = raw.into_iter().peekable();
     match args.peek().map(String::as_str) {
         None => {
             for (_, f) in EXPERIMENTS {
@@ -1424,7 +1566,7 @@ fn main() {
         }
         Some("--list") | Some("-l") => list_experiments(),
         Some("--help") | Some("-h") => {
-            println!("usage: experiments [all | <id>...] | --list | --json DIR [--tier T] [<area>...]");
+            println!("{USAGE}");
             list_experiments();
         }
         Some("--json") => {
@@ -1440,20 +1582,24 @@ fn main() {
                 for (_, f) in EXPERIMENTS {
                     f();
                 }
-                return;
-            }
-            // Validate every name before running anything: a typo half-way
-            // through a list must not leave a partial (expensive) run.
-            let mut picked: Vec<fn()> = Vec::new();
-            for name in &names {
-                match EXPERIMENTS.iter().find(|(n, _)| n == name) {
-                    Some((_, f)) => picked.push(*f),
-                    None => usage_error(&format!("unknown experiment id {name:?}")),
+            } else {
+                // Validate every name before running anything: a typo
+                // half-way through a list must not leave a partial
+                // (expensive) run.
+                let mut picked: Vec<fn()> = Vec::new();
+                for name in &names {
+                    match EXPERIMENTS.iter().find(|(n, _)| n == name) {
+                        Some((_, f)) => picked.push(*f),
+                        None => usage_error(&format!("unknown experiment id {name:?}")),
+                    }
+                }
+                for f in picked {
+                    f();
                 }
             }
-            for f in picked {
-                f();
-            }
         }
+    }
+    if let Some(path) = &trace_path {
+        write_chrome_trace(path);
     }
 }

@@ -275,6 +275,7 @@ mod tests {
             wall_s,
             gated: gated.iter().map(|s| s.to_string()).collect(),
             counters: counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            trace_events: Default::default(),
         }
     }
 

@@ -17,8 +17,8 @@
 //! * `executor` — the PARAGRAPH task-graph executor (PR 2): SPMD vs
 //!   executor vs executor+stealing on uniform and skewed workloads.
 //!
-//! Each scenario runs in its **own** [`execute_collect`] execution with an
-//! explicit [`RtsConfig`] built from [`RtsConfig::base`] (environment
+//! Each scenario runs in its **own** [`execute_collect_traced`] execution
+//! with an explicit [`RtsConfig`] built from [`RtsConfig::base`] (environment
 //! `STAPL_*` overrides deliberately do **not** apply — records must mean
 //! the same thing on every machine), and counters are scoped with
 //! [`StatsSnapshot::since`] around the timed kernel, so back-to-back
@@ -39,7 +39,7 @@ use stapl_core::partition::{
     BalancedPartition, BlockCyclicPartition, BlockedPartition, IndexPartition,
 };
 use stapl_paragraph::executor::ExecPolicy;
-use stapl_rts::{execute_collect, Location, RtsConfig, StatsSnapshot};
+use stapl_rts::{execute_collect_traced, Location, RtsConfig, StatsSnapshot, TraceSummary};
 use stapl_views::array_view::ArrayView;
 use stapl_views::assoc_view::MapView;
 
@@ -102,6 +102,11 @@ pub struct BenchRecord {
     pub wall_s: f64,
     pub gated: Vec<&'static str>,
     pub counters: StatsSnapshot,
+    /// Trace summary of the whole scenario execution (setup + kernel +
+    /// verification — tracing is per-run, not scoped like `counters`).
+    /// Serialized as the advisory `"trace"` block: event counts are
+    /// deterministic for gated kinds, histogram durations never are.
+    pub trace: TraceSummary,
 }
 
 /// All records of one area at one tier.
@@ -135,6 +140,21 @@ fn knob(name: &'static str, value: impl ToString) -> (&'static str, String) {
     (name, value.to_string())
 }
 
+/// Runs one scenario with tracing forced on and returns `(wall_s, counter
+/// delta, run-wide trace summary)`. Tracing does not touch the Stats
+/// counters (asserted by `tests/trace_overhead.rs`), so records measured
+/// through this helper gate on exactly the same values as untraced runs.
+fn traced(
+    cfg: RtsConfig,
+    p: usize,
+    f: impl Fn(&Location) -> (f64, StatsSnapshot) + Send + Sync,
+) -> (f64, StatsSnapshot, TraceSummary) {
+    let cfg = RtsConfig { trace: true, ..cfg };
+    let (mut results, trace) = execute_collect_traced(cfg, p, f);
+    let (secs, delta) = results.remove(0);
+    (secs, delta, trace.expect("tracing enabled for harness runs").summary())
+}
+
 // ---------------------------------------------------------------------
 // Area: localization (PR 4 — bulk-range transport + view localization)
 // ---------------------------------------------------------------------
@@ -150,8 +170,8 @@ fn localization_copy(
     placement: &'static str,
     localized: bool,
     cfg: RtsConfig,
-) -> (f64, StatsSnapshot) {
-    execute_collect(cfg, p, move |loc| {
+) -> (f64, StatsSnapshot, TraceSummary) {
+    traced(cfg, p, move |loc| {
         let nlocs = loc.nlocs();
         let src = PArray::from_fn(loc, n, |i| i as u64);
         let dst = match placement {
@@ -200,7 +220,6 @@ fn localization_copy(
         }
         (secs, delta)
     })
-    .remove(0)
 }
 
 fn localization_area(tier: Tier) -> Vec<BenchRecord> {
@@ -246,7 +265,7 @@ fn localization_area(tier: Tier) -> Vec<BenchRecord> {
                 bulk_threshold: bulk,
                 ..RtsConfig::base()
             };
-            let (wall_s, counters) = localization_copy(p, n, placement, localized, cfg);
+            let (wall_s, counters, trace) = localization_copy(p, n, placement, localized, cfg);
             let mode = if localized { "localized" } else { "element-wise" };
             let bulk_label = if bulk > n { "off".to_string() } else { bulk.to_string() };
             BenchRecord {
@@ -262,6 +281,7 @@ fn localization_area(tier: Tier) -> Vec<BenchRecord> {
                 wall_s,
                 gated: LOCALIZATION_GATED.to_vec(),
                 counters,
+                trace,
             }
         })
         .collect()
@@ -282,8 +302,8 @@ fn directory_access(
     reads: usize,
     hot: bool,
     cfg: RtsConfig,
-) -> (f64, StatsSnapshot) {
-    execute_collect(cfg, p, move |loc| {
+) -> (f64, StatsSnapshot, TraceSummary) {
+    traced(cfg, p, move |loc| {
         let g: PGraph<u64, ()> =
             PGraph::new_dynamic(loc, Directedness::Directed, GraphPartitionKind::DynamicFwd);
         for vd in 0..nverts {
@@ -312,7 +332,6 @@ fn directory_access(
         });
         (secs, delta)
     })
-    .remove(0)
 }
 
 fn directory_area(tier: Tier) -> Vec<BenchRecord> {
@@ -344,7 +363,7 @@ fn directory_area(tier: Tier) -> Vec<BenchRecord> {
         .into_iter()
         .map(|(p, reads, hot, cache, agg)| {
             let cfg = RtsConfig { dir_cache: cache, aggregation: agg, ..RtsConfig::base() };
-            let (wall_s, counters) = directory_access(p, nverts, reads, hot, cfg);
+            let (wall_s, counters, trace) = directory_access(p, nverts, reads, hot, cfg);
             let scenario = if hot { "hot-key" } else { "traversal" };
             let cache_label = if cache { "on" } else { "off" };
             BenchRecord {
@@ -360,6 +379,7 @@ fn directory_area(tier: Tier) -> Vec<BenchRecord> {
                 wall_s,
                 gated: DIRECTORY_GATED.to_vec(),
                 counters,
+                trace,
             }
         })
         .collect()
@@ -373,8 +393,8 @@ const DYNAMIC_GATED: &[&str] = &["remote_requests", "segment_requests", "gather_
 
 /// Location 0 reads the whole pList: one `get_segment` per slab vs the
 /// element-wise GID walk.
-fn dynamic_traversal(p: usize, per: usize, segmented: bool) -> (f64, StatsSnapshot) {
-    execute_collect(RtsConfig::base(), p, move |loc| {
+fn dynamic_traversal(p: usize, per: usize, segmented: bool) -> (f64, StatsSnapshot, TraceSummary) {
+    traced(RtsConfig::base(), p, move |loc| {
         let l: PList<u64> = PList::new(loc);
         for i in 0..per {
             l.push_anywhere((loc.id() * per + i) as u64);
@@ -405,13 +425,12 @@ fn dynamic_traversal(p: usize, per: usize, segmented: bool) -> (f64, StatsSnapsh
         });
         (secs, delta)
     })
-    .remove(0)
 }
 
 /// `p_copy` between twin pLists after every destination slab migrated one
 /// location over (every write remote, stale owner hints self-heal).
-fn dynamic_copy_migrated(p: usize, per: usize, segmented: bool) -> (f64, StatsSnapshot) {
-    execute_collect(RtsConfig::base(), p, move |loc| {
+fn dynamic_copy_migrated(p: usize, per: usize, segmented: bool) -> (f64, StatsSnapshot, TraceSummary) {
+    traced(RtsConfig::base(), p, move |loc| {
         let src: PList<u64> = PList::new(loc);
         let dst: PList<u64> = PList::new(loc);
         for i in 0..per {
@@ -435,13 +454,12 @@ fn dynamic_copy_migrated(p: usize, per: usize, segmented: bool) -> (f64, StatsSn
         assert!(p_equal_segmented(&src, &dst), "copy corrupted");
         (secs, delta)
     })
-    .remove(0)
 }
 
 /// MapReduce word count over a `MapView` of per-location documents:
 /// bucket-grained local-combine shuffle vs the per-pair shuffle.
-fn dynamic_wordcount(p: usize, words_per_loc: usize, chunked: bool) -> (f64, StatsSnapshot) {
-    execute_collect(RtsConfig::base(), p, move |loc| {
+fn dynamic_wordcount(p: usize, words_per_loc: usize, chunked: bool) -> (f64, StatsSnapshot, TraceSummary) {
+    traced(RtsConfig::base(), p, move |loc| {
         let docs: PHashMap<u64, String> = PHashMap::new(loc);
         let text = synthetic_corpus(loc, words_per_loc, 300, BENCH_SEED);
         docs.insert_async(loc.id() as u64, text.clone());
@@ -470,14 +488,13 @@ fn dynamic_wordcount(p: usize, words_per_loc: usize, chunked: bool) -> (f64, Sta
         assert_eq!(counts.global_size(), distinct.len(), "distinct-word count diverged");
         (secs, delta)
     })
-    .remove(0)
 }
 
 /// The data-collecting paths: `collect_ordered` one-sided gather (O(N) on
 /// the wire) and the opt-in `collect_ordered_bcast` (O(N·P)); the
 /// `gather_items` counter is the bytes-on-the-wire proxy.
-fn dynamic_collect(p: usize, per: usize, bcast: bool) -> (f64, StatsSnapshot) {
-    execute_collect(RtsConfig::base(), p, move |loc| {
+fn dynamic_collect(p: usize, per: usize, bcast: bool) -> (f64, StatsSnapshot, TraceSummary) {
+    traced(RtsConfig::base(), p, move |loc| {
         let m: PHashMap<u64, u64> = PHashMap::new(loc);
         for i in 0..per {
             let k = (loc.id() * per + i) as u64;
@@ -496,22 +513,23 @@ fn dynamic_collect(p: usize, per: usize, bcast: bool) -> (f64, StatsSnapshot) {
         });
         (secs, delta)
     })
-    .remove(0)
 }
 
 fn dynamic_area(tier: Tier) -> Vec<BenchRecord> {
     let per = 200usize;
     let words = 800usize;
     let mut records = Vec::new();
-    let mut push = |id: String, knobs: Vec<(&'static str, String)>, r: (f64, StatsSnapshot)| {
-        records.push(BenchRecord {
-            id,
-            knobs,
-            wall_s: r.0,
-            gated: DYNAMIC_GATED.to_vec(),
-            counters: r.1,
-        });
-    };
+    let mut push =
+        |id: String, knobs: Vec<(&'static str, String)>, r: (f64, StatsSnapshot, TraceSummary)| {
+            records.push(BenchRecord {
+                id,
+                knobs,
+                wall_s: r.0,
+                gated: DYNAMIC_GATED.to_vec(),
+                counters: r.1,
+                trace: r.2,
+            });
+        };
     for segmented in [true, false] {
         let mode = if segmented { "segmented" } else { "element-wise" };
         push(
@@ -609,8 +627,8 @@ fn executor_generate(
     light_us: u64,
     heavy_us: u64,
     mode: ExecutorMode,
-) -> (f64, StatsSnapshot) {
-    execute_collect(RtsConfig::base(), p, move |loc| {
+) -> (f64, StatsSnapshot, TraceSummary) {
+    traced(RtsConfig::base(), p, move |loc| {
         let a = PArray::new(loc, n, 0u64);
         let v = ArrayView::new(a.clone());
         let gen = move |k: usize| {
@@ -630,7 +648,6 @@ fn executor_generate(
         }
         (secs, delta)
     })
-    .remove(0)
 }
 
 fn executor_area(tier: Tier) -> Vec<BenchRecord> {
@@ -653,7 +670,7 @@ fn executor_area(tier: Tier) -> Vec<BenchRecord> {
     specs
         .into_iter()
         .map(|(p, n, light, heavy, workload, mode)| {
-            let (wall_s, counters) = executor_generate(p, n, light, heavy, mode);
+            let (wall_s, counters, trace) = executor_generate(p, n, light, heavy, mode);
             BenchRecord {
                 id: format!("generate/{workload}/p{p}/n{n}/{}", mode.label()),
                 knobs: vec![
@@ -667,6 +684,7 @@ fn executor_area(tier: Tier) -> Vec<BenchRecord> {
                 wall_s,
                 gated: EXECUTOR_GATED.to_vec(),
                 counters,
+                trace,
             }
         })
         .collect()
@@ -740,6 +758,34 @@ impl AreaReport {
                 let comma = if j + 1 < derived.len() { "," } else { "" };
                 s.push_str(&format!("        \"{name}\": {}{comma}\n", fmt_f64(*v)));
             }
+            s.push_str("      },\n");
+            // Advisory observability block (rts::trace): event counts are
+            // deterministic for the gated kinds; histogram durations are
+            // wall-clock-like and must never be gated or diffed strictly.
+            s.push_str("      \"trace\": {\n");
+            s.push_str(&format!("        \"dropped\": {},\n", r.trace.dropped));
+            s.push_str("        \"events\": {\n");
+            let events = r.trace.event_counts();
+            for (j, (name, v)) in events.iter().enumerate() {
+                let comma = if j + 1 < events.len() { "," } else { "" };
+                s.push_str(&format!("          \"{name}\": {v}{comma}\n"));
+            }
+            s.push_str("        },\n");
+            s.push_str("        \"histograms\": {\n");
+            let hists = r.trace.histograms();
+            for (j, (name, h)) in hists.iter().enumerate() {
+                let comma = if j + 1 < hists.len() { "," } else { "" };
+                s.push_str(&format!(
+                    "          \"{name}\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                     \"p99_ns\": {}, \"max_ns\": {}}}{comma}\n",
+                    h.count(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max_ns()
+                ));
+            }
+            s.push_str("        }\n");
             s.push_str("      }\n");
             s.push_str(if i + 1 < self.records.len() { "    },\n" } else { "    }\n" });
         }
@@ -778,6 +824,9 @@ pub struct ParsedRecord {
     pub wall_s: f64,
     pub gated: Vec<String>,
     pub counters: std::collections::BTreeMap<String, u64>,
+    /// Event counts from the advisory `"trace"` block; empty when the
+    /// file predates tracing. Never gated — kept for inspection only.
+    pub trace_events: std::collections::BTreeMap<String, u64>,
 }
 
 impl ParsedArea {
@@ -810,7 +859,17 @@ impl ParsedArea {
                     );
                 }
             }
-            records.push(ParsedRecord { id: id.to_string(), wall_s, gated, counters });
+            let mut trace_events = std::collections::BTreeMap::new();
+            if let Some(obj) =
+                r.get("trace").and_then(|t| t.get("events")).and_then(Json::as_obj)
+            {
+                for (k, v) in obj {
+                    if let Some(n) = v.as_u64() {
+                        trace_events.insert(k.clone(), n);
+                    }
+                }
+            }
+            records.push(ParsedRecord { id: id.to_string(), wall_s, gated, counters, trace_events });
         }
         Ok(ParsedArea { schema, area, tier, records })
     }
@@ -850,6 +909,7 @@ mod tests {
                     bulk_requests: 3,
                     ..Default::default()
                 },
+                trace: TraceSummary::default(),
             }],
         };
         let text = report.to_json();
@@ -864,6 +924,11 @@ mod tests {
         assert_eq!(r.counters["remote_requests"], 4);
         assert_eq!(r.counters["bulk_requests"], 3);
         assert_eq!(r.counters["local_invocations"], 0);
+        // The advisory trace block round-trips: every kind serialized,
+        // parsed back as plain (name, count) pairs.
+        assert_eq!(r.trace_events.len(), stapl_rts::KIND_COUNT);
+        assert_eq!(r.trace_events["rmi_send"], 0);
+        assert_eq!(r.trace_events["task_run"], 0);
     }
 
     #[test]

@@ -237,12 +237,24 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(c) if c.is_ascii() => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (multi-byte sequences pass
-                    // through unmodified).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid utf-8 in string")?;
-                    let c = rest.chars().next().unwrap();
+                    // Multi-byte UTF-8 scalar: decode from a 4-byte window
+                    // (validating the whole tail here would make parsing
+                    // quadratic in the document size).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()]).unwrap()
+                        }
+                        Err(_) => return Err("invalid utf-8 in string".into()),
+                    };
+                    let c = valid.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -18,6 +18,7 @@ use stapl_rts::Location;
 pub mod compare;
 pub mod harness;
 pub mod json;
+pub mod trace_check;
 
 pub use harness::BENCH_SEED;
 

@@ -687,7 +687,7 @@ impl<T: Send + Clone + 'static> RangedContainer for PArray<T> {
                 if run.owner == me {
                     RangePart::Local(run.bcid, run.gids)
                 } else if run.gids.len() >= threshold {
-                    loc.note_bulk_request();
+                    loc.note_bulk_request(run.gids.len() as u64);
                     let (bcid, gids) = (run.bcid, run.gids);
                     RangePart::Bulk(self.obj.invoke_split_at(run.owner, move |cell, _| {
                         cell.borrow().get_range_local(bcid, gids)
@@ -731,7 +731,7 @@ impl<T: Send + Clone + 'static> RangedContainer for PArray<T> {
                 loc.note_localized_chunk();
                 self.obj.local_mut().set_range_local(run.bcid, run.gids, chunk);
             } else if run.gids.len() >= threshold {
-                loc.note_bulk_request();
+                loc.note_bulk_request(run.gids.len() as u64);
                 let (bcid, gids) = (run.bcid, run.gids);
                 let owned = chunk.to_vec();
                 self.obj.invoke_at(run.owner, move |cell, _| {
@@ -758,7 +758,7 @@ impl<T: Send + Clone + 'static> RangedContainer for PArray<T> {
                 loc.note_localized_chunk();
                 self.obj.local_mut().apply_range_local(run.bcid, run.gids, &f);
             } else if run.gids.len() >= threshold {
-                loc.note_bulk_request();
+                loc.note_bulk_request(run.gids.len() as u64);
                 let (bcid, gids, f) = (run.bcid, run.gids, f.clone());
                 self.obj.invoke_at(run.owner, move |cell, _| {
                     cell.borrow_mut().apply_range_local(bcid, gids, f);

@@ -356,7 +356,7 @@ where
         );
         let owner = self.obj.local().dist.mapper().map(sid);
         if owner != self.me() {
-            self.obj.location().note_segment_request();
+            self.obj.location().note_segment_request(items.len() as u64);
         }
         self.obj.local_mut().size_dirty = true;
         self.obj.invoke_at(owner, move |cell, _| {
@@ -556,7 +556,7 @@ where
         if self.with_segment(sid, &mut |k, v| out.push((k.clone(), v.clone()))) {
             return out;
         }
-        self.obj.location().note_segment_request();
+        self.obj.location().note_segment_request(0);
         let owner = self.obj.local().dist.mapper().map(sid);
         self.obj.invoke_ret_at(owner, move |cell, _| {
             let rep = cell.borrow();
@@ -581,7 +581,7 @@ where
         );
         let owner = self.obj.local().dist.mapper().map(sid);
         if owner != self.me() {
-            self.obj.location().note_segment_request();
+            self.obj.location().note_segment_request(items.len() as u64);
         }
         self.obj.local_mut().size_dirty = true;
         self.obj.invoke_at(owner, move |cell, _| {
@@ -597,7 +597,7 @@ where
     fn set_segment(&self, sid: SegmentId, items: Vec<(K, V)>) {
         let owner = self.obj.local().dist.mapper().map(sid);
         if owner != self.me() {
-            self.obj.location().note_segment_request();
+            self.obj.location().note_segment_request(items.len() as u64);
         }
         self.obj.invoke_at(owner, move |cell, _| {
             let mut rep = cell.borrow_mut();
@@ -616,7 +616,7 @@ where
     {
         let owner = self.obj.local().dist.mapper().map(sid);
         if owner != self.me() {
-            self.obj.location().note_segment_request();
+            self.obj.location().note_segment_request(0);
         }
         self.obj.invoke_at(owner, move |cell, _| {
             let mut rep = cell.borrow_mut();

@@ -683,7 +683,7 @@ where
         if self.with_segment(sid, &mut |vd, p| out.push((*vd, p.clone()))) {
             return out;
         }
-        self.obj.location().note_segment_request();
+        self.obj.location().note_segment_request(0);
         self.obj.invoke_ret_at(sid, |cell, _| {
             cell.borrow()
                 .vertices()
@@ -708,7 +708,7 @@ where
             "pGraph: append_segment on a static pGraph"
         );
         if sid != self.me() {
-            self.obj.location().note_segment_request();
+            self.obj.location().note_segment_request(items.len() as u64);
         }
         self.obj.local_mut().counts_dirty = true;
         let nlocs = self.obj.local().nlocs;
@@ -736,7 +736,7 @@ where
 
     fn set_segment(&self, sid: SegmentId, items: Vec<(VertexDesc, VP)>) {
         if sid != self.me() {
-            self.obj.location().note_segment_request();
+            self.obj.location().note_segment_request(items.len() as u64);
         }
         self.obj.invoke_at(sid, move |cell, _| {
             let mut rep = cell.borrow_mut();
@@ -753,7 +753,7 @@ where
         F: Fn(&VertexDesc, &mut VP) + Clone + Send + 'static,
     {
         if sid != self.me() {
-            self.obj.location().note_segment_request();
+            self.obj.location().note_segment_request(0);
         }
         self.obj.invoke_at(sid, move |cell, _| {
             let mut rep = cell.borrow_mut();

@@ -655,7 +655,7 @@ impl<T: Send + Clone + 'static> SegmentedContainer for PList<T> {
         if self.with_segment(sid, &mut |seq, v| out.push((*seq, v.clone()))) {
             return out;
         }
-        self.obj.location().note_segment_request();
+        self.obj.location().note_segment_request(0);
         self.route_ret(sid, move |cell, _| {
             cell.borrow().bc(sid).iter().map(|(seq, v)| (seq, v.clone())).collect::<Vec<_>>()
         })
@@ -666,7 +666,7 @@ impl<T: Send + Clone + 'static> SegmentedContainer for PList<T> {
     /// given keys are advisory, as the trait specifies for sequences).
     fn append_segment(&self, sid: SegmentId, items: Vec<(u64, T)>) {
         if !self.is_local_segment(sid) {
-            self.obj.location().note_segment_request();
+            self.obj.location().note_segment_request(items.len() as u64);
         }
         self.obj.local_mut().size_dirty = true;
         self.route(sid, move |cell, _| {
@@ -684,7 +684,7 @@ impl<T: Send + Clone + 'static> SegmentedContainer for PList<T> {
 
     fn set_segment(&self, sid: SegmentId, items: Vec<(u64, T)>) {
         if !self.is_local_segment(sid) {
-            self.obj.location().note_segment_request();
+            self.obj.location().note_segment_request(items.len() as u64);
         }
         self.route(sid, move |cell, _| {
             let mut rep = cell.borrow_mut();
@@ -705,7 +705,7 @@ impl<T: Send + Clone + 'static> SegmentedContainer for PList<T> {
         F: Fn(&u64, &mut T) + Clone + Send + 'static,
     {
         if !self.is_local_segment(sid) {
-            self.obj.location().note_segment_request();
+            self.obj.location().note_segment_request(0);
         }
         self.route(sid, move |cell, _| {
             let mut rep = cell.borrow_mut();

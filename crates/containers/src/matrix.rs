@@ -282,7 +282,7 @@ impl<T: Send + Clone + 'static> PMatrix<T> {
                 if owner == me {
                     Ok((bcid, run))
                 } else {
-                    loc.note_bulk_request();
+                    loc.note_bulk_request(run.len() as u64);
                     Err(self.obj.invoke_split_at(owner, move |cell, _| {
                         cell.borrow().row_segment_local(bcid, r, run)
                     }))
@@ -314,7 +314,7 @@ impl<T: Send + Clone + 'static> PMatrix<T> {
                 loc.note_localized_chunk();
                 self.obj.local_mut().set_row_segment_local(bcid, r, run, chunk);
             } else {
-                loc.note_bulk_request();
+                loc.note_bulk_request(run.len() as u64);
                 let owned = chunk.to_vec();
                 self.obj.invoke_at(owner, move |cell, _| {
                     cell.borrow_mut().set_row_segment_local(bcid, r, run, &owned);

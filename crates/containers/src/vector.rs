@@ -547,7 +547,7 @@ impl<T: Send + Clone + 'static> stapl_core::interfaces::RangedContainer for PVec
                 // the routing-time bounds and only clamped at the owner
                 // (the relaxed window of the module docs) — the owner's
                 // bounds may already have moved on.
-                loc.note_bulk_request();
+                loc.note_bulk_request(run.gids.len() as u64);
                 let off = run.gids.lo - self.obj.local().lo(run.owner);
                 let len = run.gids.len();
                 parts.push(Err(self.obj.invoke_split_at(run.owner, move |cell, _| {
@@ -579,7 +579,7 @@ impl<T: Send + Clone + 'static> stapl_core::interfaces::RangedContainer for PVec
                 loc.note_localized_chunk();
                 write_clamped(&mut self.obj.local_mut(), me, run.gids.lo, off, chunk);
             } else {
-                loc.note_bulk_request();
+                loc.note_bulk_request(run.gids.len() as u64);
                 let (gid_lo, owned) = (run.gids.lo, chunk.to_vec());
                 self.obj.invoke_at(run.owner, move |cell, l| {
                     write_clamped(&mut cell.borrow_mut(), l.id(), gid_lo, off, &owned);
@@ -601,7 +601,7 @@ impl<T: Send + Clone + 'static> stapl_core::interfaces::RangedContainer for PVec
                 loc.note_localized_chunk();
                 apply_clamped(&mut self.obj.local_mut(), me, off, run.gids, &f);
             } else {
-                loc.note_bulk_request();
+                loc.note_bulk_request(run.gids.len() as u64);
                 let (gids, f) = (run.gids, f.clone());
                 self.obj.invoke_at(run.owner, move |cell, l| {
                     apply_clamped(&mut cell.borrow_mut(), l.id(), off, gids, &f);

@@ -362,6 +362,7 @@ pub fn dir_migrate<Rep, G, P>(
         }
         let payload = extract(&mut cell.borrow_mut());
         let Some(payload) = payload else { return };
+        loc.note_migration(dest as u64);
         if let Some(c) = cell.borrow().owner_cache() {
             c.invalidate(&g);
         }

@@ -305,7 +305,9 @@ impl<'a> Executor<'a> {
         F: FnMut(&Task, Vec<P>) -> Option<P>,
     {
         let task = self.pr.task(tid);
+        let t0 = loc.trace_clock();
         let out = work(task, inputs);
+        loc.trace_span_end(stapl_rts::TraceEventKind::TaskSpan, t0, tid as u64);
         loc.note_task_executed();
         for &s in &task.succs {
             let payload = out.clone();
@@ -337,6 +339,7 @@ impl<'a> Executor<'a> {
             loc.note_steal_request();
             let got = obj.invoke_ret_at(victim, |cell, _| cell.borrow_mut().steal_some());
             if !got.is_empty() {
+                loc.trace_instant(stapl_rts::TraceEventKind::StealSuccess, got.len() as u64);
                 // Keep hitting a productive victim first next time.
                 *next_victim = victim;
                 return got;

@@ -12,6 +12,7 @@ use std::any::Any;
 use std::sync::Mutex;
 
 use crate::location::Location;
+use crate::trace::TraceEventKind;
 
 pub(crate) struct CollectiveBoard {
     slots: Vec<Mutex<Option<Box<dyn Any + Send>>>>,
@@ -38,6 +39,7 @@ impl Location {
         T: Send + Clone + 'static,
         F: Fn(T, T) -> T,
     {
+        let t0 = self.trace_clock();
         let board = &self.shared().board;
         *board.slots[self.id()].lock().unwrap() = Some(Box::new(val));
         self.barrier();
@@ -75,6 +77,9 @@ impl Location {
             *board.result.lock().unwrap() = None;
         }
         self.barrier();
+        // Every collective funnels through allreduce, so this one span
+        // kind covers broadcast / allgather / scans too.
+        self.trace_span_end(TraceEventKind::CollectiveSpan, t0, 0);
         out
     }
 

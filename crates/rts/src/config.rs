@@ -19,6 +19,8 @@
 /// | `STAPL_DIR_CACHE_CAPACITY`  | `dir_cache_capacity` |
 /// | `STAPL_FLUSH_AGE_US`        | `flush_age_us`       |
 /// | `STAPL_BULK_THRESHOLD`      | `bulk_threshold`     |
+/// | `STAPL_TRACE`               | `trace` (0/1)        |
+/// | `STAPL_TRACE_CAPACITY`      | `trace_capacity`     |
 ///
 /// Explicit constructors ([`RtsConfig::unbuffered`],
 /// [`RtsConfig::with_aggregation`]) still win over the environment for the
@@ -64,6 +66,15 @@ pub struct RtsConfig {
     /// well. `1` makes every remote run bulk; a huge value disables bulk
     /// transport entirely (the element-wise ablation baseline).
     pub bulk_threshold: usize,
+    /// Enables the per-location trace layer (`rts::trace`): typed events
+    /// with monotonic timestamps plus latency histograms, collected by
+    /// [`crate::execute_collect_traced`]. Off by default; when off the hot
+    /// paths pay a single branch and record nothing.
+    pub trace: bool,
+    /// Capacity of each location's trace event ring buffer. When full, the
+    /// oldest events are evicted (with an exact drop counter); per-kind
+    /// counts and histograms are exact regardless. Clamped to at least 1.
+    pub trace_capacity: usize,
 }
 
 impl Default for RtsConfig {
@@ -84,6 +95,8 @@ impl RtsConfig {
             dir_cache_capacity: 4096,
             flush_age_us: 0,
             bulk_threshold: 2,
+            trace: false,
+            trace_capacity: 1 << 16,
         }
     }
 
@@ -111,6 +124,12 @@ impl RtsConfig {
         }
         if let Some(t) = parse::<usize>(get("STAPL_BULK_THRESHOLD")) {
             self.bulk_threshold = t.max(1);
+        }
+        if let Some(t) = parse::<u8>(get("STAPL_TRACE")) {
+            self.trace = t != 0;
+        }
+        if let Some(c) = parse::<usize>(get("STAPL_TRACE_CAPACITY")) {
+            self.trace_capacity = c.max(1);
         }
         self
     }
@@ -144,6 +163,20 @@ impl RtsConfig {
         }
     }
 
+    /// A config with tracing enabled (see [`RtsConfig::trace`] and
+    /// [`crate::execute_collect_traced`]).
+    pub fn traced() -> Self {
+        RtsConfig { trace: true, ..Self::default() }
+    }
+
+    /// The adaptive flush age as a [`std::time::Duration`] — the typed
+    /// counterpart of the raw [`RtsConfig::flush_age_us`] field, and the
+    /// accessor `Location::flush_idle` routes through. Zero means "flush
+    /// immediately when idle".
+    pub fn flush_age(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.flush_age_us)
+    }
+
     /// Returns true when `a` and `b` are placed on different simulated nodes.
     pub fn cross_node(&self, a: usize, b: usize) -> bool {
         if self.node_size == 0 {
@@ -166,6 +199,21 @@ mod tests {
         assert!(c.dir_cache_capacity > 0);
         assert_eq!(c.flush_age_us, 0);
         assert!(c.bulk_threshold >= 1);
+        assert!(!c.trace, "tracing must be off by default");
+        assert!(c.trace_capacity >= 1);
+    }
+
+    #[test]
+    fn traced_turns_tracing_on() {
+        assert!(RtsConfig::traced().trace);
+    }
+
+    #[test]
+    fn flush_age_accessor_matches_raw_field() {
+        let mut c = RtsConfig::base();
+        assert!(c.flush_age().is_zero());
+        c.flush_age_us = 2500;
+        assert_eq!(c.flush_age(), std::time::Duration::from_micros(2500));
     }
 
     #[test]
@@ -202,6 +250,8 @@ mod tests {
             "STAPL_FLUSH_AGE_US" => Some("250".to_string()),
             "STAPL_DIR_CACHE_CAPACITY" => Some("not a number".to_string()),
             "STAPL_BULK_THRESHOLD" => Some("0".to_string()), // clamped to 1
+            "STAPL_TRACE" => Some("1".to_string()),
+            "STAPL_TRACE_CAPACITY" => Some("0".to_string()), // clamped to 1
             _ => None,
         };
         let c = RtsConfig::base().with_overrides(fake);
@@ -210,6 +260,8 @@ mod tests {
         assert_eq!(c.flush_age_us, 250);
         assert_eq!(c.dir_cache_capacity, RtsConfig::base().dir_cache_capacity);
         assert_eq!(c.bulk_threshold, 1);
+        assert!(c.trace);
+        assert_eq!(c.trace_capacity, 1);
     }
 
     #[test]
@@ -217,5 +269,7 @@ mod tests {
         let c = RtsConfig::base().with_overrides(|_| None);
         assert_eq!(c.aggregation, RtsConfig::base().aggregation);
         assert_eq!(c.dir_cache, RtsConfig::base().dir_cache);
+        assert_eq!(c.trace, RtsConfig::base().trace);
+        assert_eq!(c.trace_capacity, RtsConfig::base().trace_capacity);
     }
 }

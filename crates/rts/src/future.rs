@@ -9,10 +9,20 @@
 use std::cell::Cell;
 
 use crate::location::Location;
+use crate::trace::TraceEventKind;
 
 pub(crate) enum FutureInner<R> {
     Ready(Cell<Option<R>>),
-    Slot { loc: Location, slot: u64 },
+    Slot {
+        loc: Location,
+        slot: u64,
+        /// Which latency span `get()` records: `SyncRmiSpan` for a sync
+        /// round trip (measured from `issued_ns`, the issue time), or
+        /// `FutureWaitSpan` for a plain split-phase wait (measured from
+        /// `get()` entry). Local fast-path futures record nothing.
+        wait_kind: TraceEventKind,
+        issued_ns: u64,
+    },
 }
 
 /// Handle to the eventual result of a split-phase RMI.
@@ -35,7 +45,7 @@ impl<R: 'static> RmiFuture<R> {
     pub fn is_ready(&self) -> bool {
         match &self.inner {
             FutureInner::Ready(_) => true,
-            FutureInner::Slot { loc, slot } => {
+            FutureInner::Slot { loc, slot, .. } => {
                 // Drain anything already queued so readiness is fresh.
                 loc.poll();
                 loc.peek_slot(*slot)
@@ -48,12 +58,20 @@ impl<R: 'static> RmiFuture<R> {
     pub fn get(self) -> R {
         match self.inner {
             FutureInner::Ready(cell) => cell.take().expect("future value already taken"),
-            FutureInner::Slot { loc, slot } => loop {
-                if let Some(v) = loc.try_take_slot(slot) {
-                    return *v.downcast::<R>().expect("future slot type mismatch");
+            FutureInner::Slot { loc, slot, wait_kind, issued_ns } => {
+                let t0 = if wait_kind == TraceEventKind::SyncRmiSpan {
+                    issued_ns
+                } else {
+                    loc.trace_clock()
+                };
+                loop {
+                    if let Some(v) = loc.try_take_slot(slot) {
+                        loc.trace_span_end(wait_kind, t0, 0);
+                        return *v.downcast::<R>().expect("future slot type mismatch");
+                    }
+                    loc.poll_or_relax();
                 }
-                loc.poll_or_relax();
-            },
+            }
         }
     }
 }

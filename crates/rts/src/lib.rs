@@ -56,9 +56,14 @@ mod future;
 mod location;
 mod spmd;
 mod stats;
+mod trace;
 
 pub use config::RtsConfig;
 pub use future::RmiFuture;
 pub use location::{Handle, LocId, Location, ReplyToken};
-pub use spmd::{execute, execute_collect};
+pub use spmd::{execute, execute_collect, execute_collect_traced};
 pub use stats::StatsSnapshot;
+pub use trace::{
+    LatencyHistogram, LocationTrace, RunTrace, TraceEvent, TraceEventKind, TraceSummary,
+    HISTOGRAM_NAMES, KIND_COUNT,
+};

@@ -11,7 +11,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crossbeam::channel::{Receiver, Sender};
 
@@ -19,7 +19,8 @@ use crate::barrier::PollBarrier;
 use crate::collective::CollectiveBoard;
 use crate::config::RtsConfig;
 use crate::future::{FutureInner, RmiFuture};
-use crate::stats::{Stats, StatsSnapshot};
+use crate::stats::{LocalStats, Stats, StatsSnapshot};
+use crate::trace::{LocationTrace, TraceBuf, TraceEventKind};
 
 /// Identifier of a location (0-based, dense).
 pub type LocId = usize;
@@ -71,6 +72,13 @@ pub(crate) struct Shared {
     pub fence_done: AtomicU64, // 0 = undecided/no, 1 = done (leader-written)
     pub board: CollectiveBoard,
     pub stats: Stats,
+    /// Epoch of this execution: all trace timestamps are monotonic
+    /// nanoseconds relative to this instant, so the per-location timelines
+    /// of one run share a clock.
+    pub epoch: std::time::Instant,
+    /// Where each location deposits its [`LocationTrace`] after the final
+    /// fence (only under `cfg.trace`); drained by `execute_collect_traced`.
+    pub trace_sink: Mutex<Vec<Option<LocationTrace>>>,
 }
 
 /// One registry slot: the representative (until unregistered) plus the
@@ -92,6 +100,26 @@ struct LocInner {
     outbuf_since: RefCell<Vec<Option<std::time::Instant>>>,
     slots: RefCell<HashMap<u64, Box<dyn Any>>>,
     next_slot: Cell<u64>,
+    /// This location's private counter twins (see [`LocalStats`]).
+    local_stats: LocalStats,
+    /// The trace ring buffer; `None` unless `RtsConfig::trace` is set, so
+    /// the disabled hot path pays exactly one branch.
+    trace: Option<RefCell<TraceBuf>>,
+}
+
+/// Bumps a counter in both the global atomic [`Stats`] and this location's
+/// [`LocalStats`] twin. All increments happen on the owning thread, so the
+/// per-location snapshots sum to the global snapshot by construction.
+macro_rules! bump {
+    ($loc:expr, $field:ident) => {
+        bump!($loc, $field, 1)
+    };
+    ($loc:expr, $field:ident, $n:expr) => {{
+        let n: u64 = $n;
+        $loc.inner.shared.stats.$field.fetch_add(n, Ordering::Relaxed);
+        let c = &$loc.inner.local_stats.$field;
+        c.set(c.get() + n);
+    }};
 }
 
 /// A per-thread handle to the runtime. Cloning is cheap; the clone refers
@@ -104,6 +132,7 @@ pub struct Location {
 impl Location {
     pub(crate) fn new(id: LocId, shared: Arc<Shared>, rx: Receiver<Batch>) -> Self {
         let nlocs = shared.nlocs;
+        let trace = shared.cfg.trace.then(|| RefCell::new(TraceBuf::new(shared.cfg.trace_capacity)));
         Location {
             inner: Rc::new(LocInner {
                 id,
@@ -114,6 +143,8 @@ impl Location {
                 outbuf_since: RefCell::new(vec![None; nlocs]),
                 slots: RefCell::new(HashMap::new()),
                 next_slot: Cell::new(0),
+                local_stats: LocalStats::default(),
+                trace,
             }),
         }
     }
@@ -138,23 +169,80 @@ impl Location {
         self.inner.shared.stats.snapshot()
     }
 
+    /// Snapshot of the counters attributable to *this* location only: the
+    /// work its thread performed (requests it enqueued, responses it sent,
+    /// tasks it executed, ...). Summing `local_stats()` over all locations
+    /// of an execution equals [`Location::stats`].
+    pub fn local_stats(&self) -> StatsSnapshot {
+        self.inner.local_stats.snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing (see `crate::trace`; all of these are no-ops — one branch —
+    // unless `RtsConfig::trace` is set)
+    // ------------------------------------------------------------------
+
+    /// Whether the trace layer is recording on this location.
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.trace.is_some()
+    }
+
+    /// Monotonic nanoseconds since the execution epoch; `0` when tracing
+    /// is off (callers use it only to open spans, so the value is then
+    /// never observed).
+    pub fn trace_clock(&self) -> u64 {
+        if self.inner.trace.is_some() {
+            self.inner.shared.epoch.elapsed().as_nanos() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Records an instant event of `kind` with a kind-specific argument.
+    pub fn trace_instant(&self, kind: TraceEventKind, arg: u64) {
+        if let Some(t) = &self.inner.trace {
+            let now = self.inner.shared.epoch.elapsed().as_nanos() as u64;
+            t.borrow_mut().instant(kind, now, arg);
+        }
+    }
+
+    /// Closes a span of `kind` opened at `start_ns` (a [`Location::trace_clock`]
+    /// reading) and feeds its duration into the kind's latency histogram.
+    pub fn trace_span_end(&self, kind: TraceEventKind, start_ns: u64, arg: u64) {
+        if let Some(t) = &self.inner.trace {
+            let now = self.inner.shared.epoch.elapsed().as_nanos() as u64;
+            t.borrow_mut().span(kind, start_ns, now, arg);
+        }
+    }
+
+    /// Drains this location's trace buffer (events, counts, histograms,
+    /// plus a [`Location::local_stats`] snapshot); `None` when tracing is
+    /// off. Called by the SPMD driver after the final fence.
+    pub(crate) fn take_trace(&self) -> Option<LocationTrace> {
+        self.inner
+            .trace
+            .as_ref()
+            .map(|t| t.borrow_mut().take_data(self.id(), self.local_stats()))
+    }
+
     // ------------------------------------------------------------------
     // Executor instrumentation (used by `stapl-paragraph`)
     // ------------------------------------------------------------------
 
     /// Records one executed PARAGRAPH task in the global counters.
     pub fn note_task_executed(&self) {
-        self.inner.shared.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        bump!(self, tasks_executed);
     }
 
     /// Records one PARAGRAPH task that ran away from its home location.
     pub fn note_task_stolen(&self) {
-        self.inner.shared.stats.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+        bump!(self, tasks_stolen);
     }
 
     /// Records one steal probe issued by an idle executor.
     pub fn note_steal_request(&self) {
-        self.inner.shared.stats.steal_requests.fetch_add(1, Ordering::Relaxed);
+        bump!(self, steal_requests);
+        self.trace_instant(TraceEventKind::StealProbe, 0);
     }
 
     // ------------------------------------------------------------------
@@ -163,17 +251,27 @@ impl Location {
 
     /// Records one directory-routed request sent straight to a cached owner.
     pub fn note_dir_cache_hit(&self) {
-        self.inner.shared.stats.dir_cache_hits.fetch_add(1, Ordering::Relaxed);
+        bump!(self, dir_cache_hits);
+        self.trace_instant(TraceEventKind::DirCacheHit, 0);
     }
 
     /// Records one directory-routed request that paid the home-location hop.
     pub fn note_dir_cache_miss(&self) {
-        self.inner.shared.stats.dir_cache_misses.fetch_add(1, Ordering::Relaxed);
+        bump!(self, dir_cache_misses);
+        self.trace_instant(TraceEventKind::DirCacheMiss, 0);
     }
 
     /// Records one stale cached-owner guess that re-forwarded through home.
     pub fn note_dir_cache_stale(&self) {
-        self.inner.shared.stats.dir_cache_stale.fetch_add(1, Ordering::Relaxed);
+        bump!(self, dir_cache_stale);
+        self.trace_instant(TraceEventKind::DirCacheStale, 0);
+    }
+
+    /// Records one element / base-container migration leaving this
+    /// location (`dest` is where the payload is headed — advisory, for the
+    /// trace timeline).
+    pub fn note_migration(&self, dest: u64) {
+        self.trace_instant(TraceEventKind::Migration, dest);
     }
 
     // ------------------------------------------------------------------
@@ -181,33 +279,39 @@ impl Location {
     // and views for the chunk-at-a-time fast paths)
     // ------------------------------------------------------------------
 
-    /// Records one bulk-range RMI: a whole (owner, contiguous run) shipped
-    /// as a single message.
-    pub fn note_bulk_request(&self) {
-        self.inner.shared.stats.bulk_requests.fetch_add(1, Ordering::Relaxed);
+    /// Records one bulk-range RMI: a whole (owner, contiguous run) of
+    /// `items` elements shipped as a single message (`0` when the count is
+    /// not known at issue time, e.g. a fetch).
+    pub fn note_bulk_request(&self, items: u64) {
+        bump!(self, bulk_requests);
+        self.trace_instant(TraceEventKind::BulkTransfer, items);
     }
 
     /// Records one chunk served by a direct local slice borrow.
     pub fn note_localized_chunk(&self) {
-        self.inner.shared.stats.localized_chunks.fetch_add(1, Ordering::Relaxed);
+        bump!(self, localized_chunks);
     }
 
     /// Records `n` elements that fell back to element-at-a-time processing
     /// where a chunk/bulk path was requested.
     pub fn note_element_fallbacks(&self, n: u64) {
-        self.inner.shared.stats.element_fallbacks.fetch_add(n, Ordering::Relaxed);
+        bump!(self, element_fallbacks, n);
     }
 
-    /// Records one segment RMI: a whole (owner, base-container segment)
-    /// shipped as a single message by the dynamic-container bulk transport.
-    pub fn note_segment_request(&self) {
-        self.inner.shared.stats.segment_requests.fetch_add(1, Ordering::Relaxed);
+    /// Records one segment RMI: a whole (owner, base-container segment) of
+    /// `items` elements shipped as a single message by the
+    /// dynamic-container bulk transport (`0` when the count is not known at
+    /// issue time).
+    pub fn note_segment_request(&self, items: u64) {
+        bump!(self, segment_requests);
+        self.trace_instant(TraceEventKind::SegmentTransfer, items);
     }
 
     /// Records `n` items shipped as payload by a data-collecting gather or
     /// broadcast — the bytes-on-the-wire proxy of the simulated machine.
     pub fn note_gather_items(&self, n: u64) {
-        self.inner.shared.stats.gather_items.fetch_add(n, Ordering::Relaxed);
+        bump!(self, gather_items, n);
+        self.trace_instant(TraceEventKind::GatherItems, n);
     }
 
     // ------------------------------------------------------------------
@@ -299,7 +403,7 @@ impl Location {
         F: FnOnce(&T, &Location) + Send + 'static,
     {
         if dest == self.id() {
-            self.inner.shared.stats.local_invocations.fetch_add(1, Ordering::Relaxed);
+            bump!(self, local_invocations);
             let obj = self.lookup::<T>(h);
             f(&obj, self);
             return;
@@ -322,7 +426,9 @@ impl Location {
         R: Send + 'static,
         F: FnOnce(&T, &Location) -> R + Send + 'static,
     {
-        self.split_rmi(dest, h, f).get()
+        // Tag the future as a sync round trip so its wait span covers
+        // issue → value arrival, not just the time spent inside `get`.
+        self.split_rmi_tagged(dest, h, f, TraceEventKind::SyncRmiSpan).get()
     }
 
     /// Split-phase RMI (the paper's two-phase methods, Charm++/X10 style):
@@ -334,27 +440,43 @@ impl Location {
         R: Send + 'static,
         F: FnOnce(&T, &Location) -> R + Send + 'static,
     {
+        self.split_rmi_tagged(dest, h, f, TraceEventKind::FutureWaitSpan)
+    }
+
+    fn split_rmi_tagged<T, R, F>(
+        &self,
+        dest: LocId,
+        h: Handle,
+        f: F,
+        wait_kind: TraceEventKind,
+    ) -> RmiFuture<R>
+    where
+        T: 'static,
+        R: Send + 'static,
+        F: FnOnce(&T, &Location) -> R + Send + 'static,
+    {
         if dest == self.id() {
-            self.inner.shared.stats.local_invocations.fetch_add(1, Ordering::Relaxed);
+            bump!(self, local_invocations);
             let obj = self.lookup::<T>(h);
             let r = f(&obj, self);
             return RmiFuture::ready(r);
         }
         let slot = self.alloc_slot();
         let src = self.id();
+        let issued_ns = self.trace_clock();
         self.enqueue(
             dest,
             Box::new(move |loc: &Location| {
                 let obj = loc.lookup::<T>(h);
                 let r = f(&obj, loc);
-                loc.inner.shared.stats.responses_sent.fetch_add(1, Ordering::Relaxed);
+                bump!(loc, responses_sent);
                 loc.send_response(src, slot, r);
             }),
         );
         // Bound response latency: the request (and everything ordered
         // before it) leaves the aggregation buffer now.
         self.flush(dest);
-        RmiFuture::new(FutureInner::Slot { loc: self.clone(), slot })
+        RmiFuture::new(FutureInner::Slot { loc: self.clone(), slot, wait_kind, issued_ns })
     }
 
     /// Ships `req` to `dest` for execution there, preserving per-pair FIFO
@@ -385,7 +507,12 @@ impl Location {
     pub fn make_reply_slot<R: Send + 'static>(&self) -> (ReplyToken<R>, RmiFuture<R>) {
         let slot = self.alloc_slot();
         let token = ReplyToken { src: self.id(), slot, _marker: std::marker::PhantomData };
-        let fut = RmiFuture::new(FutureInner::Slot { loc: self.clone(), slot });
+        let fut = RmiFuture::new(FutureInner::Slot {
+            loc: self.clone(),
+            slot,
+            wait_kind: TraceEventKind::FutureWaitSpan,
+            issued_ns: self.trace_clock(),
+        });
         (token, fut)
     }
 
@@ -400,6 +527,7 @@ impl Location {
             self.fill_slot(slot, Box::new(r));
             return;
         }
+        self.trace_instant(TraceEventKind::RmiReply, dest as u64);
         self.enqueue(
             dest,
             Box::new(move |loc: &Location| {
@@ -432,7 +560,8 @@ impl Location {
         // Count at enqueue time (not flush time) so the fence's quiescence
         // check observes buffered-but-unflushed requests.
         shared.sent.fetch_add(1, Ordering::SeqCst);
-        shared.stats.remote_requests.fetch_add(1, Ordering::Relaxed);
+        bump!(self, remote_requests);
+        self.trace_instant(TraceEventKind::RmiSend, dest as u64);
         let flush_now = {
             let mut buf = self.inner.outbuf.borrow_mut();
             // Timestamps are only needed by the adaptive flush; keep the
@@ -458,9 +587,9 @@ impl Location {
             self.inner.outbuf_since.borrow_mut()[dest] = None;
             std::mem::take(&mut buf[dest])
         };
-        let shared = &self.inner.shared;
-        shared.stats.batches_sent.fetch_add(1, Ordering::Relaxed);
-        shared.senders[dest]
+        bump!(self, batches_sent);
+        self.trace_instant(TraceEventKind::Flush, reqs.len() as u64);
+        self.inner.shared.senders[dest]
             .send(Batch { src: self.id(), reqs })
             .expect("stapl-rts: destination location hung up");
     }
@@ -493,7 +622,8 @@ impl Location {
                 Some(since) if now.duration_since(since) >= max_age
             );
             if aged {
-                self.inner.shared.stats.aged_flushes.fetch_add(1, Ordering::Relaxed);
+                bump!(self, aged_flushes);
+                self.trace_instant(TraceEventKind::AgedFlush, dest as u64);
                 self.flush(dest);
             }
         }
@@ -503,11 +633,11 @@ impl Location {
     /// (`flush_age_us == 0`, every buffer) or adaptive (only buffers older
     /// than the configured age).
     pub(crate) fn flush_idle(&self) {
-        let age = self.config().flush_age_us;
-        if age == 0 {
+        let age = self.config().flush_age();
+        if age.is_zero() {
             self.flush_all();
         } else {
-            self.flush_aged(std::time::Duration::from_micros(age));
+            self.flush_aged(age);
         }
     }
 
@@ -532,7 +662,9 @@ impl Location {
             }
         }
         let n = batch.reqs.len();
+        let src = batch.src as u64;
         for req in batch.reqs {
+            self.trace_instant(TraceEventKind::RmiExecute, src);
             req(self);
             shared.handled.fetch_add(1, Ordering::SeqCst);
         }
@@ -570,12 +702,14 @@ impl Location {
     /// waiting. Unlike [`Location::rmi_fence`] it does *not* guarantee that
     /// pending asynchronous RMIs have completed.
     pub fn barrier(&self) {
+        let t0 = self.trace_clock();
         let me = self.clone();
         self.inner.shared.barrier.wait(move || {
             if me.poll() == 0 {
                 me.flush_idle();
             }
         });
+        self.trace_span_end(TraceEventKind::BarrierSpan, t0, 0);
     }
 
     /// The paper's `rmi_fence`: completes only when every RMI issued before
@@ -586,9 +720,12 @@ impl Location {
     /// rounds until the global sent == handled counters are stable and
     /// equal while all locations are inside the fence.
     pub fn rmi_fence(&self) {
+        let t0 = self.trace_clock();
+        let mut rounds = 0u64;
         let shared = self.inner.shared.clone();
         loop {
-            shared.stats.fence_rounds.fetch_add(1, Ordering::Relaxed);
+            bump!(self, fence_rounds);
+            rounds += 1;
             self.flush_all();
             while self.poll() > 0 {}
             self.barrier();
@@ -608,6 +745,7 @@ impl Location {
             // (or the caller) disturb the counters again.
             self.barrier();
             if done {
+                self.trace_span_end(TraceEventKind::FenceSpan, t0, rounds);
                 return;
             }
         }

@@ -2,7 +2,7 @@
 //! `stapl_main` on every location of the machine.
 
 use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crossbeam::channel::unbounded;
 
@@ -11,6 +11,7 @@ use crate::collective::CollectiveBoard;
 use crate::config::RtsConfig;
 use crate::location::{Batch, Location, Shared};
 use crate::stats::Stats;
+use crate::trace::RunTrace;
 
 /// Runs `f` on `nlocs` locations (one OS thread each) in SPMD fashion and
 /// returns each location's result, indexed by location id.
@@ -22,6 +23,19 @@ use crate::stats::Stats;
 /// If any location panics, the panic is propagated and the remaining
 /// locations abort their waits instead of hanging.
 pub fn execute_collect<R, F>(cfg: RtsConfig, nlocs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Location) -> R + Send + Sync,
+{
+    execute_collect_traced(cfg, nlocs, f).0
+}
+
+/// Like [`execute_collect`], but also returns the run's trace when
+/// `RtsConfig::trace` is set (`None` otherwise): one
+/// [`crate::trace::LocationTrace`] per location, harvested after the final
+/// fence — so every event of the execution, including fence traffic, is in
+/// the timeline.
+pub fn execute_collect_traced<R, F>(cfg: RtsConfig, nlocs: usize, f: F) -> (Vec<R>, Option<RunTrace>)
 where
     R: Send,
     F: Fn(&Location) -> R + Send + Sync,
@@ -44,6 +58,8 @@ where
         fence_done: AtomicU64::new(0),
         board: CollectiveBoard::new(nlocs),
         stats: Stats::default(),
+        epoch: std::time::Instant::now(),
+        trace_sink: Mutex::new((0..nlocs).map(|_| None).collect()),
     });
     let f = &f;
     let mut results: Vec<Option<R>> = (0..nlocs).map(|_| None).collect();
@@ -60,6 +76,12 @@ where
                     loc.rmi_fence();
                     guard.defused = true;
                     drop(guard);
+                    // Post-fence the execution is globally quiescent, so
+                    // the buffer already holds every event this location
+                    // will ever record.
+                    if let Some(t) = loc.take_trace() {
+                        loc.shared().trace_sink.lock().expect("trace sink poisoned")[id] = Some(t);
+                    }
                     r
                 })
             })
@@ -71,7 +93,16 @@ where
             }
         }
     });
-    results.into_iter().map(|r| r.expect("location produced no result")).collect()
+    let trace = if shared.cfg.trace {
+        let mut sink = shared.trace_sink.lock().expect("trace sink poisoned");
+        let locs = sink.iter_mut().map(|s| s.take().expect("location left no trace")).collect();
+        Some(RunTrace { nlocs, locs })
+    } else {
+        None
+    };
+    let results =
+        results.into_iter().map(|r| r.expect("location produced no result")).collect();
+    (results, trace)
 }
 
 /// Runs `f` on `nlocs` locations, discarding results. See
@@ -382,6 +413,77 @@ mod tests {
             loc.barrier();
             loc.rmi_fence();
         });
+    }
+
+    #[test]
+    fn local_stats_sum_to_global() {
+        use crate::stats::StatsSnapshot;
+        // A mixed workload touching many counters: local + remote asyncs,
+        // sync round trips, aggregation batches, fence rounds.
+        let per_loc = execute_collect(RtsConfig::with_aggregation(4), 4, |loc| {
+            let (h, _rep) = loc.register(RefCell::new(0u64));
+            loc.rmi_fence();
+            for peer in 0..loc.nlocs() {
+                for _ in 0..10 {
+                    loc.async_rmi(peer, h, |c: &RefCell<u64>, _| *c.borrow_mut() += 1);
+                }
+                let _ = loc.sync_rmi(peer, h, |c: &RefCell<u64>, _| *c.borrow());
+            }
+            loc.rmi_fence();
+            // The final (implicit) fence still adds counter traffic after
+            // this snapshot, so compare against the global snapshot taken
+            // at the same instant — both sides quiescent via the fence.
+            (loc.local_stats(), loc.stats())
+        });
+        let global = per_loc[0].1;
+        let sum = per_loc
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, (local, _)| acc.add(local));
+        for (name, v) in sum.counters() {
+            assert_eq!(
+                Some(v),
+                global.counter(name),
+                "per-location {name} must sum to the global counter"
+            );
+        }
+        assert!(sum.remote_requests > 0, "workload must actually communicate");
+        assert!(sum.local_invocations > 0);
+    }
+
+    #[test]
+    fn traced_run_collects_per_location_traces() {
+        use crate::trace::TraceEventKind;
+        let cfg = RtsConfig { trace: true, ..RtsConfig::unbuffered() };
+        let (_results, trace) = execute_collect_traced(cfg, 3, |loc| {
+            let (h, _rep) = loc.register(RefCell::new(0u64));
+            loc.rmi_fence();
+            let peer = (loc.id() + 1) % loc.nlocs();
+            let _ = loc.sync_rmi(peer, h, |c: &RefCell<u64>, _| *c.borrow());
+            loc.barrier();
+        });
+        let trace = trace.expect("trace requested");
+        assert_eq!(trace.locs.len(), 3);
+        for l in &trace.locs {
+            assert!(l.count(TraceEventKind::RmiSend) > 0, "loc {} sent nothing", l.loc);
+            assert!(l.count(TraceEventKind::BarrierSpan) > 0);
+            assert_eq!(
+                l.count(TraceEventKind::SyncRmiSpan),
+                1,
+                "exactly one sync round trip per location"
+            );
+            assert_eq!(l.histogram("sync_rmi").unwrap().count(), 1);
+            assert_eq!(l.stats.remote_requests, l.count(TraceEventKind::RmiSend));
+        }
+        let s = trace.summary();
+        assert_eq!(s.count(TraceEventKind::SyncRmiSpan), 3);
+        assert!(s.count(TraceEventKind::FenceSpan) >= 3 * 2, "two explicit+implicit fences each");
+    }
+
+    #[test]
+    fn untraced_run_returns_no_trace() {
+        let (results, trace) = execute_collect_traced(RtsConfig::default(), 2, |loc| loc.id());
+        assert_eq!(results, vec![0, 1]);
+        assert!(trace.is_none());
     }
 
     #[test]

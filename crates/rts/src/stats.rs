@@ -84,8 +84,10 @@ impl Stats {
 /// name-indexed access, the JSON serialization, and `since`: adding a
 /// counter here (and to both structs) extends all of them at once.
 macro_rules! with_counter_fields {
+    // Braced expansion so `$m` may expand to items (e.g. `LocalStats`) as
+    // well as expressions.
     ($m:ident) => {
-        $m!(
+        $m! {
             local_invocations,
             remote_requests,
             batches_sent,
@@ -103,8 +105,43 @@ macro_rules! with_counter_fields {
             element_fallbacks,
             segment_requests,
             gather_items
-        )
+        }
     };
+}
+
+/// Per-location twins of [`Stats`]: plain `Cell`s bumped only by the owning
+/// thread, so the per-location attribution costs no atomic traffic beyond
+/// what the global counters already pay. Every increment site updates both
+/// (see the `bump!` macro in `location.rs`), which makes the invariant
+/// "per-location snapshots sum to the global snapshot" hold by
+/// construction — and testable.
+macro_rules! def_local_stats {
+    ($($f:ident),*) => {
+        #[derive(Default)]
+        pub(crate) struct LocalStats {
+            $(pub $f: std::cell::Cell<u64>,)*
+        }
+
+        impl LocalStats {
+            pub(crate) fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot { $($f: self.$f.get()),* }
+            }
+        }
+    };
+}
+with_counter_fields!(def_local_stats);
+
+impl StatsSnapshot {
+    /// Adds every counter of `other` into `self` (saturating). Used to
+    /// check that per-location snapshots sum to the global aggregate.
+    pub fn add(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        macro_rules! add {
+            ($($f:ident),*) => {
+                StatsSnapshot { $($f: self.$f.saturating_add(other.$f)),* }
+            };
+        }
+        with_counter_fields!(add)
+    }
 }
 
 /// A point-in-time copy of the global runtime counters (aggregated over all
