@@ -8,7 +8,7 @@
 //! Figure ids: fig27 fig28 fig30 fig31 fig32 fig33 fig34 fig39 fig40
 //!             fig41 fig42 fig43 fig44 fig49 fig51 fig52 fig53 fig56
 //!             fig59 fig60 fig62 agg ths executor directory localize
-//!             dynamic
+//!             dynamic transport
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -1413,6 +1413,189 @@ fn dynamic_exp() {
     );
 }
 
+/// Pluggable transport: the same copy / traversal kernels re-run with the
+/// **serialized** wire backend, which encodes every remote request as a
+/// byte frame and so turns `bytes_sent` / `messages_serialized` into real
+/// bytes-on-the-wire counters. Stats-asserted (wall-clock independent, so
+/// the CI perf-smoke job is stable):
+///
+/// * copy — misaligned `p_copy`: element-wise (one frame per element) vs
+///   the bulk-range path (one frame per contiguous run);
+/// * traversal — location 0 reads a pList: per-element GID walk (a sync
+///   request + response frame pair per element) vs `get_segment` per slab;
+/// * control — the closure backend runs the same bulk copy shipping boxed
+///   closures: zero serialized messages, zero wire bytes.
+///
+/// The transport is forced per scenario (explicit field override), so the
+/// comparison means the same thing under the `STAPL_TRANSPORT=serialized`
+/// CI leg as in a default run.
+fn transport_exp() {
+    use stapl_core::partition::{BlockedPartition, IndexPartition};
+    use stapl_rts::{StatsSnapshot, TransportKind};
+
+    let n = 4096usize;
+    let per = 500usize;
+    let mut t = Table::new(
+        "Transport: bytes on the wire, element-wise vs bulk vs segment (serialized backend)",
+        &["scenario", "P", "mode", "time", "remote reqs", "msgs serialized", "bytes sent", "bytes/msg"],
+    );
+
+    // Misaligned p_copy (off-by-17 block bounds, rotated placement) under
+    // the chosen backend; counters scoped to the kernel.
+    let copy = |p: usize, localized: bool, kind: TransportKind| -> (f64, StatsSnapshot) {
+        run(RtsConfig { transport: kind, ..RtsConfig::default() }, p, move |loc| {
+            let nlocs = loc.nlocs();
+            let src = PArray::from_fn(loc, n, |i| i as u64);
+            let part = BlockedPartition::new(n, n / nlocs + 17);
+            let parts = IndexPartition::num_subdomains(&part);
+            let dst = PArray::with_partition(
+                loc,
+                Box::new(part),
+                Box::new(stapl_core::mapper::GeneralMapper::new(
+                    nlocs,
+                    (0..parts).map(|b| (b + 1) % nlocs).collect(),
+                )),
+                0u64,
+            );
+            loc.rmi_fence();
+            let before = loc.stats();
+            let secs = time_kernel(loc, || {
+                if localized {
+                    p_copy(&src, &dst);
+                } else {
+                    p_copy_elementwise(&src, &dst);
+                }
+            });
+            let delta = loc.stats().since(&before);
+            loc.barrier();
+            for i in (0..n).step_by(n / 16) {
+                assert_eq!(dst.get_element(i), i as u64, "copy corrupted");
+            }
+            (secs, delta)
+        })
+    };
+
+    // Location 0 reads the whole pList over the wire backend.
+    let traverse = |p: usize, segmented: bool| -> (f64, StatsSnapshot) {
+        let cfg = RtsConfig { transport: TransportKind::Serialized, ..RtsConfig::default() };
+        run(cfg, p, move |loc| {
+            let l: PList<u64> = PList::new(loc);
+            for i in 0..per {
+                l.push_anywhere((loc.id() * per + i) as u64);
+            }
+            l.commit();
+            loc.rmi_fence();
+            let before = loc.stats();
+            let n = per * loc.nlocs();
+            let secs = time_kernel_nofence(loc, || {
+                if loc.id() == 0 {
+                    let (mut sum, mut count) = (0u64, 0usize);
+                    if segmented {
+                        for sid in l.segments() {
+                            for (_, v) in l.get_segment(sid) {
+                                sum += v;
+                                count += 1;
+                            }
+                        }
+                    } else {
+                        let mut cur = l.front_gid();
+                        while let Some(g) = cur {
+                            sum += l.try_get(g).expect("live element");
+                            count += 1;
+                            cur = l.next_gid(g);
+                        }
+                    }
+                    assert_eq!(count, n, "traversal must visit every element");
+                    assert_eq!(sum, (n as u64 - 1) * n as u64 / 2, "traversal corrupted");
+                }
+            });
+            let delta = loc.stats().since(&before);
+            loc.barrier();
+            (secs, delta)
+        })
+    };
+
+    let mut row = |scenario: &str, p: usize, mode: &str, r: &(f64, StatsSnapshot)| {
+        t.row(vec![
+            scenario.into(),
+            p.to_string(),
+            mode.into(),
+            fmt_time(r.0),
+            r.1.remote_requests.to_string(),
+            r.1.messages_serialized.to_string(),
+            r.1.bytes_sent.to_string(),
+            format!("{:.1}", r.1.bytes_per_message()),
+        ]);
+    };
+
+    // Kernel deltas at P=4, [coarse, element-wise], for the closing asserts.
+    let mut copy_p4 = [StatsSnapshot::default(); 2];
+    let mut trav_p4 = [StatsSnapshot::default(); 2];
+    for p in PS {
+        for (ix, localized) in [(0usize, true), (1usize, false)] {
+            let r = copy(p, localized, TransportKind::Serialized);
+            if p == 4 {
+                copy_p4[ix] = r.1;
+            }
+            row("copy/misaligned", p, if localized { "bulk" } else { "element-wise" }, &r);
+        }
+    }
+    for p in PS {
+        for (ix, segmented) in [(0usize, true), (1usize, false)] {
+            let r = traverse(p, segmented);
+            if p == 4 {
+                trav_p4[ix] = r.1;
+            }
+            row("plist-traversal", p, if segmented { "segmented" } else { "element-wise" }, &r);
+        }
+    }
+    let ctl = copy(4, true, TransportKind::Closure);
+    row("copy/misaligned", 4, "bulk (closure control)", &ctl);
+    t.print();
+
+    println!(
+        "P=4 bytes on the wire, coarse vs element-wise — copy: {} vs {} ({:.0}x), \
+         plist traversal: {} vs {} ({:.0}x)",
+        copy_p4[0].bytes_sent,
+        copy_p4[1].bytes_sent,
+        copy_p4[1].bytes_sent as f64 / copy_p4[0].bytes_sent.max(1) as f64,
+        trav_p4[0].bytes_sent,
+        trav_p4[1].bytes_sent,
+        trav_p4[1].bytes_sent as f64 / trav_p4[0].bytes_sent.max(1) as f64,
+    );
+    // The acceptance claim: the bulk-range path must move >= 10x fewer
+    // bytes than element-wise transfer at P=4.
+    assert!(
+        copy_p4[0].bytes_sent * 10 <= copy_p4[1].bytes_sent,
+        "bulk p_copy must put >= 10x fewer bytes on the wire than element-wise at P=4 \
+         (got {} vs {})",
+        copy_p4[0].bytes_sent,
+        copy_p4[1].bytes_sent
+    );
+    assert!(
+        trav_p4[0].bytes_sent * 10 <= trav_p4[1].bytes_sent,
+        "segmented pList traversal must put >= 10x fewer bytes on the wire than the \
+         GID walk at P=4 (got {} vs {})",
+        trav_p4[0].bytes_sent,
+        trav_p4[1].bytes_sent
+    );
+    // Wire-backend structure: exactly one frame per remote request, every
+    // frame at least the 9-byte header.
+    for s in [&copy_p4[0], &copy_p4[1], &trav_p4[0], &trav_p4[1]] {
+        assert_eq!(
+            s.messages_serialized, s.remote_requests,
+            "serialized backend must encode one frame per remote request"
+        );
+        assert!(
+            s.bytes_sent >= 9 * s.messages_serialized,
+            "every frame carries at least the 9-byte header"
+        );
+    }
+    // And the closure backend never touches the wire counters.
+    assert_eq!(ctl.1.messages_serialized, 0, "closure backend must not serialize");
+    assert_eq!(ctl.1.bytes_sent, 0, "closure backend must not count wire bytes");
+}
+
 /// Every experiment id, in report order. Single source of truth for
 /// dispatch, `--list`, and the unknown-id error message.
 const EXPERIMENTS: &[(&str, fn())] = &[
@@ -1443,6 +1626,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("directory", directory_exp),
     ("localize", localize_exp),
     ("dynamic", dynamic_exp),
+    ("transport", transport_exp),
 ];
 
 fn list_experiments() {

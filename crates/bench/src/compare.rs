@@ -8,9 +8,11 @@
 //!
 //! * traffic counters (`remote_requests`, `bulk_requests`,
 //!   `element_fallbacks`, `segment_requests`, `gather_items`,
-//!   `dir_cache_misses`, `dir_cache_stale`) regress **upward** — doing
-//!   more wire work for the same scenario is the failure; doing less is
-//!   an improvement and passes (with a note, so baselines get refreshed);
+//!   `dir_cache_misses`, `dir_cache_stale`, and the serialized
+//!   transport's `bytes_sent` / `messages_serialized`) regress
+//!   **upward** — doing more wire work for the same scenario is the
+//!   failure; doing less is an improvement and passes (with a note, so
+//!   baselines get refreshed);
 //! * benefit counters (`localized_chunks`, `dir_cache_hits`) regress
 //!   **downward** — the optimization silently stopped applying;
 //! * anything else (e.g. `tasks_executed`) is an exactness check: drift
@@ -67,7 +69,8 @@ enum Direction {
 fn direction_of(counter: &str) -> Direction {
     match counter {
         "remote_requests" | "bulk_requests" | "element_fallbacks" | "segment_requests"
-        | "gather_items" | "dir_cache_misses" | "dir_cache_stale" => Direction::Up,
+        | "gather_items" | "dir_cache_misses" | "dir_cache_stale" | "bytes_sent"
+        | "messages_serialized" => Direction::Up,
         "localized_chunks" | "dir_cache_hits" => Direction::Down,
         _ => Direction::Both,
     }

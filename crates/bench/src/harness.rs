@@ -15,7 +15,12 @@
 //!   bucket-grained vs per-pair MapReduce shuffle, and the
 //!   gather-vs-broadcast `collect_ordered` data paths;
 //! * `executor` — the PARAGRAPH task-graph executor (PR 2): SPMD vs
-//!   executor vs executor+stealing on uniform and skewed workloads.
+//!   executor vs executor+stealing on uniform and skewed workloads;
+//! * `transport` — the serialized wire backend (PR 8): the same copy and
+//!   traversal kernels re-run with every RMI encoded as a wire frame, so
+//!   `bytes_sent` / `messages_serialized` become real, gateable
+//!   bytes-on-the-wire counters (plus a closure-backend zero-bytes
+//!   control).
 //!
 //! Each scenario runs in its **own** [`execute_collect_traced`] execution
 //! with an explicit [`RtsConfig`] built from [`RtsConfig::base`] (environment
@@ -39,7 +44,9 @@ use stapl_core::partition::{
     BalancedPartition, BlockCyclicPartition, BlockedPartition, IndexPartition,
 };
 use stapl_paragraph::executor::ExecPolicy;
-use stapl_rts::{execute_collect_traced, Location, RtsConfig, StatsSnapshot, TraceSummary};
+use stapl_rts::{
+    execute_collect_traced, Location, RtsConfig, StatsSnapshot, TraceSummary, TransportKind,
+};
 use stapl_views::array_view::ArrayView;
 use stapl_views::assoc_view::MapView;
 
@@ -57,7 +64,7 @@ pub const SCHEMA_VERSION: u64 = 1;
 
 /// The benchmark areas, in emission order. `BENCH_<area>.json` baselines
 /// for each are checked into `bench/baselines/`.
-pub const AREAS: [&str; 4] = ["localization", "directory", "dynamic", "executor"];
+pub const AREAS: [&str; 5] = ["localization", "directory", "dynamic", "executor", "transport"];
 
 /// Benchmark tiers, each a strict superset of the previous one — so a
 /// lite or full run still contains every kick-tires record and can be
@@ -392,9 +399,15 @@ fn directory_area(tier: Tier) -> Vec<BenchRecord> {
 const DYNAMIC_GATED: &[&str] = &["remote_requests", "segment_requests", "gather_items"];
 
 /// Location 0 reads the whole pList: one `get_segment` per slab vs the
-/// element-wise GID walk.
-fn dynamic_traversal(p: usize, per: usize, segmented: bool) -> (f64, StatsSnapshot, TraceSummary) {
-    traced(RtsConfig::base(), p, move |loc| {
+/// element-wise GID walk. Takes the config so the `transport` area can
+/// re-run the same kernel over the serialized wire backend.
+fn dynamic_traversal(
+    p: usize,
+    per: usize,
+    segmented: bool,
+    cfg: RtsConfig,
+) -> (f64, StatsSnapshot, TraceSummary) {
+    traced(cfg, p, move |loc| {
         let l: PList<u64> = PList::new(loc);
         for i in 0..per {
             l.push_anywhere((loc.id() * per + i) as u64);
@@ -535,7 +548,7 @@ fn dynamic_area(tier: Tier) -> Vec<BenchRecord> {
         push(
             format!("plist-traversal/p4/per{per}/{mode}"),
             vec![knob("p", 4), knob("per_loc", per), knob("mode", mode)],
-            dynamic_traversal(4, per, segmented),
+            dynamic_traversal(4, per, segmented, RtsConfig::base()),
         );
     }
     for chunked in [true, false] {
@@ -565,7 +578,7 @@ fn dynamic_area(tier: Tier) -> Vec<BenchRecord> {
             push(
                 format!("plist-traversal/p2/per{per}/{mode}"),
                 vec![knob("p", 2), knob("per_loc", per), knob("mode", mode)],
-                dynamic_traversal(2, per, segmented),
+                dynamic_traversal(2, per, segmented, RtsConfig::base()),
             );
         }
     }
@@ -575,7 +588,7 @@ fn dynamic_area(tier: Tier) -> Vec<BenchRecord> {
             push(
                 format!("plist-traversal/p8/per2000/{mode}"),
                 vec![knob("p", 8), knob("per_loc", 2000), knob("mode", mode)],
-                dynamic_traversal(8, 2000, segmented),
+                dynamic_traversal(8, 2000, segmented, RtsConfig::base()),
             );
         }
         for chunked in [true, false] {
@@ -691,6 +704,151 @@ fn executor_area(tier: Tier) -> Vec<BenchRecord> {
 }
 
 // ---------------------------------------------------------------------
+// Area: transport (PR 8 — pluggable serialized wire backend)
+// ---------------------------------------------------------------------
+
+/// Under the serialized backend every remote request is encoded as a wire
+/// frame, so `bytes_sent` and `messages_serialized` are real traffic
+/// counters: frame size is the 9-byte header plus `size_of` the request
+/// capture, and the request mix is seeded, so both are deterministic and
+/// gateable. A capture that grows — or a path that quietly falls back
+/// from bulk frames to per-element ones — moves `bytes_sent` and fires
+/// the gate. `serialize_ns` is wall-clock and is never gated; neither are
+/// batch/flush counts (timing-dependent).
+///
+/// Caveat on magnitudes: relocation is a shallow byte copy, so a `Vec`
+/// inside a bulk capture is charged as its 24-byte handle, not its heap
+/// payload. The bulk-vs-element-wise ratios below are driven by the
+/// O(runs)-vs-O(N) *frame count*, which holds either way.
+const TRANSPORT_GATED: &[&str] = &[
+    "remote_requests",
+    "messages_serialized",
+    "bytes_sent",
+    "bulk_requests",
+    "segment_requests",
+];
+
+fn transport_area(tier: Tier) -> Vec<BenchRecord> {
+    let n = 4096usize;
+    let per = 200usize;
+    // Same aggregation/bulk knobs as the localization area's default cell,
+    // with the transport swapped out from under the containers.
+    let wire = || RtsConfig {
+        transport: TransportKind::Serialized,
+        aggregation: 16,
+        bulk_threshold: 2,
+        ..RtsConfig::base()
+    };
+    let closure = || RtsConfig { aggregation: 16, bulk_threshold: 2, ..RtsConfig::base() };
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut push = |id: String,
+                    backend: &'static str,
+                    knobs: Vec<(&'static str, String)>,
+                    r: (f64, StatsSnapshot, TraceSummary)| {
+        let mut all = vec![knob("backend", backend)];
+        all.extend(knobs);
+        records.push(BenchRecord {
+            id,
+            knobs: all,
+            wall_s: r.0,
+            gated: TRANSPORT_GATED.to_vec(),
+            counters: r.1,
+            trace: r.2,
+        });
+    };
+
+    // Bytes on the wire, element-wise vs bulk-range: misaligned p_copy at
+    // P=4 (the paper's bandwidth argument, measured in frame bytes).
+    let mut copy_bytes = [0u64; 2]; // [bulk, element-wise]
+    for (ix, localized) in [(0usize, true), (1usize, false)] {
+        let mode = if localized { "bulk" } else { "element-wise" };
+        let r = localization_copy(4, n, "misaligned", localized, wire());
+        copy_bytes[ix] = r.1.bytes_sent;
+        push(
+            format!("wire-copy/misaligned/p4/n{n}/{mode}"),
+            "serialized",
+            vec![knob("p", 4), knob("n", n), knob("mode", mode)],
+            r,
+        );
+    }
+    // The serialized backend's acceptance claim: the bulk-range path puts
+    // >= 10x fewer bytes on the wire than element-wise at P=4.
+    assert!(
+        copy_bytes[0] * 10 <= copy_bytes[1],
+        "bulk p_copy must put >= 10x fewer bytes on the wire than element-wise at P=4 \
+         (got {} vs {})",
+        copy_bytes[0],
+        copy_bytes[1]
+    );
+
+    // Segment-at-a-time vs per-element GID walk over a pList, on the wire.
+    let mut trav_bytes = [0u64; 2]; // [segmented, element-wise]
+    for (ix, segmented) in [(0usize, true), (1usize, false)] {
+        let mode = if segmented { "segmented" } else { "element-wise" };
+        let r = dynamic_traversal(4, per, segmented, wire());
+        trav_bytes[ix] = r.1.bytes_sent;
+        push(
+            format!("wire-plist-traversal/p4/per{per}/{mode}"),
+            "serialized",
+            vec![knob("p", 4), knob("per_loc", per), knob("mode", mode)],
+            r,
+        );
+    }
+    assert!(
+        trav_bytes[0] * 10 <= trav_bytes[1],
+        "segmented traversal must put >= 10x fewer bytes on the wire than the GID walk \
+         at P=4 (got {} vs {})",
+        trav_bytes[0],
+        trav_bytes[1]
+    );
+
+    // Closure-backend control: the same bulk copy ships boxed closures —
+    // nothing is serialized, zero bytes on the wire.
+    let r = localization_copy(4, n, "misaligned", true, closure());
+    assert_eq!(r.1.bytes_sent, 0, "closure backend must not count wire bytes");
+    assert_eq!(r.1.messages_serialized, 0, "closure backend must not serialize");
+    push(
+        format!("wire-copy/misaligned/p4/n{n}/bulk/closure-control"),
+        "closure",
+        vec![knob("p", 4), knob("n", n), knob("mode", "bulk")],
+        r,
+    );
+
+    if tier >= Tier::Lite {
+        for (localized, mode) in [(true, "bulk"), (false, "element-wise")] {
+            let r = localization_copy(4, 40_000, "misaligned", localized, wire());
+            push(
+                format!("wire-copy/misaligned/p4/n40000/{mode}"),
+                "serialized",
+                vec![knob("p", 4), knob("n", 40_000), knob("mode", mode)],
+                r,
+            );
+        }
+        for (segmented, mode) in [(true, "segmented"), (false, "element-wise")] {
+            let r = dynamic_traversal(2, per, segmented, wire());
+            push(
+                format!("wire-plist-traversal/p2/per{per}/{mode}"),
+                "serialized",
+                vec![knob("p", 2), knob("per_loc", per), knob("mode", mode)],
+                r,
+            );
+        }
+    }
+    if tier >= Tier::Full {
+        for (localized, mode) in [(true, "bulk"), (false, "element-wise")] {
+            let r = localization_copy(8, 160_000, "misaligned", localized, wire());
+            push(
+                format!("wire-copy/misaligned/p8/n160000/{mode}"),
+                "serialized",
+                vec![knob("p", 8), knob("n", 160_000), knob("mode", mode)],
+                r,
+            );
+        }
+    }
+    records
+}
+
+// ---------------------------------------------------------------------
 // Driver + serialization
 // ---------------------------------------------------------------------
 
@@ -702,6 +860,7 @@ pub fn run_area(area: &str, tier: Tier) -> Option<AreaReport> {
         "directory" => directory_area(tier),
         "dynamic" => dynamic_area(tier),
         "executor" => executor_area(tier),
+        "transport" => transport_area(tier),
         _ => return None,
     };
     let area = AREAS.iter().find(|a| **a == area).expect("known area");
@@ -753,6 +912,7 @@ impl AreaReport {
                 ("dir_cache_hit_rate", r.counters.dir_cache_hit_rate()),
                 ("localization_rate", r.counters.localization_rate()),
                 ("remote_fraction", r.counters.remote_fraction()),
+                ("bytes_per_message", r.counters.bytes_per_message()),
             ];
             for (j, (name, v)) in derived.iter().enumerate() {
                 let comma = if j + 1 < derived.len() { "," } else { "" };

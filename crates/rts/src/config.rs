@@ -1,5 +1,7 @@
 //! Runtime configuration: aggregation, directory caching, adaptive
-//! flushing, and the simulated machine model.
+//! flushing, transport selection, and the simulated machine model.
+
+use crate::transport::TransportKind;
 
 /// Configuration for one SPMD execution.
 ///
@@ -21,6 +23,7 @@
 /// | `STAPL_BULK_THRESHOLD`      | `bulk_threshold`     |
 /// | `STAPL_TRACE`               | `trace` (0/1)        |
 /// | `STAPL_TRACE_CAPACITY`      | `trace_capacity`     |
+/// | `STAPL_TRANSPORT`           | `transport` (`closure`/`serialized`) |
 ///
 /// Explicit constructors ([`RtsConfig::unbuffered`],
 /// [`RtsConfig::with_aggregation`]) still win over the environment for the
@@ -75,6 +78,13 @@ pub struct RtsConfig {
     /// oldest events are evicted (with an exact drop counter); per-kind
     /// counts and histograms are exact regardless. Clamped to at least 1.
     pub trace_capacity: usize,
+    /// Which message transport carries RMIs between locations (see
+    /// `rts::transport`): [`TransportKind::Closure`] ships boxed closures
+    /// through in-process channels (the default, zero-marshalling backend);
+    /// [`TransportKind::Serialized`] encodes every request/response into
+    /// byte frames and ships those, exercising the wire format a
+    /// process-crossing backend needs while staying semantically identical.
+    pub transport: TransportKind,
 }
 
 impl Default for RtsConfig {
@@ -97,6 +107,7 @@ impl RtsConfig {
             bulk_threshold: 2,
             trace: false,
             trace_capacity: 1 << 16,
+            transport: TransportKind::Closure,
         }
     }
 
@@ -130,6 +141,14 @@ impl RtsConfig {
         }
         if let Some(c) = parse::<usize>(get("STAPL_TRACE_CAPACITY")) {
             self.trace_capacity = c.max(1);
+        }
+        if let Some(t) = get("STAPL_TRANSPORT") {
+            // Unknown names are ignored like any other unparsable override.
+            match t.trim().to_ascii_lowercase().as_str() {
+                "closure" => self.transport = TransportKind::Closure,
+                "serialized" => self.transport = TransportKind::Serialized,
+                _ => {}
+            }
         }
         self
     }
@@ -169,6 +188,13 @@ impl RtsConfig {
         RtsConfig { trace: true, ..Self::default() }
     }
 
+    /// A config on the serialized-message transport: every RMI is encoded
+    /// into a byte frame and decoded at its destination (see
+    /// [`RtsConfig::transport`]).
+    pub fn serialized() -> Self {
+        RtsConfig { transport: TransportKind::Serialized, ..Self::default() }
+    }
+
     /// The adaptive flush age as a [`std::time::Duration`] — the typed
     /// counterpart of the raw [`RtsConfig::flush_age_us`] field, and the
     /// accessor `Location::flush_idle` routes through. Zero means "flush
@@ -201,6 +227,12 @@ mod tests {
         assert!(c.bulk_threshold >= 1);
         assert!(!c.trace, "tracing must be off by default");
         assert!(c.trace_capacity >= 1);
+        assert_eq!(c.transport, TransportKind::Closure, "closures are the default transport");
+    }
+
+    #[test]
+    fn serialized_switches_transport() {
+        assert_eq!(RtsConfig::serialized().transport, TransportKind::Serialized);
     }
 
     #[test]
@@ -252,6 +284,7 @@ mod tests {
             "STAPL_BULK_THRESHOLD" => Some("0".to_string()), // clamped to 1
             "STAPL_TRACE" => Some("1".to_string()),
             "STAPL_TRACE_CAPACITY" => Some("0".to_string()), // clamped to 1
+            "STAPL_TRANSPORT" => Some(" Serialized ".to_string()), // trimmed, case-folded
             _ => None,
         };
         let c = RtsConfig::base().with_overrides(fake);
@@ -262,6 +295,14 @@ mod tests {
         assert_eq!(c.bulk_threshold, 1);
         assert!(c.trace);
         assert_eq!(c.trace_capacity, 1);
+        assert_eq!(c.transport, TransportKind::Serialized);
+    }
+
+    #[test]
+    fn unknown_transport_override_is_ignored() {
+        let c = RtsConfig::base()
+            .with_overrides(|v| (v == "STAPL_TRANSPORT").then(|| "tcp".to_string()));
+        assert_eq!(c.transport, TransportKind::Closure);
     }
 
     #[test]
@@ -271,5 +312,6 @@ mod tests {
         assert_eq!(c.dir_cache, RtsConfig::base().dir_cache);
         assert_eq!(c.trace, RtsConfig::base().trace);
         assert_eq!(c.trace_capacity, RtsConfig::base().trace_capacity);
+        assert_eq!(c.transport, RtsConfig::base().transport);
     }
 }

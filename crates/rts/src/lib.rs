@@ -57,6 +57,7 @@ mod location;
 mod spmd;
 mod stats;
 mod trace;
+mod transport;
 
 pub use config::RtsConfig;
 pub use future::RmiFuture;
@@ -67,3 +68,4 @@ pub use trace::{
     LatencyHistogram, LocationTrace, RunTrace, TraceEvent, TraceEventKind, TraceSummary,
     HISTOGRAM_NAMES, KIND_COUNT,
 };
+pub use transport::TransportKind;

@@ -21,6 +21,10 @@ use crate::config::RtsConfig;
 use crate::future::{FutureInner, RmiFuture};
 use crate::stats::{LocalStats, Stats, StatsSnapshot};
 use crate::trace::{LocationTrace, TraceBuf, TraceEventKind};
+use crate::transport::{
+    decode_batch, encode_frame, make_endpoint, Batch, Payload, StageOutcome, Staged, Transport,
+    WireKind,
+};
 
 /// Identifier of a location (0-based, dense).
 pub type LocId = usize;
@@ -51,17 +55,14 @@ impl<R> Clone for ReplyToken<R> {
 
 impl<R> Copy for ReplyToken<R> {}
 
-pub(crate) struct Batch {
-    pub src: LocId,
-    pub reqs: Vec<Request>,
-}
-
 /// State shared by all locations of one SPMD execution. Only control-plane
 /// data lives here (channel endpoints, counters, barriers); p_object data
 /// never does.
 pub(crate) struct Shared {
     pub nlocs: usize,
     pub cfg: RtsConfig,
+    /// The full sender side of the fabric; each location's transport
+    /// endpoint clones these at construction.
     pub senders: Vec<Sender<Batch>>,
     /// Requests enqueued for a remote location (incremented *before* the
     /// request becomes visible, even while still in an aggregation buffer).
@@ -92,11 +93,22 @@ struct RegEntry {
 struct LocInner {
     id: LocId,
     shared: Arc<Shared>,
-    rx: Receiver<Batch>,
+    /// This location's endpoint of the message fabric (staging buffers,
+    /// flush, inbound queue); see [`crate::transport`].
+    transport: Box<dyn Transport>,
+    /// Cached `transport.serializes()` so the send hot path branches on a
+    /// bool instead of a virtual call.
+    serializes: bool,
+    /// Wire-kind hint for the *next* staged request (consumed on enqueue);
+    /// set by `note_bulk_request` / `note_segment_request` immediately
+    /// before the container issues the tagged RMI. Serialized backend only.
+    wire_hint: Cell<Option<WireKind>>,
+    /// Reusable frame-encoding buffer (serialized backend only).
+    scratch: RefCell<Vec<u8>>,
     registry: RefCell<Vec<RegEntry>>,
-    outbuf: RefCell<Vec<Vec<Request>>>,
-    /// When the oldest request in `outbuf[dest]` was enqueued; `None` for
-    /// an empty buffer. Drives the adaptive (age-based) flush.
+    /// When the oldest request staged toward `dest` entered the transport's
+    /// buffer; `None` for an empty buffer. Drives the adaptive (age-based)
+    /// flush.
     outbuf_since: RefCell<Vec<Option<std::time::Instant>>>,
     slots: RefCell<HashMap<u64, Box<dyn Any>>>,
     next_slot: Cell<u64>,
@@ -133,13 +145,23 @@ impl Location {
     pub(crate) fn new(id: LocId, shared: Arc<Shared>, rx: Receiver<Batch>) -> Self {
         let nlocs = shared.nlocs;
         let trace = shared.cfg.trace.then(|| RefCell::new(TraceBuf::new(shared.cfg.trace_capacity)));
+        let transport = make_endpoint(
+            shared.cfg.transport,
+            shared.senders.clone(),
+            rx,
+            nlocs,
+            shared.cfg.aggregation,
+        );
+        let serializes = transport.serializes();
         Location {
             inner: Rc::new(LocInner {
                 id,
                 shared,
-                rx,
+                transport,
+                serializes,
+                wire_hint: Cell::new(None),
+                scratch: RefCell::new(Vec::new()),
                 registry: RefCell::new(Vec::new()),
-                outbuf: RefCell::new((0..nlocs).map(|_| Vec::new()).collect()),
                 outbuf_since: RefCell::new(vec![None; nlocs]),
                 slots: RefCell::new(HashMap::new()),
                 next_slot: Cell::new(0),
@@ -285,6 +307,9 @@ impl Location {
     pub fn note_bulk_request(&self, items: u64) {
         bump!(self, bulk_requests);
         self.trace_instant(TraceEventKind::BulkTransfer, items);
+        if self.inner.serializes {
+            self.inner.wire_hint.set(Some(WireKind::Bulk));
+        }
     }
 
     /// Records one chunk served by a direct local slice borrow.
@@ -305,6 +330,9 @@ impl Location {
     pub fn note_segment_request(&self, items: u64) {
         bump!(self, segment_requests);
         self.trace_instant(TraceEventKind::SegmentTransfer, items);
+        if self.inner.serializes {
+            self.inner.wire_hint.set(Some(WireKind::Segment));
+        }
     }
 
     /// Records `n` items shipped as payload by a data-collecting gather or
@@ -408,13 +436,10 @@ impl Location {
             f(&obj, self);
             return;
         }
-        self.enqueue(
-            dest,
-            Box::new(move |loc: &Location| {
-                let obj = loc.lookup::<T>(h);
-                f(&obj, loc);
-            }),
-        );
+        self.enqueue_typed(dest, WireKind::Async, move |loc: &Location| {
+            let obj = loc.lookup::<T>(h);
+            f(&obj, loc);
+        });
     }
 
     /// Synchronous RMI (the paper's `sync_rmi`): runs `f` on `dest` and
@@ -464,15 +489,11 @@ impl Location {
         let slot = self.alloc_slot();
         let src = self.id();
         let issued_ns = self.trace_clock();
-        self.enqueue(
-            dest,
-            Box::new(move |loc: &Location| {
-                let obj = loc.lookup::<T>(h);
-                let r = f(&obj, loc);
-                bump!(loc, responses_sent);
-                loc.send_response(src, slot, r);
-            }),
-        );
+        self.enqueue_typed(dest, WireKind::Sync, move |loc: &Location| {
+            let obj = loc.lookup::<T>(h);
+            let r = f(&obj, loc);
+            loc.send_response(src, slot, r);
+        });
         // Bound response latency: the request (and everything ordered
         // before it) leaves the aggregation buffer now.
         self.flush(dest);
@@ -487,7 +508,7 @@ impl Location {
             req(self);
             return;
         }
-        self.enqueue(dest, req);
+        self.enqueue_boxed(dest, req);
     }
 
     fn alloc_slot(&self) -> u64 {
@@ -527,13 +548,16 @@ impl Location {
             self.fill_slot(slot, Box::new(r));
             return;
         }
+        // Count every remote response here — sync round trips, split-phase
+        // replies, and forwarded `reply()` completions alike — so the
+        // per-location twin of `responses_sent` is bumped on the thread
+        // that sends the response and `local_stats()` sums to the global
+        // counter no matter which path produced the reply.
+        bump!(self, responses_sent);
         self.trace_instant(TraceEventKind::RmiReply, dest as u64);
-        self.enqueue(
-            dest,
-            Box::new(move |loc: &Location| {
-                loc.fill_slot(slot, Box::new(r));
-            }),
-        );
+        self.enqueue_with_kind(dest, WireKind::Response, move |loc: &Location| {
+            loc.fill_slot(slot, Box::new(r));
+        });
         // Responses bypass aggregation: someone is spinning on this value.
         self.flush(dest);
     }
@@ -554,7 +578,47 @@ impl Location {
     // Message plumbing
     // ------------------------------------------------------------------
 
-    fn enqueue(&self, dest: LocId, req: Request) {
+    /// Routes a request whose concrete closure type is still known: the
+    /// closure backend boxes it, the serialized backend encodes it as a
+    /// wire frame (consuming any pending wire-kind hint).
+    fn enqueue_typed<F>(&self, dest: LocId, default_kind: WireKind, f: F)
+    where
+        F: FnOnce(&Location) + Send + 'static,
+    {
+        let kind = if self.inner.serializes {
+            self.inner.wire_hint.take().unwrap_or(default_kind)
+        } else {
+            default_kind
+        };
+        self.enqueue_with_kind(dest, kind, f);
+    }
+
+    /// Routes an already-boxed request (raw [`Location::send_request`]
+    /// traffic). The closure backend ships the box as-is — no double
+    /// boxing; the serialized backend relocates the box itself into a
+    /// frame (its pointee still travels by pointer, like every capture).
+    fn enqueue_boxed(&self, dest: LocId, req: Request) {
+        if self.inner.serializes {
+            let kind = self.inner.wire_hint.take().unwrap_or(WireKind::Async);
+            self.stage_frame(dest, kind, req);
+        } else {
+            self.stage_closure(dest, req);
+        }
+    }
+
+    fn enqueue_with_kind<F>(&self, dest: LocId, kind: WireKind, f: F)
+    where
+        F: FnOnce(&Location) + Send + 'static,
+    {
+        if self.inner.serializes {
+            self.stage_frame(dest, kind, f);
+        } else {
+            self.stage_closure(dest, Box::new(f));
+        }
+    }
+
+    /// Closure-backend staging: the pre-transport `enqueue` body, verbatim.
+    fn stage_closure(&self, dest: LocId, req: Request) {
         debug_assert_ne!(dest, self.id());
         let shared = &self.inner.shared;
         // Count at enqueue time (not flush time) so the fence's quiescence
@@ -562,36 +626,59 @@ impl Location {
         shared.sent.fetch_add(1, Ordering::SeqCst);
         bump!(self, remote_requests);
         self.trace_instant(TraceEventKind::RmiSend, dest as u64);
-        let flush_now = {
-            let mut buf = self.inner.outbuf.borrow_mut();
-            // Timestamps are only needed by the adaptive flush; keep the
-            // clock read off the send path under the default eager policy.
-            if buf[dest].is_empty() && shared.cfg.flush_age_us != 0 {
-                self.inner.outbuf_since.borrow_mut()[dest] = Some(std::time::Instant::now());
-            }
-            buf[dest].push(req);
-            buf[dest].len() >= shared.cfg.aggregation
-        };
-        if flush_now {
+        let outcome = self.inner.transport.stage(dest, Staged::Closure(req));
+        self.after_stage(dest, outcome);
+    }
+
+    /// Serialized-backend staging: encode `f` into a wire frame (timed,
+    /// counted), then stage the frame bytes.
+    fn stage_frame<F>(&self, dest: LocId, kind: WireKind, f: F)
+    where
+        F: FnOnce(&Location) + Send + 'static,
+    {
+        debug_assert_ne!(dest, self.id());
+        let t0 = std::time::Instant::now();
+        let mut scratch = self.inner.scratch.borrow_mut();
+        scratch.clear();
+        let nbytes = encode_frame(&mut scratch, kind, f);
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        bump!(self, messages_serialized);
+        bump!(self, bytes_sent, nbytes as u64);
+        bump!(self, serialize_ns, elapsed);
+        self.trace_instant(TraceEventKind::Serialize, nbytes as u64);
+        let shared = &self.inner.shared;
+        shared.sent.fetch_add(1, Ordering::SeqCst);
+        bump!(self, remote_requests);
+        self.trace_instant(TraceEventKind::RmiSend, dest as u64);
+        let outcome = self.inner.transport.stage(dest, Staged::Frame(&scratch));
+        drop(scratch);
+        self.after_stage(dest, outcome);
+    }
+
+    /// Shared post-staging bookkeeping: buffer-age tracking for the
+    /// adaptive flush, and the aggregation-threshold flush.
+    fn after_stage(&self, dest: LocId, outcome: StageOutcome) {
+        // Timestamps are only needed by the adaptive flush; keep the
+        // clock read off the send path under the default eager policy.
+        if outcome.first_in_buffer && self.config().flush_age_us != 0 {
+            self.inner.outbuf_since.borrow_mut()[dest] = Some(std::time::Instant::now());
+        }
+        if outcome.flush_now {
             self.flush(dest);
         }
     }
 
     /// Flushes the aggregation buffer toward `dest`.
     pub fn flush(&self, dest: LocId) {
-        let reqs = {
-            let mut buf = self.inner.outbuf.borrow_mut();
-            if buf[dest].is_empty() {
-                return;
-            }
-            self.inner.outbuf_since.borrow_mut()[dest] = None;
-            std::mem::take(&mut buf[dest])
+        let Some(info) = self.inner.transport.flush(self.id(), dest) else {
+            return;
         };
+        self.inner.outbuf_since.borrow_mut()[dest] = None;
         bump!(self, batches_sent);
-        self.trace_instant(TraceEventKind::Flush, reqs.len() as u64);
-        self.inner.shared.senders[dest]
-            .send(Batch { src: self.id(), reqs })
-            .expect("stapl-rts: destination location hung up");
+        self.trace_instant(TraceEventKind::Flush, info.nreqs as u64);
+        if info.bytes != 0 {
+            self.trace_instant(TraceEventKind::WireFlush, info.bytes as u64);
+        }
     }
 
     /// Flushes all aggregation buffers.
@@ -645,7 +732,7 @@ impl Location {
     /// of requests executed.
     pub fn poll(&self) -> usize {
         let mut n = 0;
-        while let Ok(batch) = self.inner.rx.try_recv() {
+        while let Some(batch) = self.inner.transport.try_recv() {
             n += self.deliver(batch);
         }
         n
@@ -654,19 +741,30 @@ impl Location {
     fn deliver(&self, batch: Batch) -> usize {
         let shared = &self.inner.shared;
         let cfg = &shared.cfg;
+        let n = batch.len();
         if cfg.cross_node(batch.src, self.id()) {
-            let total = cfg.internode_batch_delay_ns
-                + cfg.internode_per_msg_delay_ns * batch.reqs.len() as u64;
+            let total =
+                cfg.internode_batch_delay_ns + cfg.internode_per_msg_delay_ns * n as u64;
             if total > 0 {
                 busy_wait_ns(total);
             }
         }
-        let n = batch.reqs.len();
         let src = batch.src as u64;
-        for req in batch.reqs {
-            self.trace_instant(TraceEventKind::RmiExecute, src);
-            req(self);
-            shared.handled.fetch_add(1, Ordering::SeqCst);
+        match batch.payload {
+            Payload::Closures(reqs) => {
+                for req in reqs {
+                    self.trace_instant(TraceEventKind::RmiExecute, src);
+                    req(self);
+                    shared.handled.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            Payload::Frames { bytes, nreqs } => {
+                decode_batch(&bytes, batch.src, nreqs, |msg, thunk| {
+                    self.trace_instant(TraceEventKind::RmiExecute, src);
+                    thunk(msg.payload, self);
+                    shared.handled.fetch_add(1, Ordering::SeqCst);
+                });
+            }
         }
         n
     }

@@ -9,7 +9,8 @@ use crossbeam::channel::unbounded;
 use crate::barrier::PollBarrier;
 use crate::collective::CollectiveBoard;
 use crate::config::RtsConfig;
-use crate::location::{Batch, Location, Shared};
+use crate::location::{Location, Shared};
+use crate::transport::Batch;
 use crate::stats::Stats;
 use crate::trace::RunTrace;
 

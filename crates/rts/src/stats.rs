@@ -53,6 +53,18 @@ pub(crate) struct Stats {
     /// (`collect_ordered` gathers, opt-in broadcasts): the simulated
     /// bytes-on-the-wire proxy the O(N·P) → O(N) assertions measure.
     pub gather_items: AtomicU64,
+    /// Bytes of request/response wire frames produced by the serialized
+    /// transport (frame header + shallow closure representation). Zero
+    /// under the closure backend. Batch framing overhead (the per-flush
+    /// control frame) is *excluded*: flush counts are timing-dependent and
+    /// this counter must stay deterministic so it can be gated.
+    pub bytes_sent: AtomicU64,
+    /// RMI requests/responses encoded into wire frames by the serialized
+    /// transport (equals `remote_requests` there; zero under closures).
+    pub messages_serialized: AtomicU64,
+    /// Nanoseconds spent encoding wire frames (serialized transport only).
+    /// Pure timing — never gate it.
+    pub serialize_ns: AtomicU64,
 }
 
 impl Stats {
@@ -75,6 +87,9 @@ impl Stats {
             element_fallbacks: self.element_fallbacks.load(Ordering::Relaxed),
             segment_requests: self.segment_requests.load(Ordering::Relaxed),
             gather_items: self.gather_items.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            messages_serialized: self.messages_serialized.load(Ordering::Relaxed),
+            serialize_ns: self.serialize_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -104,7 +119,10 @@ macro_rules! with_counter_fields {
             localized_chunks,
             element_fallbacks,
             segment_requests,
-            gather_items
+            gather_items,
+            bytes_sent,
+            messages_serialized,
+            serialize_ns
         }
     };
 }
@@ -165,6 +183,9 @@ pub struct StatsSnapshot {
     pub element_fallbacks: u64,
     pub segment_requests: u64,
     pub gather_items: u64,
+    pub bytes_sent: u64,
+    pub messages_serialized: u64,
+    pub serialize_ns: u64,
 }
 
 impl StatsSnapshot {
@@ -300,6 +321,17 @@ impl StatsSnapshot {
         }
     }
 
+    /// Mean wire-frame size of the serialized transport, in bytes per
+    /// encoded message; `0.0` under the closure backend (nothing is
+    /// serialized there).
+    pub fn bytes_per_message(&self) -> f64 {
+        if self.messages_serialized == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.messages_serialized as f64
+        }
+    }
+
     /// Fraction of element-wise invocations that were remote.
     pub fn remote_fraction(&self) -> f64 {
         let total = self.local_invocations as f64 + self.remote_requests as f64;
@@ -323,6 +355,13 @@ mod tests {
         assert_eq!(s.steal_fraction(), 0.0);
         assert_eq!(s.dir_cache_hit_rate(), 0.0);
         assert_eq!(s.localization_rate(), 0.0);
+        assert_eq!(s.bytes_per_message(), 0.0);
+    }
+
+    #[test]
+    fn bytes_per_message_computes() {
+        let s = StatsSnapshot { bytes_sent: 120, messages_serialized: 4, ..Default::default() };
+        assert!((s.bytes_per_message() - 30.0).abs() < 1e-12);
     }
 
     #[test]
@@ -376,6 +415,7 @@ mod tests {
                 patched.dir_cache_hit_rate(),
                 patched.localization_rate(),
                 patched.remote_fraction(),
+                patched.bytes_per_message(),
             ] {
                 assert!(r.is_finite() && r >= 0.0, "{name} saturated: bad ratio {r}");
             }
@@ -391,6 +431,7 @@ mod tests {
             all_max.dir_cache_hit_rate(),
             all_max.localization_rate(),
             all_max.remote_fraction(),
+            all_max.bytes_per_message(),
         ] {
             assert!(r.is_finite(), "ratio must be finite, got {r}");
             assert!(r >= 0.0, "ratio must be non-negative, got {r}");
@@ -416,9 +457,11 @@ mod tests {
     #[test]
     fn counter_names_match_fields() {
         let names = StatsSnapshot::counter_names();
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 20);
         assert_eq!(names[0], "local_invocations");
         assert_eq!(names[16], "gather_items");
+        assert_eq!(names[17], "bytes_sent");
+        assert_eq!(names[19], "serialize_ns");
         let s = StatsSnapshot { gather_items: 9, ..Default::default() };
         assert_eq!(s.counter("gather_items"), Some(9));
         assert_eq!(s.counter("no_such_counter"), None);

@@ -39,7 +39,7 @@ use crate::location::LocId;
 use crate::stats::StatsSnapshot;
 
 /// Number of [`TraceEventKind`] variants (array-index upper bound).
-pub const KIND_COUNT: usize = 20;
+pub const KIND_COUNT: usize = 22;
 
 /// Number of latency histograms kept per location; see
 /// [`TraceEventKind::histogram_index`] and [`HISTOGRAM_NAMES`].
@@ -95,6 +95,12 @@ pub enum TraceEventKind {
     FutureWaitSpan,
     /// Span: one executor task body (`arg` = task id).
     TaskSpan,
+    /// One RMI encoded into a wire frame by the serialized transport
+    /// (`arg` = frame bytes, header included).
+    Serialize,
+    /// A serialized byte batch pushed into a channel (`arg` = batch bytes,
+    /// including the leading control frame).
+    WireFlush,
 }
 
 impl TraceEventKind {
@@ -120,6 +126,8 @@ impl TraceEventKind {
         TraceEventKind::SyncRmiSpan,
         TraceEventKind::FutureWaitSpan,
         TraceEventKind::TaskSpan,
+        TraceEventKind::Serialize,
+        TraceEventKind::WireFlush,
     ];
 
     /// Stable snake-case name, used as the Chrome trace event name and the
@@ -146,6 +154,8 @@ impl TraceEventKind {
             TraceEventKind::SyncRmiSpan => "sync_rmi",
             TraceEventKind::FutureWaitSpan => "future_wait",
             TraceEventKind::TaskSpan => "task_run",
+            TraceEventKind::Serialize => "serialize",
+            TraceEventKind::WireFlush => "wire_flush",
         }
     }
 
@@ -185,11 +195,12 @@ impl TraceEventKind {
         match self {
             TraceEventKind::RmiSend
             | TraceEventKind::RmiExecute
-            | TraceEventKind::RmiReply
             | TraceEventKind::SyncRmiSpan
             | TraceEventKind::FutureWaitSpan
             | TraceEventKind::CollectiveSpan
             | TraceEventKind::Migration => Some("remote_requests"),
+            TraceEventKind::RmiReply => Some("responses_sent"),
+            TraceEventKind::Serialize => Some("messages_serialized"),
             TraceEventKind::BulkTransfer => Some("bulk_requests"),
             TraceEventKind::SegmentTransfer => Some("segment_requests"),
             TraceEventKind::GatherItems => Some("gather_items"),
@@ -198,6 +209,7 @@ impl TraceEventKind {
             TraceEventKind::DirCacheStale => Some("dir_cache_stale"),
             TraceEventKind::TaskSpan => Some("tasks_executed"),
             TraceEventKind::Flush
+            | TraceEventKind::WireFlush
             | TraceEventKind::AgedFlush
             | TraceEventKind::StealProbe
             | TraceEventKind::StealSuccess

@@ -1,0 +1,580 @@
+//! Pluggable message transport between locations.
+//!
+//! A [`Transport`] is one location's endpoint of the message fabric: it
+//! owns the per-destination staging buffers (the aggregation layer), the
+//! channel sends that flush them, and the inbound queue that [`poll`]
+//! drains. Everything *around* the transport stays in the `Location`
+//! shell — the `sent`/`handled` quiescence counters the fence runs on,
+//! the stats/trace instrumentation, and per-(src, dest) FIFO ordering by
+//! construction (one staging buffer per destination, one channel per
+//! receiver) — so every backend inherits the paper's ordering and
+//! completion semantics unchanged.
+//!
+//! [`poll`]: crate::Location::poll
+//!
+//! Two backends implement the trait:
+//!
+//! * [`ClosureTransport`] (the default) stages requests as the boxed
+//!   closures higher layers hand in and ships `Vec<Request>` batches —
+//!   bit-identical to the pre-trait runtime, with zero marshalling.
+//! * [`SerializedTransport`] encodes every request/response into a byte
+//!   **wire frame** and ships concatenated frame buffers. Container-level
+//!   code never sees the encoding: the `Location` RMI primitives stage a
+//!   frame instead of a box, and delivery decodes and invokes through a
+//!   handler registry.
+//!
+//! ## Wire format
+//!
+//! A frame is `kind:u8 | handler:u32 | len:u32 | payload[len]` (all
+//! little-endian, via the vendored `wirecodec`). `kind` is a
+//! [`WireKind`] — async / sync-request / response / bulk-range / segment /
+//! control — carried for observability and for the process-crossing
+//! backend's dispatch. `handler` indexes a process-wide registry mapping
+//! each concrete closure type to a deserialization thunk
+//! (`fn(&[u8], &Location)`), the stand-in for the linker-section handler
+//! registration a real ARMI performs; ids are assigned on first use and
+//! are only meaningful within one process. A flushed batch is one
+//! [`WireKind::Control`] frame carrying `(src:u32, nreqs:u32)` — the
+//! quiescence-accounting header a socket backend would use to credit
+//! `handled` against `sent` — followed by `nreqs` request/response frames.
+//!
+//! The payload of a request frame is the closure's in-memory
+//! representation: encoding **relocates** the value byte-for-byte into the
+//! frame (a Rust move is a byte copy; the original is `mem::forget`-ten),
+//! and the thunk reconstructs it at the destination. This is the
+//! shared-memory-transport semantics — captured heap payloads (a `Vec`'s
+//! buffer, an `Rc`'d slab) travel by pointer, valid across threads of one
+//! process because every staged closure is `Send`. A socket backend will
+//! additionally need a deep encode of captures and deterministic handler
+//! ids; both are deliberately out of scope here (see DESIGN.md
+//! "Pluggable transport").
+//!
+//! ## Accounting contract
+//!
+//! `bytes_sent` / `messages_serialized` / `serialize_ns` are bumped by the
+//! `Location` shell at encode time, so they are attributed per-location
+//! like every other counter and stay **deterministic** for a deterministic
+//! scenario (the per-flush control frame is excluded from `bytes_sent`
+//! precisely because flush counts are timing-dependent). A frame, once
+//! staged, must be delivered exactly once; dropping an undelivered frame
+//! (only possible when an execution aborts by panic) leaks the captured
+//! environment instead of running its destructor, which the closure
+//! backend would.
+
+use std::any::TypeId;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::mem::{self, MaybeUninit};
+use std::sync::{OnceLock, RwLock};
+
+use crossbeam::channel::{Receiver, Sender};
+use wirecodec::{Reader, Writer};
+
+use crate::location::{LocId, Location, Request};
+
+/// Which transport backend an execution uses ([`crate::RtsConfig::transport`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Boxed closures through in-process channels (default; no marshalling).
+    Closure,
+    /// Byte-encoded wire frames through per-location byte queues.
+    Serialized,
+}
+
+/// Wire-level classification of a frame, the first byte of its header.
+/// Advisory for in-process delivery (every request frame dispatches through
+/// its handler id); load-bearing for the future socket backend's dispatch
+/// and for per-kind traffic accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum WireKind {
+    /// A fire-and-forget `async_rmi` request.
+    Async = 0,
+    /// A sync / split-phase request that will send a response.
+    Sync = 1,
+    /// A response completing a reply slot.
+    Response = 2,
+    /// A bulk-range payload (tagged via `note_bulk_request`).
+    Bulk = 3,
+    /// A dynamic-container segment payload (tagged via
+    /// `note_segment_request`).
+    Segment = 4,
+    /// A control frame: the batch header carrying `(src, nreqs)` for
+    /// fence/quiescence accounting. Collective and fence *signaling*
+    /// stays on the shared-memory control plane in-process; this variant
+    /// reserves its wire representation.
+    Control = 5,
+}
+
+impl WireKind {
+    fn from_u8(v: u8) -> Option<WireKind> {
+        Some(match v {
+            0 => WireKind::Async,
+            1 => WireKind::Sync,
+            2 => WireKind::Response,
+            3 => WireKind::Bulk,
+            4 => WireKind::Segment,
+            5 => WireKind::Control,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame of the serialized wire format. Produced by
+/// [`decode_batch`] for delivery and by tests inspecting the encoding.
+pub(crate) struct WireMessage<'a> {
+    pub kind: WireKind,
+    pub handler: u32,
+    pub payload: &'a [u8],
+}
+
+/// Bytes of a frame header: kind (1) + handler id (4) + payload len (4).
+pub(crate) const FRAME_HEADER_BYTES: usize = 9;
+
+// ---------------------------------------------------------------------
+// Handler registry: concrete closure type -> deserialization thunk
+// ---------------------------------------------------------------------
+
+type Thunk = fn(&[u8], &Location);
+
+#[derive(Default)]
+struct HandlerTable {
+    ids: HashMap<TypeId, u32>,
+    thunks: Vec<Thunk>,
+}
+
+fn handlers() -> &'static RwLock<HandlerTable> {
+    static TABLE: OnceLock<RwLock<HandlerTable>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(HandlerTable::default()))
+}
+
+/// Returns (registering on first use) the handler id of closure type `F`.
+fn handler_id_of<F: FnOnce(&Location) + Send + 'static>() -> u32 {
+    let key = TypeId::of::<F>();
+    if let Some(&id) = handlers().read().expect("handler table poisoned").ids.get(&key) {
+        return id;
+    }
+    let mut table = handlers().write().expect("handler table poisoned");
+    if let Some(&id) = table.ids.get(&key) {
+        return id; // lost the registration race; another thread won
+    }
+    let id = u32::try_from(table.thunks.len()).expect("handler table overflow");
+    table.thunks.push(invoke_thunk::<F>);
+    table.ids.insert(key, id);
+    id
+}
+
+fn thunk_of(id: u32) -> Thunk {
+    handlers()
+        .read()
+        .expect("handler table poisoned")
+        .thunks
+        .get(id as usize)
+        .copied()
+        .unwrap_or_else(|| {
+            panic!("stapl-rts: wire frame references unregistered handler id {id}")
+        })
+}
+
+/// Reconstructs an `F` from its relocated bytes and invokes it.
+fn invoke_thunk<F: FnOnce(&Location) + Send + 'static>(payload: &[u8], loc: &Location) {
+    assert_eq!(
+        payload.len(),
+        mem::size_of::<F>(),
+        "stapl-rts: wire payload size does not match handler `{}`",
+        std::any::type_name::<F>()
+    );
+    // SAFETY: the payload is the byte image of an `F` that was moved into
+    // a frame by `encode_frame` (which forgot the original), in this same
+    // address space; copying it into an aligned slot and assuming init is
+    // the completion of that move. `F: Send` licenses the thread crossing.
+    let f = unsafe {
+        let mut slot = MaybeUninit::<F>::uninit();
+        std::ptr::copy_nonoverlapping(
+            payload.as_ptr(),
+            slot.as_mut_ptr() as *mut u8,
+            payload.len(),
+        );
+        slot.assume_init()
+    };
+    f(loc);
+}
+
+/// Encodes `f` as one wire frame appended to `buf`; returns the frame's
+/// size in bytes (header included). Ownership of `f` moves into the frame.
+pub(crate) fn encode_frame<F: FnOnce(&Location) + Send + 'static>(
+    buf: &mut Vec<u8>,
+    kind: WireKind,
+    f: F,
+) -> usize {
+    let start = buf.len();
+    let size = mem::size_of::<F>();
+    let mut w = Writer::new(buf);
+    w.u8(kind as u8);
+    w.u32(handler_id_of::<F>());
+    w.u32(u32::try_from(size).expect("closure capture exceeds u32 frame length"));
+    // SAFETY: reading `size_of::<F>()` bytes from a live `F` is reading its
+    // object representation; the subsequent `forget` makes this the move.
+    unsafe {
+        w.raw(std::slice::from_raw_parts(&f as *const F as *const u8, size));
+    }
+    mem::forget(f);
+    buf.len() - start
+}
+
+/// Decodes one frame at the reader's position.
+fn decode_frame<'a>(r: &mut Reader<'a>) -> WireMessage<'a> {
+    let kind_byte = r.u8().unwrap_or_else(|e| panic!("stapl-rts: truncated wire frame: {e}"));
+    let kind = WireKind::from_u8(kind_byte)
+        .unwrap_or_else(|| panic!("stapl-rts: unknown wire kind {kind_byte}"));
+    let handler = r.u32().unwrap_or_else(|e| panic!("stapl-rts: truncated wire frame: {e}"));
+    let len = r.u32().unwrap_or_else(|e| panic!("stapl-rts: truncated wire frame: {e}"));
+    let payload =
+        r.raw(len as usize).unwrap_or_else(|e| panic!("stapl-rts: truncated wire frame: {e}"));
+    WireMessage { kind, handler, payload }
+}
+
+/// Validates a byte batch's control header and invokes `each` for every
+/// request/response frame, in order. `expect_src`/`expect_n` come from the
+/// channel-level [`Batch`] envelope and must agree with the wire header.
+pub(crate) fn decode_batch(
+    bytes: &[u8],
+    expect_src: LocId,
+    expect_n: usize,
+    mut each: impl FnMut(WireMessage<'_>, Thunk),
+) {
+    let mut r = Reader::new(bytes);
+    let control = decode_frame(&mut r);
+    assert_eq!(control.kind, WireKind::Control, "batch must start with a control frame");
+    let mut cr = Reader::new(control.payload);
+    let (src, n) = (
+        cr.u32().expect("control frame src"),
+        cr.u32().expect("control frame nreqs"),
+    );
+    assert_eq!(src as usize, expect_src, "control frame source mismatch");
+    assert_eq!(n as usize, expect_n, "control frame request-count mismatch");
+    for _ in 0..n {
+        let msg = decode_frame(&mut r);
+        let thunk = thunk_of(msg.handler);
+        each(msg, thunk);
+    }
+    assert!(r.is_empty(), "trailing bytes after the last frame of a batch");
+}
+
+// ---------------------------------------------------------------------
+// Channel payloads
+// ---------------------------------------------------------------------
+
+/// What one flush ships through a channel.
+pub(crate) enum Payload {
+    /// Boxed closures, executed directly at the destination.
+    Closures(Vec<Request>),
+    /// A control frame followed by concatenated wire frames.
+    Frames { bytes: Vec<u8>, nreqs: usize },
+}
+
+/// One message batch between a (source, destination) pair.
+pub(crate) struct Batch {
+    pub src: LocId,
+    pub payload: Payload,
+}
+
+impl Batch {
+    /// Number of requests carried (the unit of the node model's per-message
+    /// delay and of the `handled` counter).
+    pub(crate) fn len(&self) -> usize {
+        match &self.payload {
+            Payload::Closures(reqs) => reqs.len(),
+            Payload::Frames { nreqs, .. } => *nreqs,
+        }
+    }
+}
+
+/// A request staged toward a destination: the backend-specific
+/// representation chosen by the `Location` shell after consulting
+/// [`Transport::serializes`].
+pub(crate) enum Staged<'a> {
+    Closure(Request),
+    /// One already-encoded wire frame (scratch-buffer bytes; the endpoint
+    /// copies them into its per-destination buffer).
+    Frame(&'a [u8]),
+}
+
+/// What [`Transport::stage`] tells the shell about the staging buffer.
+pub(crate) struct StageOutcome {
+    /// The staged request is the first in its destination's buffer (drives
+    /// the adaptive-flush age bookkeeping).
+    pub first_in_buffer: bool,
+    /// The buffer reached the aggregation threshold; the caller flushes.
+    pub flush_now: bool,
+}
+
+/// What one flush shipped; `None` when the buffer was empty.
+pub(crate) struct FlushInfo {
+    pub nreqs: usize,
+    /// Bytes pushed into the channel (0 on the closure backend).
+    pub bytes: usize,
+}
+
+/// One location's endpoint of the message fabric: owns staging buffers,
+/// flush, and the inbound queue.
+///
+/// Contract (what `Location` relies on, and what a future backend must
+/// keep): `stage` buffers without reordering; `flush` pushes the whole
+/// buffer for one destination as one [`Batch`] into a FIFO channel;
+/// `try_recv` yields inbound batches in arrival order. The endpoint never
+/// touches counters or the `sent`/`handled` fence accounting — the shell
+/// bumps `sent` at stage time and `handled` at delivery, so quiescence
+/// detection is transport-independent (a batch buffered inside the
+/// endpoint is already counted as sent and not yet as handled).
+pub(crate) trait Transport {
+    /// True when the shell must stage [`Staged::Frame`]s (encoding each
+    /// request) rather than [`Staged::Closure`]s.
+    fn serializes(&self) -> bool;
+
+    /// Buffers one staged request toward `dest`.
+    fn stage(&self, dest: LocId, msg: Staged<'_>) -> StageOutcome;
+
+    /// Ships `dest`'s buffer into the fabric as one batch from `src`.
+    fn flush(&self, src: LocId, dest: LocId) -> Option<FlushInfo>;
+
+    /// Pulls the next queued inbound batch, if any.
+    fn try_recv(&self) -> Option<Batch>;
+}
+
+/// Builds the endpoint for `kind` over the execution's shared channel set.
+pub(crate) fn make_endpoint(
+    kind: TransportKind,
+    senders: Vec<Sender<Batch>>,
+    rx: Receiver<Batch>,
+    nlocs: usize,
+    aggregation: usize,
+) -> Box<dyn Transport> {
+    match kind {
+        TransportKind::Closure => {
+            Box::new(ClosureTransport::new(senders, rx, nlocs, aggregation))
+        }
+        TransportKind::Serialized => {
+            Box::new(SerializedTransport::new(senders, rx, nlocs, aggregation))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Closure backend
+// ---------------------------------------------------------------------
+
+/// The in-process closure backend: stages `Box<dyn FnOnce>` requests and
+/// ships them untouched — the pre-trait runtime, extracted verbatim.
+pub(crate) struct ClosureTransport {
+    senders: Vec<Sender<Batch>>,
+    rx: Receiver<Batch>,
+    aggregation: usize,
+    outbuf: RefCell<Vec<Vec<Request>>>,
+}
+
+impl ClosureTransport {
+    fn new(
+        senders: Vec<Sender<Batch>>,
+        rx: Receiver<Batch>,
+        nlocs: usize,
+        aggregation: usize,
+    ) -> Self {
+        ClosureTransport {
+            senders,
+            rx,
+            aggregation,
+            outbuf: RefCell::new((0..nlocs).map(|_| Vec::new()).collect()),
+        }
+    }
+}
+
+impl Transport for ClosureTransport {
+    fn serializes(&self) -> bool {
+        false
+    }
+
+    fn stage(&self, dest: LocId, msg: Staged<'_>) -> StageOutcome {
+        let Staged::Closure(req) = msg else {
+            unreachable!("closure transport staged a wire frame")
+        };
+        let mut buf = self.outbuf.borrow_mut();
+        buf[dest].push(req);
+        StageOutcome {
+            first_in_buffer: buf[dest].len() == 1,
+            flush_now: buf[dest].len() >= self.aggregation,
+        }
+    }
+
+    fn flush(&self, src: LocId, dest: LocId) -> Option<FlushInfo> {
+        let reqs = {
+            let mut buf = self.outbuf.borrow_mut();
+            if buf[dest].is_empty() {
+                return None;
+            }
+            std::mem::take(&mut buf[dest])
+        };
+        let nreqs = reqs.len();
+        self.senders[dest]
+            .send(Batch { src, payload: Payload::Closures(reqs) })
+            .expect("stapl-rts: destination location hung up");
+        Some(FlushInfo { nreqs, bytes: 0 })
+    }
+
+    fn try_recv(&self) -> Option<Batch> {
+        self.rx.try_recv().ok()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialized backend
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct WireBuf {
+    bytes: Vec<u8>,
+    nreqs: usize,
+}
+
+/// The serialized-message backend: per-destination byte buffers of wire
+/// frames, flushed as control-framed byte batches.
+pub(crate) struct SerializedTransport {
+    senders: Vec<Sender<Batch>>,
+    rx: Receiver<Batch>,
+    aggregation: usize,
+    outbuf: RefCell<Vec<WireBuf>>,
+}
+
+impl SerializedTransport {
+    fn new(
+        senders: Vec<Sender<Batch>>,
+        rx: Receiver<Batch>,
+        nlocs: usize,
+        aggregation: usize,
+    ) -> Self {
+        SerializedTransport {
+            senders,
+            rx,
+            aggregation,
+            outbuf: RefCell::new((0..nlocs).map(|_| WireBuf::default()).collect()),
+        }
+    }
+}
+
+impl Transport for SerializedTransport {
+    fn serializes(&self) -> bool {
+        true
+    }
+
+    fn stage(&self, dest: LocId, msg: Staged<'_>) -> StageOutcome {
+        let Staged::Frame(frame) = msg else {
+            unreachable!("serialized transport staged a boxed closure")
+        };
+        let mut buf = self.outbuf.borrow_mut();
+        let b = &mut buf[dest];
+        b.bytes.extend_from_slice(frame);
+        b.nreqs += 1;
+        StageOutcome { first_in_buffer: b.nreqs == 1, flush_now: b.nreqs >= self.aggregation }
+    }
+
+    fn flush(&self, src: LocId, dest: LocId) -> Option<FlushInfo> {
+        let (frames, nreqs) = {
+            let mut buf = self.outbuf.borrow_mut();
+            let b = &mut buf[dest];
+            if b.nreqs == 0 {
+                return None;
+            }
+            (std::mem::take(&mut b.bytes), std::mem::replace(&mut b.nreqs, 0))
+        };
+        // Prefix the control frame: (src, nreqs) for quiescence accounting
+        // and wire-format self-containment.
+        let mut bytes = Vec::with_capacity(FRAME_HEADER_BYTES + 8 + frames.len());
+        let mut w = Writer::new(&mut bytes);
+        w.u8(WireKind::Control as u8);
+        w.u32(0); // control frames carry no handler
+        w.u32(8);
+        w.u32(u32::try_from(src).expect("location id fits u32"));
+        w.u32(u32::try_from(nreqs).expect("batch request count fits u32"));
+        w.raw(&frames);
+        let total = bytes.len();
+        self.senders[dest]
+            .send(Batch { src, payload: Payload::Frames { bytes, nreqs } })
+            .expect("stapl-rts: destination location hung up");
+        Some(FlushInfo { nreqs, bytes: total })
+    }
+
+    fn try_recv(&self) -> Option<Batch> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_kind_round_trips() {
+        for k in [
+            WireKind::Async,
+            WireKind::Sync,
+            WireKind::Response,
+            WireKind::Bulk,
+            WireKind::Segment,
+            WireKind::Control,
+        ] {
+            assert_eq!(WireKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(WireKind::from_u8(200), None);
+    }
+
+    #[test]
+    fn handler_ids_are_stable_per_type() {
+        let a = handler_id_of::<fn(&Location)>();
+        let b = handler_id_of::<fn(&Location)>();
+        assert_eq!(a, b, "same type must keep its id");
+        // A distinct closure type gets a distinct id.
+        let payload = 7u64;
+        let f = move |_: &Location| {
+            let _x = payload;
+        };
+        fn id_of<F: FnOnce(&Location) + Send + 'static>(_: &F) -> u32 {
+            handler_id_of::<F>()
+        }
+        assert_ne!(id_of(&f), a);
+    }
+
+    #[test]
+    fn frame_header_matches_constant() {
+        let mut buf = Vec::new();
+        let n = encode_frame(&mut buf, WireKind::Async, |_: &Location| {});
+        // A capture-less closure is zero-sized: frame = header only.
+        assert_eq!(n, FRAME_HEADER_BYTES);
+        assert_eq!(buf.len(), n);
+        let mut r = Reader::new(&buf);
+        let msg = decode_frame(&mut r);
+        assert_eq!(msg.kind, WireKind::Async);
+        assert!(msg.payload.is_empty());
+    }
+
+    #[test]
+    fn frame_payload_is_the_capture_image() {
+        let mut buf = Vec::new();
+        let v: u64 = 0x0102_0304_0506_0708;
+        // `let _x = v` (a binding, not the `_` wildcard) forces the capture.
+        let n = encode_frame(&mut buf, WireKind::Bulk, move |_: &Location| {
+            let _x = v;
+        });
+        assert_eq!(n, FRAME_HEADER_BYTES + std::mem::size_of::<u64>());
+        let msg = decode_frame(&mut Reader::new(&buf));
+        assert_eq!(msg.kind, WireKind::Bulk);
+        assert_eq!(msg.payload, v.to_ne_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "control frame")]
+    fn batch_without_control_header_is_rejected() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WireKind::Async, |_: &Location| {});
+        decode_batch(&buf, 0, 1, |_, _| {});
+    }
+}

@@ -1,0 +1,184 @@
+//! Differential property tests for the pluggable transport: a random
+//! async/sync/split/bulk RMI workload — including forwarding chains, the
+//! RTS-level shape of a container migration (request hops via a third
+//! location before the owner replies to the origin) — must produce
+//! **identical results and identical deterministic counters** under the
+//! closure backend and the serialized wire backend, for P ∈ {1..4} and
+//! several aggregation widths.
+//!
+//! Only the deterministic counters participate: timing-dependent ones
+//! (`batches_sent`, `fence_rounds`, `aged_flushes`) and the
+//! backend-specific wire counters (`bytes_sent`, `messages_serialized`,
+//! `serialize_ns`) are compared structurally instead (zero on the closure
+//! backend; one frame per remote request on the wire backend).
+
+use std::cell::RefCell;
+
+use proptest::prelude::*;
+use stapl_rts::{execute_collect, Location, RtsConfig, StatsSnapshot, TransportKind};
+
+/// One mutation op, encoded with raw picks so a single strategy covers
+/// every P (picks are reduced mod `nlocs` at execution time):
+/// `(which, (a, b, c), add, items)` where `which` selects
+/// 0 = async increment, 1 = bulk-tagged async, 2 = forwarded reply.
+type RawOp = (u8, (usize, usize, usize), u64, Vec<u64>);
+
+/// The per-counter views compared between backends. `serialize_ns` is
+/// wall-clock and never compared; the other two wire counters get
+/// structural assertions.
+type CounterView = fn(&StatsSnapshot) -> u64;
+
+const DETERMINISTIC: &[(&str, CounterView)] = &[
+    ("local_invocations", |s| s.local_invocations),
+    ("remote_requests", |s| s.remote_requests),
+    ("responses_sent", |s| s.responses_sent),
+    ("bulk_requests", |s| s.bulk_requests),
+    ("segment_requests", |s| s.segment_requests),
+    ("gather_items", |s| s.gather_items),
+];
+
+struct RunOut {
+    digests: Vec<Vec<u64>>,
+    locals: Vec<StatsSnapshot>,
+    global: StatsSnapshot,
+}
+
+/// Executes the workload once under `kind` and collects per-location
+/// digests (every observed value, in program order) plus stats.
+fn run(kind: TransportKind, aggregation: usize, p: usize, rounds: &[Vec<RawOp>]) -> RunOut {
+    let cfg = RtsConfig { transport: kind, aggregation, ..RtsConfig::base() };
+    let out = execute_collect(cfg, p, |loc| {
+        let me = loc.id();
+        let n = loc.nlocs();
+        let (h, _rep) = loc.register(RefCell::new(0u64));
+        loc.rmi_fence();
+        let mut digest: Vec<u64> = Vec::new();
+        for (ri, round) in rounds.iter().enumerate() {
+            // Mutation phase: each location issues its own ops.
+            for (which, (a, b, c), add, items) in round {
+                match which {
+                    0 => {
+                        let (src, dest, add) = (a % n, b % n, *add);
+                        if src == me {
+                            loc.async_rmi(dest, h, move |c: &RefCell<u64>, _| {
+                                *c.borrow_mut() += add;
+                            });
+                        }
+                    }
+                    1 => {
+                        let (src, dest) = (a % n, b % n);
+                        if src == me {
+                            let items = items.clone();
+                            if dest != me {
+                                // Mirror the containers' bulk path: tag the
+                                // request immediately before issuing it.
+                                loc.note_bulk_request(items.len() as u64);
+                            }
+                            loc.async_rmi(dest, h, move |c: &RefCell<u64>, _| {
+                                *c.borrow_mut() += items.iter().sum::<u64>();
+                            });
+                        }
+                    }
+                    _ => {
+                        let (src, via, dest) = (a % n, b % n, c % n);
+                        if src == me {
+                            // Forwarding chain (migration-shaped): origin →
+                            // via → dest, who mutates and replies straight
+                            // to the origin's reply slot.
+                            let (token, fut) = loc.make_reply_slot::<u64>();
+                            let k = (via + dest) as u64;
+                            loc.send_request(
+                                via,
+                                Box::new(move |l1: &Location| {
+                                    l1.send_request(
+                                        dest,
+                                        Box::new(move |l2: &Location| {
+                                            let c = l2.lookup::<RefCell<u64>>(h);
+                                            *c.borrow_mut() += 1;
+                                            l2.reply(token, k);
+                                        }),
+                                    );
+                                }),
+                            );
+                            digest.push(fut.get());
+                        }
+                    }
+                }
+            }
+            loc.rmi_fence();
+            // Read phase over settled state: deterministic values no matter
+            // how the mutation-phase messages interleaved.
+            for d in 0..n {
+                let v = if ri % 2 == 0 {
+                    loc.sync_rmi(d, h, |c: &RefCell<u64>, _| *c.borrow())
+                } else {
+                    loc.split_rmi(d, h, |c: &RefCell<u64>, _| *c.borrow()).get()
+                };
+                digest.push(v);
+            }
+            // Keep the next round's mutations from racing this read phase.
+            loc.rmi_fence();
+        }
+        loc.rmi_fence();
+        (digest, loc.local_stats(), loc.stats())
+    });
+    let global = out[0].2;
+    RunOut {
+        digests: out.iter().map(|(d, _, _)| d.clone()).collect(),
+        locals: out.iter().map(|(_, l, _)| *l).collect(),
+        global,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn backends_agree_on_results_and_counters(
+        p in 1usize..5,
+        agg_pick in 0usize..3,
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u8..3, (0usize..8, 0usize..8, 0usize..8), 1u64..100,
+                 proptest::collection::vec(1u64..50, 0..5)),
+                0..7,
+            ),
+            1..3,
+        ),
+    ) {
+        let aggregation = [1, 2, 16][agg_pick];
+        let closure = run(TransportKind::Closure, aggregation, p, &rounds);
+        let wire = run(TransportKind::Serialized, aggregation, p, &rounds);
+
+        // Identical observable results, location by location.
+        prop_assert_eq!(&closure.digests, &wire.digests);
+
+        // Identical deterministic counters, per location and globally.
+        for (name, get) in DETERMINISTIC {
+            prop_assert_eq!(
+                get(&closure.global), get(&wire.global),
+                "global {} diverged between backends", name
+            );
+            for id in 0..p {
+                prop_assert_eq!(
+                    get(&closure.locals[id]), get(&wire.locals[id]),
+                    "location {} {} diverged between backends", id, name
+                );
+            }
+            // The per-location twins must sum to the global under BOTH
+            // backends (the `local_stats` invariant).
+            for r in [&closure, &wire] {
+                let sum: u64 = r.locals.iter().map(*get).sum();
+                prop_assert_eq!(sum, get(&r.global), "sum of local {} != global", name);
+            }
+        }
+
+        // Structure of the wire counters: the closure backend never
+        // serializes; the wire backend encodes exactly one frame per
+        // remote request (responses included) at >= 9 header bytes each.
+        prop_assert_eq!(closure.global.messages_serialized, 0);
+        prop_assert_eq!(closure.global.bytes_sent, 0);
+        prop_assert_eq!(wire.global.messages_serialized, wire.global.remote_requests);
+        prop_assert!(wire.global.bytes_sent >= 9 * wire.global.messages_serialized);
+    }
+}

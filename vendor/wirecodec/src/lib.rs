@@ -1,0 +1,184 @@
+//! Offline stand-in for a wire codec crate (the bincode-style subset this
+//! workspace uses): fixed-width little-endian primitives written to and
+//! read from byte buffers, with explicit end-of-input errors on the read
+//! side.
+//!
+//! The encoding is deliberately trivial — `u8`/`u32`/`u64` in little-endian
+//! order plus raw byte runs — because the caller (the serialized RMI
+//! transport in `stapl-rts`) defines its own frame structure on top. No
+//! varints, no tags, no self-description: every field's width is fixed by
+//! the schema of the frame being read.
+
+/// Read-side failure: the buffer ended before the requested field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnexpectedEof {
+    /// Byte offset at which the read was attempted.
+    pub at: usize,
+    /// Bytes the failed read needed.
+    pub wanted: usize,
+    /// Bytes that remained.
+    pub remaining: usize,
+}
+
+impl std::fmt::Display for UnexpectedEof {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unexpected end of input at byte {}: wanted {} bytes, {} remain",
+            self.at, self.wanted, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for UnexpectedEof {}
+
+/// Appends fixed-width little-endian fields to a caller-owned buffer, so
+/// per-destination aggregation buffers can be reused across messages.
+pub struct Writer<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+impl<'a> Writer<'a> {
+    pub fn new(buf: &'a mut Vec<u8>) -> Self {
+        Writer { buf }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a raw byte run (the caller's schema must fix or encode its
+    /// length; nothing is prefixed here).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far into the underlying buffer (including bytes
+    /// present before this writer was created).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Reads fixed-width little-endian fields from a byte slice, tracking the
+/// current offset and failing with [`UnexpectedEof`] instead of panicking.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], UnexpectedEof> {
+        if self.remaining() < n {
+            return Err(UnexpectedEof { at: self.pos, wanted: n, remaining: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, UnexpectedEof> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, UnexpectedEof> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, UnexpectedEof> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a raw byte run of schema-determined length.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], UnexpectedEof> {
+        self.take(n)
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_width() {
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        w.u8(0xAB);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.raw(b"frame");
+        assert_eq!(w.len(), 1 + 4 + 8 + 5);
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8(), Ok(0xAB));
+        assert_eq!(r.u32(), Ok(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Ok(u64::MAX - 1));
+        assert_eq!(r.raw(5), Ok(&b"frame"[..]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn little_endian_layout_is_stable() {
+        let mut buf = Vec::new();
+        Writer::new(&mut buf).u32(0x0102_0304);
+        assert_eq!(buf, [0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn writer_appends_to_existing_contents() {
+        let mut buf = vec![0xFF];
+        let mut w = Writer::new(&mut buf);
+        w.u8(1);
+        assert_eq!(w.len(), 2);
+        assert_eq!(buf, [0xFF, 1]);
+    }
+
+    #[test]
+    fn eof_reports_offset_and_need() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u8(), Ok(1));
+        let err = r.u32().unwrap_err();
+        assert_eq!(err, UnexpectedEof { at: 1, wanted: 4, remaining: 1 });
+        assert!(err.to_string().contains("wanted 4"));
+        // A failed read consumes nothing.
+        assert_eq!(r.u8(), Ok(2));
+        assert_eq!(r.raw(1).unwrap_err().wanted, 1);
+    }
+
+    #[test]
+    fn zero_length_raw_is_fine() {
+        let mut buf = Vec::new();
+        Writer::new(&mut buf).raw(&[]);
+        assert!(Reader::new(&buf).raw(0).unwrap().is_empty());
+    }
+}
