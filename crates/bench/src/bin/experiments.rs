@@ -1580,20 +1580,160 @@ fn transport_exp() {
         trav_p4[1].bytes_sent
     );
     // Wire-backend structure: exactly one frame per remote request, every
-    // frame at least the 9-byte header.
+    // frame at least the 13-byte header (kind + handler + length + CRC32).
     for s in [&copy_p4[0], &copy_p4[1], &trav_p4[0], &trav_p4[1]] {
         assert_eq!(
             s.messages_serialized, s.remote_requests,
             "serialized backend must encode one frame per remote request"
         );
         assert!(
-            s.bytes_sent >= 9 * s.messages_serialized,
-            "every frame carries at least the 9-byte header"
+            s.bytes_sent >= 13 * s.messages_serialized,
+            "every frame carries at least the 13-byte header"
         );
     }
     // And the closure backend never touches the wire counters.
     assert_eq!(ctl.1.messages_serialized, 0, "closure backend must not serialize");
     assert_eq!(ctl.1.bytes_sent, 0, "closure backend must not count wire bytes");
+}
+
+fn chaos_exp() {
+    use stapl_core::partition::{BlockedPartition, IndexPartition};
+    use stapl_rts::{FaultSchedule, StatsSnapshot, TransportKind};
+    use std::cell::RefCell;
+
+    let n = 2048usize;
+    let mut t = Table::new(
+        "Chaos soak: mixed container traffic under escalating fault schedules \
+         (serialized backend, ack/retransmit recovery)",
+        &["profile", "P", "time", "dropped", "retransmits", "crc rejects", "acks", "divergence"],
+    );
+
+    // Mixed soak workload: an all-pairs async-increment storm (many small
+    // batches), a misaligned bulk p_copy (container traffic), and a fenced
+    // sync-read phase. Returns every location's observation digest (via
+    // allgather, so one run() result carries all of them) plus the kernel
+    // counter delta.
+    let soak = |p: usize, cfg: RtsConfig| -> (f64, Vec<Vec<u64>>, StatsSnapshot) {
+        run(cfg, p, move |loc| {
+            let nlocs = loc.nlocs();
+            let me = loc.id();
+            let (h, rep) = loc.register(RefCell::new(0u64));
+            let src = PArray::from_fn(loc, n, |i| (i * 3 + 1) as u64);
+            let part = BlockedPartition::new(n, n / nlocs + 17);
+            let parts = IndexPartition::num_subdomains(&part);
+            let dst = PArray::with_partition(
+                loc,
+                Box::new(part),
+                Box::new(stapl_core::mapper::GeneralMapper::new(
+                    nlocs,
+                    (0..parts).map(|b| (b + 1) % nlocs).collect(),
+                )),
+                0u64,
+            );
+            loc.rmi_fence();
+            let before = loc.stats();
+            let secs = time_kernel(loc, || {
+                for round in 1..=3u64 {
+                    for dest in 0..nlocs {
+                        if dest != me {
+                            for j in 1..=4u64 {
+                                let add = round * j;
+                                loc.async_rmi(dest, h, move |c: &RefCell<u64>, _| {
+                                    *c.borrow_mut() += add;
+                                });
+                            }
+                        }
+                    }
+                    loc.rmi_fence();
+                }
+                p_copy(&src, &dst);
+            });
+            let delta = loc.stats().since(&before);
+            loc.barrier();
+            // Observation digest: own counter, every location's counter via
+            // sync round trips, and sampled copy results — everything the
+            // fault schedule could plausibly have corrupted or lost.
+            let mut digest = vec![*rep.borrow()];
+            for d in 0..nlocs {
+                digest.push(loc.sync_rmi(d, h, |c: &RefCell<u64>, _| *c.borrow()));
+            }
+            for i in (0..n).step_by(97) {
+                digest.push(dst.get_element(i));
+            }
+            let all = loc.allgather(digest);
+            (secs, all, delta)
+        })
+    };
+
+    // The clean closure-backend reference digests, per P.
+    let clean: Vec<Vec<Vec<u64>>> =
+        PS.iter().map(|&p| soak(p, RtsConfig::default()).1).collect();
+
+    let profiles: &[(&str, &str)] = &[
+        ("mild", "drop:0.01,corrupt:0.005"),
+        ("medium", "drop:0.1,dup:0.05,reorder:0.1,corrupt:0.05"),
+        ("severe", "drop:0.3,dup:0.1,reorder:0.2,corrupt:0.15,delay_us:10"),
+        ("brutal", "drop:1.0"),
+    ];
+    let mut severe_p4 = StatsSnapshot::default();
+    for (name, profile) in profiles {
+        for (pi, &p) in PS.iter().enumerate() {
+            let mut cfg =
+                RtsConfig { transport: TransportKind::Serialized, ..RtsConfig::default() };
+            cfg.faults = FaultSchedule::parse(profile).expect("soak profile parses");
+            cfg.fault_seed = 0xC4A0_5EED ^ p as u64;
+            cfg.retransmit_rto_us = 2_000;
+            let (secs, digests, d) = soak(p, cfg);
+            let diverged = digests != clean[pi];
+            t.row(vec![
+                name.to_string(),
+                p.to_string(),
+                fmt_time(secs),
+                d.frames_dropped.to_string(),
+                d.retransmits.to_string(),
+                d.checksum_failures.to_string(),
+                d.acks_sent.to_string(),
+                if diverged { "DIVERGED".into() } else { "none".into() },
+            ]);
+            // The soak's whole point: an adversarial fabric may cost
+            // retransmissions, but it may not change one observed value.
+            assert!(
+                !diverged,
+                "soak diverged from the clean reference under profile `{profile}` at P={p}"
+            );
+            if *name == "severe" && p == 4 {
+                severe_p4 = d;
+            }
+            if p > 1 {
+                // Recovery must pay for injected damage, never multiply it.
+                assert!(
+                    d.retransmits <= 4 * (d.frames_dropped + d.checksum_failures) + 16,
+                    "retransmit overhead unbounded under `{profile}` at P={p}: \
+                     {} redrives for {} drops + {} rejections",
+                    d.retransmits,
+                    d.frames_dropped,
+                    d.checksum_failures
+                );
+            }
+        }
+    }
+    t.print();
+
+    // The acceptance claim: at P=4 the severe profile actually exercised
+    // every recovery path — losses injected, corrupt batches rejected by
+    // CRC, both redriven — with zero divergence (asserted above).
+    assert!(severe_p4.frames_dropped > 0, "severe profile never dropped a batch");
+    assert!(severe_p4.checksum_failures > 0, "severe profile never corrupted a batch");
+    assert!(severe_p4.retransmits > 0, "severe profile never forced a redrive");
+    assert!(severe_p4.acks_sent > 0, "reliable delivery sent no acknowledgments");
+    println!(
+        "P=4 severe soak: {} requests recovered through {} retransmissions \
+         ({} dropped, {} CRC-rejected) — zero divergence",
+        severe_p4.remote_requests,
+        severe_p4.retransmits,
+        severe_p4.frames_dropped,
+        severe_p4.checksum_failures,
+    );
 }
 
 /// Every experiment id, in report order. Single source of truth for
@@ -1627,6 +1767,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("localize", localize_exp),
     ("dynamic", dynamic_exp),
     ("transport", transport_exp),
+    ("chaos", chaos_exp),
 ];
 
 fn list_experiments() {

@@ -70,7 +70,12 @@ fn direction_of(counter: &str) -> Direction {
     match counter {
         "remote_requests" | "bulk_requests" | "element_fallbacks" | "segment_requests"
         | "gather_items" | "dir_cache_misses" | "dir_cache_stale" | "bytes_sent"
-        | "messages_serialized" => Direction::Up,
+        | "messages_serialized"
+        // Reliability counters (chaos area): for a fixed fault schedule
+        // more drops / redrives / rejections / poison means the recovery
+        // machinery got *less* efficient — upward drift is the regression.
+        | "frames_dropped" | "retransmits" | "checksum_failures" | "acks_sent"
+        | "poisoned_responses" => Direction::Up,
         "localized_chunks" | "dir_cache_hits" => Direction::Down,
         _ => Direction::Both,
     }

@@ -20,7 +20,13 @@
 //!   traversal kernels re-run with every RMI encoded as a wire frame, so
 //!   `bytes_sent` / `messages_serialized` become real, gateable
 //!   bytes-on-the-wire counters (plus a closure-backend zero-bytes
-//!   control).
+//!   control);
+//! * `chaos` — fault injection + reliable delivery (PR 9): an async-RMI
+//!   storm under seeded fault schedules (total drop, total corruption, a
+//!   mixed profile), gating the recovery counters
+//!   (`frames_dropped` / `retransmits` / `checksum_failures` / `acks_sent`)
+//!   so the reliability layer's overhead cannot silently grow — with
+//!   zero divergence of the final container state asserted in-run.
 //!
 //! Each scenario runs in its **own** [`execute_collect_traced`] execution
 //! with an explicit [`RtsConfig`] built from [`RtsConfig::base`] (environment
@@ -45,7 +51,8 @@ use stapl_core::partition::{
 };
 use stapl_paragraph::executor::ExecPolicy;
 use stapl_rts::{
-    execute_collect_traced, Location, RtsConfig, StatsSnapshot, TraceSummary, TransportKind,
+    execute_collect_traced, FaultSchedule, Location, RtsConfig, StatsSnapshot, TraceSummary,
+    TransportKind,
 };
 use stapl_views::array_view::ArrayView;
 use stapl_views::assoc_view::MapView;
@@ -64,7 +71,8 @@ pub const SCHEMA_VERSION: u64 = 1;
 
 /// The benchmark areas, in emission order. `BENCH_<area>.json` baselines
 /// for each are checked into `bench/baselines/`.
-pub const AREAS: [&str; 5] = ["localization", "directory", "dynamic", "executor", "transport"];
+pub const AREAS: [&str; 6] =
+    ["localization", "directory", "dynamic", "executor", "transport", "chaos"];
 
 /// Benchmark tiers, each a strict superset of the previous one — so a
 /// lite or full run still contains every kick-tires record and can be
@@ -709,8 +717,9 @@ fn executor_area(tier: Tier) -> Vec<BenchRecord> {
 
 /// Under the serialized backend every remote request is encoded as a wire
 /// frame, so `bytes_sent` and `messages_serialized` are real traffic
-/// counters: frame size is the 9-byte header plus `size_of` the request
-/// capture, and the request mix is seeded, so both are deterministic and
+/// counters: frame size is the 13-byte header (kind + handler + length +
+/// CRC32) plus `size_of` the request capture, and the request mix is
+/// seeded, so both are deterministic and
 /// gateable. A capture that grows — or a path that quietly falls back
 /// from bulk frames to per-element ones — moves `bytes_sent` and fires
 /// the gate. `serialize_ns` is wall-clock and is never gated; neither are
@@ -849,6 +858,155 @@ fn transport_area(tier: Tier) -> Vec<BenchRecord> {
 }
 
 // ---------------------------------------------------------------------
+// Area: chaos (PR 9 — fault injection + reliable delivery)
+// ---------------------------------------------------------------------
+
+/// Recovery-cost counters of the reliable transport under a *fixed seeded
+/// fault schedule*: at `aggregation = 1` every request is its own batch,
+/// batch sequence numbers are assigned in program order, and the
+/// injector's drop/dup/reorder/corrupt draws are a pure function of
+/// (seed, src, dest, seq) — so the counters are deterministic and
+/// gateable. Upward drift means recovery got less efficient (e.g. a
+/// protocol change started redriving batches that were not lost).
+/// `poisoned_responses` gates at zero: no handler in the storm panics.
+/// The retransmission timer is set generously (25 ms) so redrives answer
+/// injected loss, not scheduler hiccups; residual timing noise is inside
+/// the compare gate's tolerance.
+const CHAOS_GATED: &[&str] = &[
+    "remote_requests",
+    "frames_dropped",
+    "retransmits",
+    "checksum_failures",
+    "acks_sent",
+    "poisoned_responses",
+];
+
+/// An all-pairs async-increment storm: `k` requests per peer per round,
+/// `rounds` fenced rounds. Verifies the final per-location sum on every
+/// location — zero divergence under the fault schedule is part of every
+/// record, not a separate test.
+fn chaos_storm(p: usize, k: u64, rounds: u64, cfg: RtsConfig) -> (f64, StatsSnapshot, TraceSummary) {
+    traced(cfg, p, move |loc| {
+        let (h, rep) = loc.register(std::cell::RefCell::new(0u64));
+        loc.rmi_fence();
+        let (secs, delta) = timed_scoped(loc, || {
+            for round in 1..=rounds {
+                for dest in 0..loc.nlocs() {
+                    if dest != loc.id() {
+                        for j in 1..=k {
+                            let add = round * j;
+                            loc.async_rmi(dest, h, move |c: &std::cell::RefCell<u64>, _| {
+                                *c.borrow_mut() += add;
+                            });
+                        }
+                    }
+                }
+                loc.rmi_fence();
+            }
+        });
+        let per_src: u64 = (1..=rounds).map(|r| (1..=k).map(|j| r * j).sum::<u64>()).sum();
+        assert_eq!(
+            *rep.borrow(),
+            per_src * (loc.nlocs() as u64 - 1),
+            "chaos storm diverged on location {} — the fault schedule leaked through \
+             the reliability layer",
+            loc.id()
+        );
+        (secs, delta)
+    })
+}
+
+fn chaos_area(tier: Tier) -> Vec<BenchRecord> {
+    let cfg_for = |profile: &str| {
+        let mut cfg = RtsConfig { transport: TransportKind::Serialized, ..RtsConfig::base() };
+        cfg.aggregation = 1; // one batch per request: seeded draws are program-order stable
+        cfg.retransmit_rto_us = 25_000;
+        cfg.faults = FaultSchedule::parse(profile).expect("bundled profile parses");
+        cfg.fault_seed = BENCH_SEED;
+        cfg
+    };
+    let (p, k, rounds) = (4usize, 5u64, 4u64);
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut push = |id: String,
+                    profile: &'static str,
+                    p: usize,
+                    r: (f64, StatsSnapshot, TraceSummary)| {
+        records.push(BenchRecord {
+            id,
+            knobs: vec![
+                knob("profile", if profile.is_empty() { "none" } else { profile }),
+                knob("p", p),
+                knob("k", k),
+                knob("rounds", rounds),
+                knob("aggregation", 1),
+                knob("rto_us", 25_000),
+            ],
+            wall_s: r.0,
+            gated: CHAOS_GATED.to_vec(),
+            counters: r.1,
+            trace: r.2,
+        });
+    };
+
+    // Lossless control: the reliability machinery must be free when the
+    // fabric is clean — any nonzero recovery counter is a protocol bug
+    // (e.g. the retransmission timer firing on acknowledged batches).
+    let r = chaos_storm(p, k, rounds, cfg_for(""));
+    let d = &r.1;
+    assert_eq!(d.frames_dropped, 0, "clean fabric must drop nothing");
+    assert_eq!(d.retransmits, 0, "clean fabric must not redrive");
+    assert_eq!(d.checksum_failures, 0, "clean fabric must not reject");
+    push(format!("storm/clean/p{p}"), "", p, r);
+
+    // Total loss: every first transmission is dropped, so every batch is
+    // recovered by exactly one redrive — drops and retransmits both equal
+    // the request count (one request per batch at aggregation 1).
+    let r = chaos_storm(p, k, rounds, cfg_for("drop:1.0"));
+    let d = &r.1;
+    assert!(d.frames_dropped >= d.remote_requests, "every batch must be dropped once");
+    assert!(d.retransmits >= d.remote_requests, "every dropped batch must be redriven");
+    assert_eq!(d.checksum_failures, 0, "drops are not corruption");
+    push(format!("storm/drop-all/p{p}"), "drop:1.0", p, r);
+
+    // Total corruption: every first transmission has one bit flipped, is
+    // rejected by its CRC (never executed), and is redriven.
+    let r = chaos_storm(p, k, rounds, cfg_for("corrupt:1.0"));
+    let d = &r.1;
+    assert!(d.checksum_failures >= d.remote_requests, "every batch must be rejected once");
+    assert!(d.retransmits >= d.remote_requests, "every rejected batch must be redriven");
+    push(format!("storm/corrupt-all/p{p}"), "corrupt:1.0", p, r);
+
+    // Mixed profile: the realistic soak point — all five fault kinds at
+    // once, with the retransmit overhead bounded relative to the injected
+    // damage (redrives answer losses, they don't multiply).
+    let mixed = "drop:0.2,dup:0.1,reorder:0.2,corrupt:0.1,delay_us:5";
+    let r = chaos_storm(p, k, rounds, cfg_for(mixed));
+    let d = &r.1;
+    assert!(d.frames_dropped > 0 && d.retransmits > 0 && d.checksum_failures > 0);
+    assert!(
+        d.retransmits <= 4 * (d.frames_dropped + d.checksum_failures) + 16,
+        "retransmit overhead unbounded: {} redrives for {} drops + {} rejections",
+        d.retransmits,
+        d.frames_dropped,
+        d.checksum_failures
+    );
+    push(format!("storm/mixed/p{p}"), mixed, p, r);
+
+    if tier >= Tier::Lite {
+        let r = chaos_storm(2, k, rounds, cfg_for(mixed));
+        push("storm/mixed/p2".to_string(), mixed, 2, r);
+        let severe = "drop:0.4,dup:0.2,reorder:0.2,corrupt:0.2";
+        let r = chaos_storm(p, k, rounds, cfg_for(severe));
+        push(format!("storm/severe/p{p}"), severe, p, r);
+    }
+    if tier >= Tier::Full {
+        let r = chaos_storm(8, k, rounds, cfg_for(mixed));
+        push("storm/mixed/p8".to_string(), mixed, 8, r);
+    }
+    records
+}
+
+// ---------------------------------------------------------------------
 // Driver + serialization
 // ---------------------------------------------------------------------
 
@@ -861,6 +1019,7 @@ pub fn run_area(area: &str, tier: Tier) -> Option<AreaReport> {
         "dynamic" => dynamic_area(tier),
         "executor" => executor_area(tier),
         "transport" => transport_area(tier),
+        "chaos" => chaos_area(tier),
         _ => return None,
     };
     let area = AREAS.iter().find(|a| **a == area).expect("known area");

@@ -45,14 +45,29 @@ impl Location {
         self.barrier();
         if self.id() == 0 {
             let mut acc: Option<T> = None;
-            for slot in &board.slots {
+            for (who, slot) in board.slots.iter().enumerate() {
                 let v = slot
                     .lock()
                     .unwrap()
                     .take()
-                    .expect("collective slot empty")
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "stapl-rts: collective over `{}`: location {who} contributed \
+                             nothing — a location skipped the collective call, or two \
+                             collectives raced (collectives must be called by all \
+                             locations at the same program point)",
+                            std::any::type_name::<T>()
+                        )
+                    })
                     .downcast::<T>()
-                    .expect("collective type mismatch");
+                    .unwrap_or_else(|_| {
+                        panic!(
+                            "stapl-rts: collective type mismatch: location {who} \
+                             contributed a value that is not `{}` — locations disagree \
+                             on which collective they are executing",
+                            std::any::type_name::<T>()
+                        )
+                    });
                 acc = Some(match acc {
                     None => *v,
                     Some(a) => op(a, *v),
@@ -65,9 +80,23 @@ impl Location {
             let guard = board.result.lock().unwrap();
             guard
                 .as_ref()
-                .expect("collective result missing")
+                .unwrap_or_else(|| {
+                    panic!(
+                        "stapl-rts: collective result of type `{}` missing on location {} \
+                         — the reducing location (0) never published it",
+                        std::any::type_name::<T>(),
+                        self.id()
+                    )
+                })
                 .downcast_ref::<T>()
-                .expect("collective type mismatch")
+                .unwrap_or_else(|| {
+                    panic!(
+                        "stapl-rts: collective result is not `{}` on location {} — \
+                         overlapping collectives of different types",
+                        std::any::type_name::<T>(),
+                        self.id()
+                    )
+                })
                 .clone()
         };
         // Everyone has read the result; location 0 may clear it and the
@@ -92,7 +121,14 @@ impl Location {
         T: Send + Clone + 'static,
     {
         let rooted = (self.id() == root).then_some(val);
-        self.allreduce(rooted, |a, b| a.or(b)).expect("broadcast root missing")
+        self.allreduce(rooted, |a, b| a.or(b)).unwrap_or_else(|| {
+            panic!(
+                "stapl-rts: broadcast of `{}` from root {root}, but the execution has only \
+                 {} locations (roots are 0..nlocs)",
+                std::any::type_name::<T>(),
+                self.nlocs()
+            )
+        })
     }
 
     /// Gathers every location's contribution into a vector indexed by

@@ -1,6 +1,7 @@
 //! Runtime configuration: aggregation, directory caching, adaptive
 //! flushing, transport selection, and the simulated machine model.
 
+use crate::fault::FaultSchedule;
 use crate::transport::TransportKind;
 
 /// Configuration for one SPMD execution.
@@ -24,6 +25,10 @@ use crate::transport::TransportKind;
 /// | `STAPL_TRACE`               | `trace` (0/1)        |
 /// | `STAPL_TRACE_CAPACITY`      | `trace_capacity`     |
 /// | `STAPL_TRANSPORT`           | `transport` (`closure`/`serialized`) |
+/// | `STAPL_FAULTS`              | `faults` (schedule grammar, see `rts::fault`) |
+/// | `STAPL_FAULT_SEED`          | `fault_seed`         |
+/// | `STAPL_RMI_TIMEOUT_US`      | `rmi_timeout_us`     |
+/// | `STAPL_RETRANSMIT_RTO_US`   | `retransmit_rto_us`  |
 ///
 /// Explicit constructors ([`RtsConfig::unbuffered`],
 /// [`RtsConfig::with_aggregation`]) still win over the environment for the
@@ -85,6 +90,28 @@ pub struct RtsConfig {
     /// byte frames and ships those, exercising the wire format a
     /// process-crossing backend needs while staying semantically identical.
     pub transport: TransportKind,
+    /// Seeded fabric-fault schedule (see `rts::fault`). Inactive by
+    /// default; when active (and the transport is serialized) every
+    /// flushed batch may be dropped, duplicated, reordered, corrupted, or
+    /// delayed, and the reliable-delivery protocol must mask it. The
+    /// closure backend ignores the schedule (the in-process fabric cannot
+    /// lose data).
+    pub faults: FaultSchedule,
+    /// Seed for the fault schedule's deterministic decisions: a fixed
+    /// seed faults exactly the same batches on every run of a
+    /// deterministic workload.
+    pub fault_seed: u64,
+    /// Sync-RMI / future wait timeout in microseconds. `0` (the default)
+    /// waits forever, as before. Non-zero makes `RmiFuture::try_get`
+    /// return [`crate::RmiError::Timeout`] (and `get` panic with the same
+    /// diagnostic: peer, handler type name, elapsed, retransmit count)
+    /// instead of spinning forever on a dead peer.
+    pub rmi_timeout_us: u64,
+    /// Base retransmission timeout of the serialized backend's reliable
+    /// delivery, in microseconds: an unacked batch is re-sent after this
+    /// long, then with exponential backoff plus deterministic jitter.
+    /// Clamped to at least 1.
+    pub retransmit_rto_us: u64,
 }
 
 impl Default for RtsConfig {
@@ -108,6 +135,10 @@ impl RtsConfig {
             trace: false,
             trace_capacity: 1 << 16,
             transport: TransportKind::Closure,
+            faults: FaultSchedule::default(),
+            fault_seed: 0x5EED_FA17,
+            rmi_timeout_us: 0,
+            retransmit_rto_us: 5_000,
         }
     }
 
@@ -149,6 +180,22 @@ impl RtsConfig {
                 "serialized" => self.transport = TransportKind::Serialized,
                 _ => {}
             }
+        }
+        if let Some(f) = get("STAPL_FAULTS") {
+            // A malformed schedule is ignored, like any other unparsable
+            // override (the empty string parses to "no faults").
+            if let Ok(sched) = FaultSchedule::parse(&f) {
+                self.faults = sched;
+            }
+        }
+        if let Some(s) = parse::<u64>(get("STAPL_FAULT_SEED")) {
+            self.fault_seed = s;
+        }
+        if let Some(t) = parse::<u64>(get("STAPL_RMI_TIMEOUT_US")) {
+            self.rmi_timeout_us = t;
+        }
+        if let Some(t) = parse::<u64>(get("STAPL_RETRANSMIT_RTO_US")) {
+            self.retransmit_rto_us = t.max(1);
         }
         self
     }
@@ -195,6 +242,17 @@ impl RtsConfig {
         RtsConfig { transport: TransportKind::Serialized, ..Self::default() }
     }
 
+    /// A serialized-transport config with the given fault schedule and
+    /// seed active (see [`RtsConfig::faults`] and `rts::fault`).
+    pub fn with_faults(faults: FaultSchedule, fault_seed: u64) -> Self {
+        RtsConfig {
+            transport: TransportKind::Serialized,
+            faults,
+            fault_seed,
+            ..Self::default()
+        }
+    }
+
     /// The adaptive flush age as a [`std::time::Duration`] — the typed
     /// counterpart of the raw [`RtsConfig::flush_age_us`] field, and the
     /// accessor `Location::flush_idle` routes through. Zero means "flush
@@ -228,6 +286,9 @@ mod tests {
         assert!(!c.trace, "tracing must be off by default");
         assert!(c.trace_capacity >= 1);
         assert_eq!(c.transport, TransportKind::Closure, "closures are the default transport");
+        assert!(!c.faults.active(), "fault injection must be off by default");
+        assert_eq!(c.rmi_timeout_us, 0, "RMI waits must not time out by default");
+        assert!(c.retransmit_rto_us >= 1);
     }
 
     #[test]
@@ -285,6 +346,10 @@ mod tests {
             "STAPL_TRACE" => Some("1".to_string()),
             "STAPL_TRACE_CAPACITY" => Some("0".to_string()), // clamped to 1
             "STAPL_TRANSPORT" => Some(" Serialized ".to_string()), // trimmed, case-folded
+            "STAPL_FAULTS" => Some("drop:0.25,delay_us:10".to_string()),
+            "STAPL_FAULT_SEED" => Some("12345".to_string()),
+            "STAPL_RMI_TIMEOUT_US" => Some("500000".to_string()),
+            "STAPL_RETRANSMIT_RTO_US" => Some("0".to_string()), // clamped to 1
             _ => None,
         };
         let c = RtsConfig::base().with_overrides(fake);
@@ -296,6 +361,17 @@ mod tests {
         assert!(c.trace);
         assert_eq!(c.trace_capacity, 1);
         assert_eq!(c.transport, TransportKind::Serialized);
+        assert_eq!(c.faults, FaultSchedule { drop: 0.25, delay_us: 10, ..Default::default() });
+        assert_eq!(c.fault_seed, 12345);
+        assert_eq!(c.rmi_timeout_us, 500_000);
+        assert_eq!(c.retransmit_rto_us, 1);
+    }
+
+    #[test]
+    fn malformed_fault_schedule_is_ignored() {
+        let c = RtsConfig::base()
+            .with_overrides(|v| (v == "STAPL_FAULTS").then(|| "drop:2.0".to_string()));
+        assert!(!c.faults.active());
     }
 
     #[test]
@@ -313,5 +389,17 @@ mod tests {
         assert_eq!(c.trace, RtsConfig::base().trace);
         assert_eq!(c.trace_capacity, RtsConfig::base().trace_capacity);
         assert_eq!(c.transport, RtsConfig::base().transport);
+        assert_eq!(c.faults, RtsConfig::base().faults);
+        assert_eq!(c.rmi_timeout_us, RtsConfig::base().rmi_timeout_us);
+        assert_eq!(c.retransmit_rto_us, RtsConfig::base().retransmit_rto_us);
+    }
+
+    #[test]
+    fn with_faults_activates_the_serialized_backend() {
+        let sched = FaultSchedule { drop: 0.5, ..Default::default() };
+        let c = RtsConfig::with_faults(sched, 7);
+        assert_eq!(c.transport, TransportKind::Serialized);
+        assert!(c.faults.active());
+        assert_eq!(c.fault_seed, 7);
     }
 }

@@ -5,11 +5,84 @@
 //! requests while waiting. This mirrors the paper's completion guarantee:
 //! the acknowledgment of a split-phase method is received no later than the
 //! `get()` on its future (or the next fence).
+//!
+//! Two failure modes degrade gracefully instead of hanging or aborting the
+//! whole execution (see [`RmiError`]):
+//!
+//! * with [`crate::RtsConfig::rmi_timeout_us`] set, a wait gives up after
+//!   the deadline with a diagnostic naming the peer, the handler's type,
+//!   the elapsed time, and how many retransmissions the fabric has
+//!   attempted — instead of spinning forever on a dead peer;
+//! * a handler that panics on the serialized path sends back a **poisoned
+//!   response** that fails only the issuing future, carrying the handler
+//!   name and panic message.
 
 use std::cell::Cell;
+use std::time::{Duration, Instant};
 
 use crate::location::Location;
 use crate::trace::TraceEventKind;
+
+/// Marker value a poisoned-response frame delivers into a reply slot: the
+/// remote handler panicked, so the slot will never hold a real `R`.
+pub(crate) struct PoisonedResponse {
+    pub handler: &'static str,
+    pub message: String,
+}
+
+/// Why a split-phase or sync RMI wait failed. [`RmiFuture::try_get`]
+/// returns this; [`RmiFuture::get`] panics with its `Display` form.
+#[derive(Debug)]
+pub enum RmiError {
+    /// The response did not arrive within
+    /// [`crate::RtsConfig::rmi_timeout_us`].
+    Timeout {
+        /// Destination location of the request (`usize::MAX` when the
+        /// reply slot was issued without a concrete peer).
+        peer: usize,
+        /// Type name of the handler the request targets.
+        handler: &'static str,
+        /// How long the wait spun before giving up.
+        elapsed: Duration,
+        /// Transport retransmissions observed by this location at expiry
+        /// (a rising number means the fabric is lossy but alive; zero on
+        /// a lossless fabric means the peer never replied).
+        retransmits: u64,
+    },
+    /// The remote handler panicked; the serialized path caught it and
+    /// poisoned this future instead of aborting the execution.
+    HandlerPanicked {
+        /// Type name of the handler that panicked.
+        handler: &'static str,
+        /// The panic payload's message, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RmiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RmiError::Timeout { peer, handler, elapsed, retransmits } => {
+                write!(f, "RMI wait timed out after {elapsed:?} (peer ")?;
+                if *peer == usize::MAX {
+                    write!(f, "unknown")?;
+                } else {
+                    write!(f, "location {peer}")?;
+                }
+                write!(
+                    f,
+                    ", handler `{handler}`, {retransmits} retransmissions attempted — \
+                     peer dead, or fabric dropping frames faster than recovery?)"
+                )
+            }
+            RmiError::HandlerPanicked { handler, message } => {
+                write!(f, "remote handler `{handler}` panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RmiError {}
 
 pub(crate) enum FutureInner<R> {
     Ready(Cell<Option<R>>),
@@ -22,6 +95,11 @@ pub(crate) enum FutureInner<R> {
         /// `get()` entry). Local fast-path futures record nothing.
         wait_kind: TraceEventKind,
         issued_ns: u64,
+        /// Destination location, for timeout diagnostics (`usize::MAX`
+        /// for bare reply slots with no single peer).
+        peer: usize,
+        /// Handler type name, for timeout/poison diagnostics.
+        handler: &'static str,
     },
 }
 
@@ -54,25 +132,66 @@ impl<R: 'static> RmiFuture<R> {
     }
 
     /// Blocks until the value arrives, servicing incoming requests while
-    /// waiting, and returns it.
-    pub fn get(self) -> R {
+    /// waiting, and returns it — or fails with [`RmiError`] on timeout
+    /// (when [`crate::RtsConfig::rmi_timeout_us`] is set) or when the
+    /// remote handler panicked.
+    pub fn try_get(self) -> Result<R, RmiError> {
         match self.inner {
-            FutureInner::Ready(cell) => cell.take().expect("future value already taken"),
-            FutureInner::Slot { loc, slot, wait_kind, issued_ns } => {
+            FutureInner::Ready(cell) => {
+                Ok(cell.take().expect("stapl-rts: future value already taken"))
+            }
+            FutureInner::Slot { loc, slot, wait_kind, issued_ns, peer, handler } => {
                 let t0 = if wait_kind == TraceEventKind::SyncRmiSpan {
                     issued_ns
                 } else {
                     loc.trace_clock()
                 };
+                let timeout_us = loc.config().rmi_timeout_us;
+                let deadline =
+                    (timeout_us > 0).then(|| (Instant::now(), Duration::from_micros(timeout_us)));
                 loop {
                     if let Some(v) = loc.try_take_slot(slot) {
                         loc.trace_span_end(wait_kind, t0, 0);
-                        return *v.downcast::<R>().expect("future slot type mismatch");
+                        return match v.downcast::<R>() {
+                            Ok(v) => Ok(*v),
+                            Err(v) => match v.downcast::<PoisonedResponse>() {
+                                Ok(p) => Err(RmiError::HandlerPanicked {
+                                    handler: p.handler,
+                                    message: p.message,
+                                }),
+                                Err(_) => panic!(
+                                    "stapl-rts: location {}: future slot {slot} (handler \
+                                     `{handler}`) filled with a value of the wrong type — \
+                                     expected `{}`",
+                                    loc.id(),
+                                    std::any::type_name::<R>()
+                                ),
+                            },
+                        };
+                    }
+                    if let Some((start, limit)) = deadline {
+                        let elapsed = start.elapsed();
+                        if elapsed >= limit {
+                            return Err(RmiError::Timeout {
+                                peer,
+                                handler,
+                                elapsed,
+                                retransmits: loc.stats().retransmits,
+                            });
+                        }
                     }
                     loc.poll_or_relax();
                 }
             }
         }
+    }
+
+    /// Blocks until the value arrives, servicing incoming requests while
+    /// waiting, and returns it. Panics with the [`RmiError`] diagnostic on
+    /// timeout or a poisoned response; use [`RmiFuture::try_get`] to
+    /// handle those gracefully.
+    pub fn get(self) -> R {
+        self.try_get().unwrap_or_else(|e| panic!("stapl-rts: {e}"))
     }
 }
 

@@ -52,6 +52,7 @@
 mod barrier;
 mod collective;
 mod config;
+mod fault;
 mod future;
 mod location;
 mod spmd;
@@ -60,7 +61,8 @@ mod trace;
 mod transport;
 
 pub use config::RtsConfig;
-pub use future::RmiFuture;
+pub use fault::FaultSchedule;
+pub use future::{RmiError, RmiFuture};
 pub use location::{Handle, LocId, Location, ReplyToken};
 pub use spmd::{execute, execute_collect, execute_collect_traced};
 pub use stats::StatsSnapshot;

@@ -18,7 +18,7 @@ use crossbeam::channel::{Receiver, Sender};
 use crate::barrier::PollBarrier;
 use crate::collective::CollectiveBoard;
 use crate::config::RtsConfig;
-use crate::future::{FutureInner, RmiFuture};
+use crate::future::{FutureInner, PoisonedResponse, RmiFuture};
 use crate::stats::{LocalStats, Stats, StatsSnapshot};
 use crate::trace::{LocationTrace, TraceBuf, TraceEventKind};
 use crate::transport::{
@@ -69,6 +69,12 @@ pub(crate) struct Shared {
     pub sent: AtomicU64,
     /// Requests fully executed at their destination.
     pub handled: AtomicU64,
+    /// Requests whose carrying batch has been *acknowledged* back to its
+    /// sender (reliable transports only; stays 0 on transports that do not
+    /// track acks). The fence additionally requires `acked == sent` on an
+    /// ack-tracking fabric, so it cannot complete while a dropped batch is
+    /// still awaiting retransmission.
+    pub acked: AtomicU64,
     pub barrier: PollBarrier,
     pub fence_done: AtomicU64, // 0 = undecided/no, 1 = done (leader-written)
     pub board: CollectiveBoard,
@@ -99,6 +105,10 @@ struct LocInner {
     /// Cached `transport.serializes()` so the send hot path branches on a
     /// bool instead of a virtual call.
     serializes: bool,
+    /// Cached `transport.tracks_acks()`: whether the endpoint runs the
+    /// reliable-delivery protocol (and therefore produces transport events
+    /// to reap and ack progress for the fence to observe).
+    tracks_acks: bool,
     /// Wire-kind hint for the *next* staged request (consumed on enqueue);
     /// set by `note_bulk_request` / `note_segment_request` immediately
     /// before the container issues the tagged RMI. Serialized backend only.
@@ -145,20 +155,16 @@ impl Location {
     pub(crate) fn new(id: LocId, shared: Arc<Shared>, rx: Receiver<Batch>) -> Self {
         let nlocs = shared.nlocs;
         let trace = shared.cfg.trace.then(|| RefCell::new(TraceBuf::new(shared.cfg.trace_capacity)));
-        let transport = make_endpoint(
-            shared.cfg.transport,
-            shared.senders.clone(),
-            rx,
-            nlocs,
-            shared.cfg.aggregation,
-        );
+        let transport = make_endpoint(&shared.cfg, id, shared.senders.clone(), rx, nlocs);
         let serializes = transport.serializes();
+        let tracks_acks = transport.tracks_acks();
         Location {
             inner: Rc::new(LocInner {
                 id,
                 shared,
                 transport,
                 serializes,
+                tracks_acks,
                 wire_hint: Cell::new(None),
                 scratch: RefCell::new(Vec::new()),
                 registry: RefCell::new(Vec::new()),
@@ -489,15 +495,38 @@ impl Location {
         let slot = self.alloc_slot();
         let src = self.id();
         let issued_ns = self.trace_clock();
+        let handler = std::any::type_name::<F>();
         self.enqueue_typed(dest, WireKind::Sync, move |loc: &Location| {
-            let obj = loc.lookup::<T>(h);
-            let r = f(&obj, loc);
-            loc.send_response(src, slot, r);
+            // On the serialized path a panicking handler must not strand
+            // the requester: catch it (the lookup too — an unregistered
+            // handle is just as fatal to the reply) and poison the issuing
+            // future instead of unwinding the whole execution.
+            if loc.inner.serializes {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let obj = loc.lookup::<T>(h);
+                    f(&obj, loc)
+                }));
+                match caught {
+                    Ok(r) => loc.send_response(src, slot, r),
+                    Err(p) => loc.send_poison(src, slot, handler, panic_message(&*p)),
+                }
+            } else {
+                let obj = loc.lookup::<T>(h);
+                let r = f(&obj, loc);
+                loc.send_response(src, slot, r);
+            }
         });
         // Bound response latency: the request (and everything ordered
         // before it) leaves the aggregation buffer now.
         self.flush(dest);
-        RmiFuture::new(FutureInner::Slot { loc: self.clone(), slot, wait_kind, issued_ns })
+        RmiFuture::new(FutureInner::Slot {
+            loc: self.clone(),
+            slot,
+            wait_kind,
+            issued_ns,
+            peer: dest,
+            handler,
+        })
     }
 
     /// Ships `req` to `dest` for execution there, preserving per-pair FIFO
@@ -533,6 +562,10 @@ impl Location {
             slot,
             wait_kind: TraceEventKind::FutureWaitSpan,
             issued_ns: self.trace_clock(),
+            // A bare reply slot has no single peer: anyone holding the
+            // token may answer, so the timeout diagnostic says "unknown".
+            peer: usize::MAX,
+            handler: "<reply token>",
         });
         (token, fut)
     }
@@ -559,6 +592,25 @@ impl Location {
             loc.fill_slot(slot, Box::new(r));
         });
         // Responses bypass aggregation: someone is spinning on this value.
+        self.flush(dest);
+    }
+
+    /// Completes the future waiting on `(dest, slot)` with a
+    /// [`PoisonedResponse`] instead of a value: the handler panicked, and
+    /// only the issuing future should fail. Serialized backend only.
+    fn send_poison(&self, dest: LocId, slot: u64, handler: &'static str, message: String) {
+        bump!(self, poisoned_responses);
+        self.trace_instant(TraceEventKind::PoisonedResponse, dest as u64);
+        if dest == self.id() {
+            self.fill_slot(slot, Box::new(PoisonedResponse { handler, message }));
+            return;
+        }
+        // A poison is still a response on the wire: count it as one so the
+        // responses_sent twin stays the send-side mirror of reply traffic.
+        bump!(self, responses_sent);
+        self.enqueue_with_kind(dest, WireKind::Response, move |loc: &Location| {
+            loc.fill_slot(slot, Box::new(PoisonedResponse { handler, message }));
+        });
         self.flush(dest);
     }
 
@@ -679,6 +731,9 @@ impl Location {
         if info.bytes != 0 {
             self.trace_instant(TraceEventKind::WireFlush, info.bytes as u64);
         }
+        if self.inner.tracks_acks {
+            self.reap_transport_events();
+        }
     }
 
     /// Flushes all aggregation buffers.
@@ -732,10 +787,44 @@ impl Location {
     /// of requests executed.
     pub fn poll(&self) -> usize {
         let mut n = 0;
+        if self.inner.tracks_acks {
+            // Drive retransmission of overdue unacknowledged batches; on a
+            // lossless fabric this is an early-out on a counter.
+            self.inner.transport.tick();
+        }
         while let Some(batch) = self.inner.transport.try_recv() {
             n += self.deliver(batch);
         }
+        if self.inner.tracks_acks {
+            self.reap_transport_events();
+        }
         n
+    }
+
+    /// Moves the transport's accumulated reliability events (drops,
+    /// retransmits, checksum rejections, acks) into the global counters,
+    /// the trace timeline, and the fence's `acked` progress counter.
+    fn reap_transport_events(&self) {
+        let ev = self.inner.transport.take_events();
+        if ev.frames_dropped != 0 {
+            bump!(self, frames_dropped, ev.frames_dropped);
+            self.trace_instant(TraceEventKind::FaultDrop, ev.frames_dropped);
+        }
+        if ev.retransmits != 0 {
+            bump!(self, retransmits, ev.retransmits);
+            self.trace_instant(TraceEventKind::Retransmit, ev.retransmits);
+        }
+        if ev.checksum_failures != 0 {
+            bump!(self, checksum_failures, ev.checksum_failures);
+            self.trace_instant(TraceEventKind::ChecksumFail, ev.checksum_failures);
+        }
+        if ev.acks_sent != 0 {
+            bump!(self, acks_sent, ev.acks_sent);
+            self.trace_instant(TraceEventKind::AckSent, ev.acks_sent);
+        }
+        if ev.frames_acked != 0 {
+            self.inner.shared.acked.fetch_add(ev.frames_acked, Ordering::SeqCst);
+        }
     }
 
     fn deliver(&self, batch: Batch) -> usize {
@@ -761,8 +850,32 @@ impl Location {
             Payload::Frames { bytes, nreqs } => {
                 decode_batch(&bytes, batch.src, nreqs, |msg, thunk| {
                     self.trace_instant(TraceEventKind::RmiExecute, src);
-                    thunk(msg.payload, self);
+                    // Contain handler panics to the requests they belong to:
+                    // sync requests caught here already sent a poisoned
+                    // response from their own wrapper; an async handler has
+                    // no future to poison, so its panic is absorbed and
+                    // counted, and later requests in the batch still run.
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        thunk(msg.payload, self)
+                    }));
                     shared.handled.fetch_add(1, Ordering::SeqCst);
+                    if let Err(p) = caught {
+                        bump!(self, poisoned_responses);
+                        self.trace_instant(
+                            TraceEventKind::PoisonedResponse,
+                            self.id() as u64,
+                        );
+                        let _ = p; // payload already reported by the panic hook
+                    }
+                })
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "stapl-rts: location {}: batch from location {} failed to decode \
+                         ({e}) after its checksums verified — transport admitted an \
+                         inconsistent batch",
+                        self.id(),
+                        batch.src
+                    )
                 });
             }
         }
@@ -833,8 +946,16 @@ impl Location {
             while self.poll() > 0 {}
             self.barrier();
             if self.id() == 0 {
-                let quiescent =
-                    shared.sent.load(Ordering::SeqCst) == shared.handled.load(Ordering::SeqCst);
+                let sent = shared.sent.load(Ordering::SeqCst);
+                let mut quiescent = sent == shared.handled.load(Ordering::SeqCst);
+                // On an ack-tracking fabric every request's carrying batch
+                // must also have been acknowledged: executed-but-unacked
+                // requests mean a sender may still retransmit (and the
+                // fault injector may still be holding a reordered batch),
+                // so the system is not yet quiet.
+                if quiescent && self.inner.tracks_acks {
+                    quiescent = shared.acked.load(Ordering::SeqCst) == sent;
+                }
                 shared.fence_done.store(quiescent as u64, Ordering::SeqCst);
             }
             self.barrier();
@@ -851,6 +972,19 @@ impl Location {
 
     pub(crate) fn shared(&self) -> &Arc<Shared> {
         &self.inner.shared
+    }
+}
+
+/// Extracts the human-readable message out of a caught panic payload
+/// (panics raise `&str` or `String` in practice; anything else gets a
+/// placeholder rather than a second panic inside the handler shim).
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 

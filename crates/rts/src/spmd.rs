@@ -55,6 +55,7 @@ where
         senders,
         sent: AtomicU64::new(0),
         handled: AtomicU64::new(0),
+        acked: AtomicU64::new(0),
         barrier: PollBarrier::new(nlocs),
         fence_done: AtomicU64::new(0),
         board: CollectiveBoard::new(nlocs),
@@ -431,10 +432,17 @@ mod tests {
                 let _ = loc.sync_rmi(peer, h, |c: &RefCell<u64>, _| *c.borrow());
             }
             loc.rmi_fence();
-            // The final (implicit) fence still adds counter traffic after
-            // this snapshot, so compare against the global snapshot taken
-            // at the same instant — both sides quiescent via the fence.
-            (loc.local_stats(), loc.stats())
+            // The final (implicit) fence bumps counters after this
+            // snapshot, and locations leave the fence above at slightly
+            // different times — a fast location could reach the final
+            // fence before a slow one snapshots the globals. Bracket the
+            // snapshots with barriers (which bump nothing while the
+            // system is quiescent) so every local snapshot happens before
+            // any location's post-snapshot traffic.
+            loc.barrier();
+            let snap = (loc.local_stats(), loc.stats());
+            loc.barrier();
+            snap
         });
         let global = per_loc[0].1;
         let sum = per_loc

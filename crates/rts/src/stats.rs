@@ -65,6 +65,21 @@ pub(crate) struct Stats {
     /// Nanoseconds spent encoding wire frames (serialized transport only).
     /// Pure timing — never gate it.
     pub serialize_ns: AtomicU64,
+    /// Wire frames discarded by the fabric or the receiver: fault-injected
+    /// drops, corrupt-batch rejections, and duplicate-batch discards
+    /// (counted in frames; zero on a fault-free fabric).
+    pub frames_dropped: AtomicU64,
+    /// Batches re-sent by the reliable-delivery retransmit timer.
+    pub retransmits: AtomicU64,
+    /// Inbound batches rejected by wire validation (per-frame CRC-32 or
+    /// framing) before any frame was decoded.
+    pub checksum_failures: AtomicU64,
+    /// Standalone pure-ack batches sent by the reliable-delivery protocol.
+    pub acks_sent: AtomicU64,
+    /// Handler panics caught on the serialized path and converted into
+    /// poisoned responses (failing only the issuing future) or, for
+    /// fire-and-forget requests, contained to the delivering location.
+    pub poisoned_responses: AtomicU64,
 }
 
 impl Stats {
@@ -90,6 +105,11 @@ impl Stats {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             messages_serialized: self.messages_serialized.load(Ordering::Relaxed),
             serialize_ns: self.serialize_ns.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            poisoned_responses: self.poisoned_responses.load(Ordering::Relaxed),
         }
     }
 }
@@ -122,7 +142,12 @@ macro_rules! with_counter_fields {
             gather_items,
             bytes_sent,
             messages_serialized,
-            serialize_ns
+            serialize_ns,
+            frames_dropped,
+            retransmits,
+            checksum_failures,
+            acks_sent,
+            poisoned_responses
         }
     };
 }
@@ -186,6 +211,11 @@ pub struct StatsSnapshot {
     pub bytes_sent: u64,
     pub messages_serialized: u64,
     pub serialize_ns: u64,
+    pub frames_dropped: u64,
+    pub retransmits: u64,
+    pub checksum_failures: u64,
+    pub acks_sent: u64,
+    pub poisoned_responses: u64,
 }
 
 impl StatsSnapshot {
@@ -457,11 +487,13 @@ mod tests {
     #[test]
     fn counter_names_match_fields() {
         let names = StatsSnapshot::counter_names();
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 25);
         assert_eq!(names[0], "local_invocations");
         assert_eq!(names[16], "gather_items");
         assert_eq!(names[17], "bytes_sent");
         assert_eq!(names[19], "serialize_ns");
+        assert_eq!(names[20], "frames_dropped");
+        assert_eq!(names[24], "poisoned_responses");
         let s = StatsSnapshot { gather_items: 9, ..Default::default() };
         assert_eq!(s.counter("gather_items"), Some(9));
         assert_eq!(s.counter("no_such_counter"), None);

@@ -39,7 +39,7 @@ use crate::location::LocId;
 use crate::stats::StatsSnapshot;
 
 /// Number of [`TraceEventKind`] variants (array-index upper bound).
-pub const KIND_COUNT: usize = 22;
+pub const KIND_COUNT: usize = 27;
 
 /// Number of latency histograms kept per location; see
 /// [`TraceEventKind::histogram_index`] and [`HISTOGRAM_NAMES`].
@@ -101,6 +101,23 @@ pub enum TraceEventKind {
     /// A serialized byte batch pushed into a channel (`arg` = batch bytes,
     /// including the leading control frame).
     WireFlush,
+    /// Wire frames discarded by the fabric or receiver — injected drops,
+    /// corrupt rejections, duplicate discards (`arg` = frames dropped
+    /// since the last reap).
+    FaultDrop,
+    /// Batches re-sent by the retransmit timer (`arg` = count since the
+    /// last reap).
+    Retransmit,
+    /// Inbound batches rejected by wire validation (`arg` = count since
+    /// the last reap).
+    ChecksumFail,
+    /// Standalone pure-ack batches sent (`arg` = count since the last
+    /// reap).
+    AckSent,
+    /// A handler panic caught on the serialized path (`arg` = the issuing
+    /// location for a poisoned response, or this location for a contained
+    /// fire-and-forget panic).
+    PoisonedResponse,
 }
 
 impl TraceEventKind {
@@ -128,6 +145,11 @@ impl TraceEventKind {
         TraceEventKind::TaskSpan,
         TraceEventKind::Serialize,
         TraceEventKind::WireFlush,
+        TraceEventKind::FaultDrop,
+        TraceEventKind::Retransmit,
+        TraceEventKind::ChecksumFail,
+        TraceEventKind::AckSent,
+        TraceEventKind::PoisonedResponse,
     ];
 
     /// Stable snake-case name, used as the Chrome trace event name and the
@@ -156,6 +178,11 @@ impl TraceEventKind {
             TraceEventKind::TaskSpan => "task_run",
             TraceEventKind::Serialize => "serialize",
             TraceEventKind::WireFlush => "wire_flush",
+            TraceEventKind::FaultDrop => "fault_drop",
+            TraceEventKind::Retransmit => "retransmit",
+            TraceEventKind::ChecksumFail => "checksum_fail",
+            TraceEventKind::AckSent => "ack_sent",
+            TraceEventKind::PoisonedResponse => "poisoned_response",
         }
     }
 
@@ -208,13 +235,23 @@ impl TraceEventKind {
             TraceEventKind::DirCacheMiss => Some("dir_cache_misses"),
             TraceEventKind::DirCacheStale => Some("dir_cache_stale"),
             TraceEventKind::TaskSpan => Some("tasks_executed"),
+            // A caught handler panic is as deterministic as the workload
+            // that panicked; the reliability events below depend on flush
+            // boundaries and timer races, so they are never gated as trace
+            // counts (the *stats* counters can be, in fault scenarios
+            // engineered to be batch-deterministic).
+            TraceEventKind::PoisonedResponse => Some("poisoned_responses"),
             TraceEventKind::Flush
             | TraceEventKind::WireFlush
             | TraceEventKind::AgedFlush
             | TraceEventKind::StealProbe
             | TraceEventKind::StealSuccess
             | TraceEventKind::BarrierSpan
-            | TraceEventKind::FenceSpan => None,
+            | TraceEventKind::FenceSpan
+            | TraceEventKind::FaultDrop
+            | TraceEventKind::Retransmit
+            | TraceEventKind::ChecksumFail
+            | TraceEventKind::AckSent => None,
         }
     }
 }

@@ -47,6 +47,12 @@ struct RunOut {
 /// digests (every observed value, in program order) plus stats.
 fn run(kind: TransportKind, aggregation: usize, p: usize, rounds: &[Vec<RawOp>]) -> RunOut {
     let cfg = RtsConfig { transport: kind, aggregation, ..RtsConfig::base() };
+    run_with(cfg, p, rounds)
+}
+
+/// Same workload under an arbitrary configuration (used by the fault
+/// differential test to aim a seeded injector at the wire backend).
+fn run_with(cfg: RtsConfig, p: usize, rounds: &[Vec<RawOp>]) -> RunOut {
     let out = execute_collect(cfg, p, |loc| {
         let me = loc.id();
         let n = loc.nlocs();
@@ -175,10 +181,68 @@ proptest! {
 
         // Structure of the wire counters: the closure backend never
         // serializes; the wire backend encodes exactly one frame per
-        // remote request (responses included) at >= 9 header bytes each.
+        // remote request (responses included) at >= 13 header bytes each
+        // (kind + handler + length + CRC32).
         prop_assert_eq!(closure.global.messages_serialized, 0);
         prop_assert_eq!(closure.global.bytes_sent, 0);
         prop_assert_eq!(wire.global.messages_serialized, wire.global.remote_requests);
-        prop_assert!(wire.global.bytes_sent >= 9 * wire.global.messages_serialized);
+        prop_assert!(wire.global.bytes_sent >= 13 * wire.global.messages_serialized);
+    }
+
+    /// The tentpole's differential guarantee: the serialized backend under
+    /// an *adversarial fabric* — frames dropped, duplicated, reordered,
+    /// corrupted, delayed by the seeded injector — still produces exactly
+    /// the observable results of the clean closure backend, because
+    /// checksums reject corruption and the ack/retransmit protocol redrives
+    /// lost batches in order. Deterministic counters must agree too: the
+    /// reliability layer may only add `frames_dropped`/`retransmits`-class
+    /// traffic, never change what the program observed.
+    #[test]
+    fn faulty_wire_backend_matches_clean_closure_backend(
+        p in 1usize..5,
+        profile_pick in 0usize..4,
+        seed in 1u64..u64::MAX,
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u8..3, (0usize..8, 0usize..8, 0usize..8), 1u64..100,
+                 proptest::collection::vec(1u64..50, 0..5)),
+                0..7,
+            ),
+            1..3,
+        ),
+    ) {
+        let profile = [
+            "drop:0.05,corrupt:0.02",
+            "dup:0.2,reorder:0.3",
+            "drop:0.15,dup:0.1,reorder:0.15,corrupt:0.05,delay_us:10",
+            "drop:1.0", // every first transmission lost; only retransmits arrive
+        ][profile_pick];
+        let clean = run(TransportKind::Closure, 2, p, &rounds);
+
+        let sched = stapl_rts::FaultSchedule::parse(profile).unwrap();
+        let mut cfg = RtsConfig { transport: TransportKind::Serialized, ..RtsConfig::base() };
+        cfg.aggregation = 2;
+        cfg.faults = sched;
+        cfg.fault_seed = seed;
+        cfg.retransmit_rto_us = 300; // keep redrives fast under test
+        let faulty = run_with(cfg, p, &rounds);
+
+        prop_assert_eq!(&clean.digests, &faulty.digests,
+            "profile {} seed {} diverged", profile, seed);
+        for (name, get) in DETERMINISTIC {
+            prop_assert_eq!(
+                get(&clean.global), get(&faulty.global),
+                "global {} diverged under profile {}", name, profile
+            );
+        }
+        // The fence over acked frames completed, so every injected loss
+        // was recovered; under a lossy profile the recovery machinery must
+        // actually have fired.
+        if profile.contains("drop:1.0") {
+            prop_assert!(faulty.global.frames_dropped > 0 || faulty.global.remote_requests == 0);
+            // `frames_dropped` counts requests, `retransmits` counts batch
+            // redrives: any loss must be answered by at least one redrive.
+            prop_assert!(faulty.global.frames_dropped == 0 || faulty.global.retransmits > 0);
+        }
     }
 }

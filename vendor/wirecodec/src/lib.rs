@@ -9,6 +9,60 @@
 //! varints, no tags, no self-description: every field's width is fixed by
 //! the schema of the frame being read.
 
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over a byte
+/// stream, computed incrementally so callers can checksum disjoint byte
+/// runs (e.g. a frame header and payload around the checksum field
+/// itself). `Crc32::new().update(b"123456789").finish() == 0xCBF43926`.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    pub fn update(mut self, bytes: &[u8]) -> Self {
+        let table = crc_table();
+        for &b in bytes {
+            let idx = (self.state ^ u32::from(b)) & 0xFF;
+            self.state = (self.state >> 8) ^ table[idx as usize];
+        }
+        self
+    }
+
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot convenience over [`Crc32`].
+pub fn crc32(bytes: &[u8]) -> u32 {
+    Crc32::new().update(bytes).finish()
+}
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut v = i as u32;
+            for _ in 0..8 {
+                v = if v & 1 != 0 { (v >> 1) ^ 0xEDB8_8320 } else { v >> 1 };
+            }
+            *slot = v;
+        }
+        table
+    })
+}
+
 /// Read-side failure: the buffer ended before the requested field.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct UnexpectedEof {
@@ -173,6 +227,24 @@ mod tests {
         // A failed read consumes nothing.
         assert_eq!(r.u8(), Ok(2));
         assert_eq!(r.raw(1).unwrap_err().wanted, 1);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32/IEEE check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_is_incremental_over_disjoint_runs() {
+        let whole = crc32(b"header|payload");
+        let split = Crc32::new().update(b"header|").update(b"payload").finish();
+        assert_eq!(whole, split);
+        // Any single-bit flip changes the checksum.
+        let mut corrupt = b"header|payload".to_vec();
+        corrupt[3] ^= 0x10;
+        assert_ne!(crc32(&corrupt), whole);
     }
 
     #[test]
