@@ -174,8 +174,15 @@ fn traced(
 // Area: localization (PR 4 — bulk-range transport + view localization)
 // ---------------------------------------------------------------------
 
-const LOCALIZATION_GATED: &[&str] =
-    &["remote_requests", "bulk_requests", "localized_chunks", "element_fallbacks"];
+const LOCALIZATION_GATED: &[&str] = &[
+    "remote_requests",
+    "bulk_requests",
+    "localized_chunks",
+    "element_fallbacks",
+    // Localization converts remote element traffic into direct local
+    // invocations, so their count is placement-determined too.
+    "local_invocations",
+];
 
 /// `p_copy` between a balanced source and a destination whose placement
 /// forces the given amount of misalignment; localized vs element-wise.
@@ -306,8 +313,15 @@ fn localization_area(tier: Tier) -> Vec<BenchRecord> {
 // Area: directory (PR 3 — owner caches with epoch invalidation)
 // ---------------------------------------------------------------------
 
-const DIRECTORY_GATED: &[&str] =
-    &["remote_requests", "dir_cache_hits", "dir_cache_misses", "dir_cache_stale"];
+const DIRECTORY_GATED: &[&str] = &[
+    "remote_requests",
+    "dir_cache_hits",
+    "dir_cache_misses",
+    "dir_cache_stale",
+    // Every routed read replies exactly once, so the reply count tracks
+    // the (deterministic) read schedule.
+    "responses_sent",
+];
 
 /// Hot-key or sweep reads over a dynamic (forwarding) pGraph; the owner
 /// cache turns the 2-hop home-forwarded read into 1 hop on repeats.
@@ -404,7 +418,8 @@ fn directory_area(tier: Tier) -> Vec<BenchRecord> {
 // Area: dynamic (PR 5 — segment transport, kv shuffle, gather paths)
 // ---------------------------------------------------------------------
 
-const DYNAMIC_GATED: &[&str] = &["remote_requests", "segment_requests", "gather_items"];
+const DYNAMIC_GATED: &[&str] =
+    &["remote_requests", "segment_requests", "gather_items", "responses_sent"];
 
 /// Location 0 reads the whole pList: one `get_segment` per slab vs the
 /// element-wise GID walk. Takes the config so the `transport` area can

@@ -28,8 +28,13 @@ const DETERMINISTIC: &[&str] = &[
 
 /// A fixed mixed-traffic scenario: async fan-out, sync round trips, and a
 /// collective, all flow-deterministic at a given P.
+///
+/// Deltas are taken from `local_stats()` (this thread's counter twins),
+/// not the global `stats()`: a global snapshot taken at scenario entry
+/// races the other locations' first sends, so its per-location delta
+/// depends on thread-start order.
 fn scenario(loc: &stapl_rts::Location) -> StatsSnapshot {
-    let before = loc.stats();
+    let before = loc.local_stats();
     let (h, _rep) = loc.register(std::cell::Cell::new(0u64));
     for peer in 0..loc.nlocs() {
         loc.async_rmi(peer, h, |c: &std::cell::Cell<u64>, _| c.set(c.get() + 1));
@@ -41,7 +46,7 @@ fn scenario(loc: &stapl_rts::Location) -> StatsSnapshot {
     }
     assert_eq!(loc.allreduce_sum(1), loc.nlocs() as u64);
     loc.rmi_fence();
-    loc.stats().since(&before)
+    loc.local_stats().since(&before)
 }
 
 #[test]

@@ -204,7 +204,8 @@ impl ThreadSafetyManager for GlobalMutexManager {
 
     fn data_access_post(&self, _: &ThsInfo, policy: &MethodPolicy) {
         if policy.granularity != LockGranularity::None {
-            // Safety: paired with the lock taken in data_access_pre.
+            // SAFETY: paired with the lock taken in data_access_pre under
+            // the same (non-None) granularity.
             unsafe { self.raw.unlock() }
         }
     }
@@ -250,12 +251,14 @@ impl ThreadSafetyManager for HashedLockManager {
             LockGranularity::None => {}
             LockGranularity::Local => {
                 for l in self.locks.iter().rev() {
-                    // Safety: paired with data_access_pre.
+                    // SAFETY: data_access_pre's Local arm locked every
+                    // slot; release in reverse order.
                     unsafe { l.unlock() }
                 }
             }
             _ => unsafe {
-                // Safety: paired with data_access_pre.
+                // SAFETY: slot() is deterministic on (info, policy), so
+                // this is the same lock data_access_pre acquired.
                 self.locks[self.slot(info, policy).unwrap()].unlock()
             },
         }
@@ -286,8 +289,9 @@ impl ThreadSafetyManager for RwLockManager {
     fn data_access_post(&self, _: &ThsInfo, policy: &MethodPolicy) {
         match (policy.granularity, policy.data) {
             (LockGranularity::None, _) => {}
-            // Safety: paired with data_access_pre.
+            // SAFETY: data_access_pre took a shared lock for this policy.
             (_, AccessMode::Read) => unsafe { self.raw.unlock_shared() },
+            // SAFETY: data_access_pre took the exclusive lock for this policy.
             (_, AccessMode::Write) => unsafe { self.raw.unlock_exclusive() },
         }
     }

@@ -1,0 +1,20 @@
+// L2 fixture: a RefCell storage borrow held across a poll point — a
+// handler delivered by the poll can touch the same container and panic
+// on the double borrow.
+
+fn drain(loc: &Location, store: &RefCell<Vec<u64>>) {
+    let guard = store.borrow_mut();
+    loc.poll(); // EXPECT-L2
+    drop(guard);
+}
+
+fn scan(view: &VectorView) {
+    view.with_slice(|s| {
+        let mut sum = 0;
+        for x in s {
+            sum += x;
+        }
+        rmi_fence(); // EXPECT-L2
+        sum
+    });
+}

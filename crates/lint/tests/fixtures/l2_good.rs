@@ -1,0 +1,23 @@
+// L2 fixture (clean): guards end (by scope or explicit drop) before any
+// poll point, and with_slice closures never poll.
+
+fn drain_scoped(loc: &Location, store: &RefCell<Vec<u64>>) {
+    {
+        let guard = store.borrow_mut();
+        consume(&guard);
+    }
+    loc.poll();
+}
+
+fn drain_dropped(loc: &Location, store: &RefCell<Vec<u64>>) {
+    let guard = store.borrow_mut();
+    consume(&guard);
+    drop(guard);
+    loc.poll();
+}
+
+fn scan(view: &VectorView, loc: &Location) {
+    let sum = view.with_slice(|s| s.iter().copied().sum::<u64>());
+    loc.rmi_fence();
+    report(sum);
+}

@@ -1,0 +1,17 @@
+// L3 fixture: collectives lexically gated on the location id — the
+// locations failing the guard never arrive, so the collective hangs.
+
+fn report(loc: &Location) {
+    if loc.id() == 0 {
+        let total = loc.allreduce_sum(1); // EXPECT-L3
+        log(total);
+    }
+}
+
+fn half_fence(loc: &Location, last: usize) {
+    if loc.id() != last {
+        loc.rmi_fence(); // EXPECT-L3
+    } else {
+        loc.flush();
+    }
+}

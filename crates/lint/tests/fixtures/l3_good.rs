@@ -1,0 +1,23 @@
+// L3 fixture (clean): collectives hoisted out of id guards, symmetric
+// splits where both branches reach one, and non-id data guards.
+
+fn report(loc: &Location) {
+    let total = loc.allreduce_sum(1);
+    if loc.id() == 0 {
+        log(total);
+    }
+}
+
+fn symmetric(loc: &Location) {
+    if loc.id() == 0 {
+        loc.broadcast(42);
+    } else {
+        loc.broadcast(0);
+    }
+}
+
+fn data_guard(loc: &Location, pending: usize) {
+    if pending == 0 {
+        loc.rmi_fence();
+    }
+}

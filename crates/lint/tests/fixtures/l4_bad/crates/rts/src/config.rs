@@ -1,0 +1,3 @@
+pub fn load() {
+    let _ = std::env::var("STAPL_MINI");
+}

@@ -1,0 +1,7 @@
+use std::sync::atomic::AtomicU64;
+
+pub(crate) struct Stats {
+    pub remote_requests: AtomicU64,
+    pub unlisted: AtomicU64, // EXPECT-L4: incremented but gated nowhere
+    pub dead_counter: AtomicU64, // EXPECT-L4 x2: never incremented, never gated
+}

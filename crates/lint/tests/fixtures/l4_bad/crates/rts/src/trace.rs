@@ -1,0 +1,9 @@
+impl TraceEventKind {
+    pub fn gating_counter(self) -> Option<&'static str> {
+        match self {
+            TraceEventKind::RmiSend => Some("remote_requests"),
+            TraceEventKind::Ghost => Some("ghost_counter"), // EXPECT-L4: not a Stats field
+            _ => None,
+        }
+    }
+}

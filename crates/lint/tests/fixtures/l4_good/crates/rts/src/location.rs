@@ -1,0 +1,4 @@
+pub fn run(loc: &Location) {
+    bump!(loc, remote_requests);
+    loc.inner.stats.flushes.fetch_add(1, Ordering::Relaxed);
+}

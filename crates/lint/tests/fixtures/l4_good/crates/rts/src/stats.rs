@@ -1,0 +1,8 @@
+use std::sync::atomic::AtomicU64;
+
+pub(crate) struct Stats {
+    pub remote_requests: AtomicU64,
+    // stapl-lint: allow(counter-gate-drift) — fixture: flush counts are
+    // timing-dependent, so this stays ungated by design.
+    pub flushes: AtomicU64,
+}

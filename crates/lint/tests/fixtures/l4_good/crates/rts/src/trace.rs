@@ -1,0 +1,8 @@
+impl TraceEventKind {
+    pub fn gating_counter(self) -> Option<&'static str> {
+        match self {
+            TraceEventKind::RmiSend => Some("remote_requests"),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,5 @@
+pub fn load() {
+    let _ = std::env::var("STAPL_ALPHA");
+    let _ = std::env::var("STAPL_BETA"); // EXPECT-L5: missing from README
+    let _ = std::env::var("STAPL_FAULTS");
+}

@@ -1,0 +1,7 @@
+pub fn parse(key: &str) {
+    match key {
+        "drop" => {}
+        "spin" => {} // EXPECT-L5: sub-key absent from the README row
+        _ => {}
+    }
+}

@@ -1,0 +1,4 @@
+pub fn load() {
+    let _ = std::env::var("STAPL_ALPHA");
+    let _ = std::env::var("STAPL_FAULTS");
+}

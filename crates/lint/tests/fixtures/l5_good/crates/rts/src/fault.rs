@@ -1,0 +1,6 @@
+pub fn parse(key: &str) {
+    match key {
+        "drop" => {}
+        _ => {}
+    }
+}

@@ -1,0 +1,9 @@
+// L6 fixture: unsafe without a stated invariant.
+
+pub fn read_raw(ptr: *const u64) -> u64 {
+    unsafe { *ptr } // EXPECT-L6
+}
+
+pub unsafe fn reinterpret(bytes: &[u8]) -> &[u32] { // EXPECT-L6
+    core::slice::from_raw_parts(bytes.as_ptr().cast(), bytes.len() / 4)
+}

@@ -1,0 +1,18 @@
+// L6 fixture (clean): every unsafe site states its invariant — the std
+// `// SAFETY:` comment for blocks, the rustdoc `# Safety` section for
+// an unsafe fn's caller contract.
+
+pub fn read_raw(ptr: *const u64) -> u64 {
+    // SAFETY: callers only pass addresses of live pool slots, which are
+    // valid and aligned for u64.
+    unsafe { *ptr }
+}
+
+/// Reinterprets a byte slice as `u32`s.
+///
+/// # Safety
+/// `bytes` must be 4-byte aligned and its length a multiple of 4.
+pub unsafe fn reinterpret(bytes: &[u8]) -> &[u32] {
+    // SAFETY: alignment and length are this fn's documented contract.
+    unsafe { core::slice::from_raw_parts(bytes.as_ptr().cast(), bytes.len() / 4) }
+}

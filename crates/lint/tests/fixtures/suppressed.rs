@@ -1,0 +1,12 @@
+// Suppression fixture: real violations silenced both ways — a trailing
+// comment (line scope) and an own-line comment (item scope).
+
+pub fn read_raw(ptr: *const u64) -> u64 {
+    unsafe { *ptr } // stapl-lint: allow(undocumented-unsafe) — fixture: line-scoped
+}
+
+// stapl-lint: allow(L6, L1) — fixture: item-scoped, covers the whole fn
+pub fn both(loc: &Location, ptr: *mut u64) {
+    loc.async_rmi(1, move |l| l.rmi_fence());
+    unsafe { drop_in_place(ptr) };
+}

@@ -86,6 +86,8 @@ impl lock_api::RawMutex for RawMutex {
             .is_ok()
     }
 
+    // SAFETY: trait contract — the caller holds the lock, so state is 1
+    // and a Release store of 0 publishes the critical section.
     unsafe fn unlock(&self) {
         self.state.store(0, Ordering::Release);
     }
@@ -142,10 +144,14 @@ impl lock_api::RawRwLock for RawRwLock {
         }
     }
 
+    // SAFETY: trait contract — the caller holds a shared lock, so state
+    // counts it (≥ 1, not WRITER) and the decrement cannot underflow.
     unsafe fn unlock_shared(&self) {
         self.state.fetch_sub(1, Ordering::Release);
     }
 
+    // SAFETY: trait contract — the caller holds the exclusive lock, so
+    // state is WRITER and storing 0 reopens it.
     unsafe fn unlock_exclusive(&self) {
         self.state.store(0, Ordering::Release);
     }
@@ -162,6 +168,9 @@ fn backoff(spins: &mut u32) {
     }
 }
 
+// stapl-lint: allow(undocumented-unsafe) — test bodies pair every unlock
+// with a lock taken a few lines up; per-site comments would only restate
+// the control flow.
 #[cfg(test)]
 mod tests {
     use super::lock_api::{RawMutex as _, RawRwLock as _};
